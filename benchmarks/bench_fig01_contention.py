@@ -1,0 +1,11 @@
+"""Fig. 1 bench — contention vs under-utilization of concurrent convs."""
+
+from conftest import run_once
+from repro.experiments import EXPERIMENTS
+
+
+def test_fig01_contention(benchmark, record_series):
+    result = run_once(benchmark, EXPERIMENTS["fig1"])
+    record_series(result)
+    ratio = dict(zip(result.x, result.series["ratio"]))
+    assert ratio[64] < 1.0 < ratio[128], "crossover must fall between 64 and 128"

@@ -1,0 +1,12 @@
+"""Fig. 2 bench — transfer/computation ratio on three platforms."""
+
+from conftest import run_once
+from repro.experiments import EXPERIMENTS
+
+
+def test_fig02_comm_ratio(benchmark, record_series):
+    result = run_once(benchmark, EXPERIMENTS["fig2"])
+    record_series(result)
+    nvlink = result.series["dual-A40 (NVLink)"]
+    pcie = result.series["dual-V100S (PCIe Gen3)"]
+    assert all(p > n for n, p in zip(nvlink, pcie))

@@ -1,0 +1,14 @@
+"""Fig. 7 bench — latency vs number of GPUs (six algorithms)."""
+
+from conftest import run_once
+from repro.experiments import EXPERIMENTS, default_config
+
+
+def test_fig07_num_gpus(benchmark, record_series):
+    result = run_once(benchmark, EXPERIMENTS["fig7"], default_config())
+    record_series(result)
+    lp = result.speedup("sequential", "hios-lp")
+    mr = result.speedup("sequential", "hios-mr")
+    assert lp[-1] > 2.5, "HIOS-LP must scale with GPU count"
+    assert max(mr) < 2.0, "HIOS-MR plateaus (paper: <= ~1.5)"
+    assert lp[result.x.index(4)] / mr[result.x.index(4)] > 1.2

@@ -1,0 +1,23 @@
+"""Fig. 8 bench — latency vs number of operators (six algorithms)."""
+
+from conftest import run_once
+from repro.experiments import EXPERIMENTS, default_config
+
+
+def test_fig08_num_operators(benchmark, record_series):
+    result = run_once(benchmark, EXPERIMENTS["fig8"], default_config())
+    record_series(result)
+    lp = result.speedup("sequential", "hios-lp")
+    assert all(s > 1.7 for s in lp), "HIOS-LP holds ~2x across model sizes"
+    ios = result.speedup("sequential", "ios")
+    assert all(l > i for l, i in zip(lp, ios))
+    # Alg. 2's contribution on top of the inter-GPU mappings
+    intra_lp = [
+        (a - b) / a
+        for a, b in zip(result.series["inter-lp"], result.series["hios-lp"])
+    ]
+    intra_mr = [
+        (a - b) / a
+        for a, b in zip(result.series["inter-mr"], result.series["hios-mr"])
+    ]
+    assert all(v >= -1e-9 for v in intra_lp + intra_mr)

@@ -1,0 +1,13 @@
+"""Fig. 9 bench — latency vs dependency count."""
+
+from conftest import run_once
+from repro.experiments import EXPERIMENTS, default_config
+
+
+def test_fig09_num_dependencies(benchmark, record_series):
+    result = run_once(benchmark, EXPERIMENTS["fig9"], default_config())
+    record_series(result)
+    lp = result.speedup("sequential", "hios-lp")
+    mr = result.speedup("sequential", "hios-mr")
+    assert lp[0] > lp[-1], "denser graphs must reduce HIOS-LP's speedup"
+    assert mr[0] > mr[-1]

@@ -1,0 +1,15 @@
+"""Fig. 10 bench — latency vs degree of model parallelism (layers)."""
+
+from conftest import run_once
+from repro.experiments import EXPERIMENTS, default_config
+
+
+def test_fig10_parallelism(benchmark, record_series):
+    result = run_once(benchmark, EXPERIMENTS["fig10"], default_config())
+    record_series(result)
+    seq = result.series["sequential"]
+    lp = result.series["hios-lp"]
+    # single-GPU latency flat (~same total work), HIOS-LP adapts:
+    # fewer layers (more parallelism) must not be slower than most layers
+    assert max(seq) / min(seq) < 1.15
+    assert lp[0] <= lp[-1] * 1.05, "HIOS-LP exploits wider models"

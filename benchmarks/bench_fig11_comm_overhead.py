@@ -1,0 +1,13 @@
+"""Fig. 11 bench — latency vs communication/computation ratio p."""
+
+from conftest import run_once
+from repro.experiments import EXPERIMENTS, default_config
+
+
+def test_fig11_comm_overhead(benchmark, record_series):
+    result = run_once(benchmark, EXPERIMENTS["fig11"], default_config())
+    record_series(result)
+    lp = result.speedup("sequential", "hios-lp")
+    mr = result.speedup("sequential", "hios-mr")
+    assert lp[0] > lp[-1] > 1.0
+    assert mr[0] > mr[-1]

@@ -1,0 +1,16 @@
+"""Fig. 12 bench — engine-measured latency of Inception-v3 and NASNet."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import EXPERIMENTS, default_config
+
+
+@pytest.mark.parametrize("model", ["inception", "nasnet"])
+def test_fig12(benchmark, record_series, model):
+    result = run_once(benchmark, EXPERIMENTS[f"fig12_{model}"], default_config())
+    record_series(result, filename=f"fig12_{model}")
+    largest = result.x[-1]
+    assert result.value("hios-lp", largest) < result.value("sequential", largest)
+    assert result.value("hios-lp", largest) < result.value("ios", largest)
+    assert result.value("hios-lp", largest) < result.value("hios-mr", largest)

@@ -1,0 +1,20 @@
+"""Fig. 13 bench — gain dissection across all six algorithms."""
+
+from conftest import run_once
+from repro.experiments import EXPERIMENTS, default_config
+
+
+def test_fig13_gain_analysis(benchmark, record_series):
+    result = run_once(benchmark, EXPERIMENTS["fig13"], default_config())
+    record_series(result)
+    for label in result.x:
+        if "(large)" in label:
+            # at large inputs inter-GPU parallelism dominates:
+            # HIOS-LP clearly beats the single-GPU optimum (IOS)
+            assert result.value("hios-lp", label) < result.value("ios", label)
+            # and the inter-GPU LP mapping alone captures most of it
+            seq = result.value("sequential", label)
+            full = seq - result.value("hios-lp", label)
+            inter = seq - result.value("inter-lp", label)
+            if full > 0:
+                assert inter / full > 0.7

@@ -1,0 +1,17 @@
+"""Fig. 14 bench — time cost of scheduling optimization."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import EXPERIMENTS, default_config
+
+
+@pytest.mark.parametrize("model", ["inception", "nasnet"])
+def test_fig14(benchmark, record_series, model):
+    result = run_once(benchmark, EXPERIMENTS[f"fig14_{model}"], default_config())
+    record_series(result, filename=f"fig14_{model}")
+    # IOS's profiling bill grows faster with input size than HIOS-LP's
+    ios_growth = result.series["ios"][-1] / result.series["ios"][0]
+    lp_growth = result.series["hios-lp"][-1] / result.series["hios-lp"][0]
+    assert result.series["ios"][-1] > result.series["hios-lp"][-1]
+    assert ios_growth > lp_growth * 0.9

@@ -1,0 +1,58 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every benchmark runs one experiment driver exactly once under
+pytest-benchmark (rounds=1 — the drivers already average over random
+instances internally), prints the reproduced table, and writes it to
+``benchmarks/results/<figure>.txt`` so EXPERIMENTS.md can reference the
+artifacts.  Set ``REPRO_FULL=1`` for the paper's full configuration
+(30 instances per point, full sweeps).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_series(results_dir, capsys):
+    """Returns a callback that prints + persists a SeriesResult."""
+
+    def _record(result, filename: str | None = None):
+        text = result.to_text()
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        stem = filename or result.figure
+        (results_dir / f"{stem}.txt").write_text(text + "\n")
+        (results_dir / f"{stem}.json").write_text(
+            json.dumps(
+                {
+                    "figure": result.figure,
+                    "title": result.title,
+                    "x_label": result.x_label,
+                    "y_label": result.y_label,
+                    "x": result.x,
+                    "series": result.series,
+                    "notes": result.notes,
+                },
+                indent=2,
+            )
+        )
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round (drivers self-average)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,55 @@
+"""Ablation: CUDA-aware-MPI blocking transfers vs NCCL-style overlap.
+
+Section VI-E of the paper attributes HIOS-LP's occasional small-input
+regression to its CUDA-aware-MPI implementation, where a dependent
+kernel launches only after the inter-GPU transfer completes, and
+suggests NCCL could hide that launch latency.  The engine models both:
+
+* default mode — the host blocks on sends and on remote-input recvs;
+* ``overlap_launch`` mode — launches are enqueued eagerly; only the
+  kernel's execution waits for data.
+
+This script quantifies the gap on NASNet across input sizes.
+
+Run:  python examples/nccl_overlap_ablation.py
+"""
+
+from repro import schedule_graph
+from repro.experiments.reporting import format_table
+from repro.models import nasnet
+from repro.substrate import PlatformProfiler, dual_a40
+
+
+def main() -> None:
+    profiler = PlatformProfiler(dual_a40())
+    rows = []
+    for size in (331, 512, 1024):
+        profile = profiler.profile(nasnet(size))
+        res = schedule_graph(profile, "hios-lp")
+        mpi = profiler.engine(overlap_launch=False).run(profile.graph, res.schedule)
+        nccl = profiler.engine(overlap_launch=True).run(profile.graph, res.schedule)
+        rows.append(
+            [
+                size,
+                res.latency,
+                mpi.latency,
+                nccl.latency,
+                100.0 * (1 - nccl.latency / mpi.latency),
+            ]
+        )
+    print("NASNet, HIOS-LP schedule, dual A40 (all times ms):\n")
+    print(
+        format_table(
+            ["input", "predicted", "MPI engine", "NCCL engine", "overlap gain %"],
+            rows,
+            precision=3,
+        )
+    )
+    print(
+        "\nThe overlap gain is the launch latency the paper expects an "
+        "NCCL-based transport to hide (Section VI-E)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Regenerate every paper figure at 10 instances/point with full sweeps,
+writing artifacts to benchmarks/results_full/ (used by EXPERIMENTS.md)."""
+import json, pathlib, time
+
+from repro.experiments import EXPERIMENTS, ExperimentConfig
+
+OUT = pathlib.Path("benchmarks/results_full")
+OUT.mkdir(exist_ok=True)
+cfg = ExperimentConfig(fast=False, instances=10)
+
+ORDER = ["fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11",
+         "fig12_inception", "fig12_nasnet", "fig13",
+         "fig14_inception", "fig14_nasnet"]
+for name in ORDER:
+    t0 = time.time()
+    result = EXPERIMENTS[name](cfg)
+    text = result.to_text()
+    (OUT / f"{name}.txt").write_text(text + "\n")
+    (OUT / f"{name}.json").write_text(json.dumps({
+        "figure": result.figure, "title": result.title,
+        "x_label": result.x_label, "y_label": result.y_label,
+        "x": result.x, "series": result.series, "notes": result.notes,
+    }, indent=2))
+    print(f"[{time.time()-t0:7.1f}s] {name} done", flush=True)
+print("ALL DONE", flush=True)

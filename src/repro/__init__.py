@@ -1,0 +1,52 @@
+"""HIOS reproduction: hierarchical inter-operator scheduling for
+real-time inference of DAG-structured DL models on multiple GPUs
+(Kundu & Shu, IEEE CLUSTER 2023).
+
+Public API tour
+---------------
+>>> from repro import schedule_graph, make_profile
+>>> from repro.models import inception_v3
+>>> from repro.substrate import PlatformProfiler, dual_a40
+>>> profiler = PlatformProfiler(dual_a40())
+>>> profile = profiler.profile(inception_v3(512))
+>>> result = schedule_graph(profile, "hios-lp")
+>>> trace = profiler.engine().run(profile.graph, result.schedule)
+>>> trace.latency  # measured ms on the simulated dual-A40  # doctest: +SKIP
+
+Subpackages: :mod:`repro.core` (graphs, schedules, the HIOS-LP /
+HIOS-MR / IOS / sequential algorithms), :mod:`repro.costmodel`
+(t(S) / t(u,v) models), :mod:`repro.substrate` (device, link, engine,
+profiler), :mod:`repro.models` (operator library, Inception-v3,
+NASNet, random DAGs), :mod:`repro.experiments` (per-figure drivers).
+"""
+
+from .core import (
+    ALGORITHMS,
+    Operator,
+    OpGraph,
+    Schedule,
+    ScheduleResult,
+    Stage,
+    evaluate_latency,
+    evaluate_schedule,
+    make_profile,
+    schedule_graph,
+)
+from .costmodel import CostProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "CostProfile",
+    "OpGraph",
+    "Operator",
+    "Schedule",
+    "ScheduleResult",
+    "Stage",
+    "__version__",
+    "evaluate_latency",
+    "evaluate_schedule",
+    "make_profile",
+    "schedule_graph",
+]

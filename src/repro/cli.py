@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show available experiments, algorithms and models.
+``run FIG [--full]``
+    Run one experiment driver (e.g. ``fig7``) and print its table.
+``schedule --model NAME --size N [--algorithm A] [--gpus M] [...]``
+    Profile a model, schedule it, execute it on the engine, and print
+    predicted vs measured latency (optionally dumping schedule JSON).
+``report [--results DIR]``
+    Render the paper-vs-measured claim table from the JSON artifacts
+    the benchmark harness writes under ``benchmarks/results/``.
+``compare --model NAME [--algorithms A B ...]``
+    Run several algorithms on one model and tabulate predicted and
+    engine-measured latency, crossings, stage widths and the
+    optimality gap.
+``validate GRAPH.json SCHEDULE.json``
+    Feasibility-check a schedule against a priced graph and print its
+    predicted latency (exit 1 on an invalid schedule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.api import ALGORITHMS, schedule_graph
+from .experiments import EXPERIMENTS, ExperimentConfig, default_config
+from .experiments.realmodels import MODEL_BUILDERS, default_profiler
+from .utils import render_schedule_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HIOS reproduction (CLUSTER 2023): schedulers, "
+        "simulated multi-GPU runtime, per-figure experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments, algorithms and models")
+
+    run = sub.add_parser("run", help="run one experiment driver")
+    run.add_argument("figure", choices=sorted(EXPERIMENTS))
+    run.add_argument("--full", action="store_true", help="paper-scale config (30 instances)")
+    run.add_argument("--instances", type=int, default=None, help="override instance count")
+    run.add_argument("--plot", action="store_true", help="render an ASCII chart")
+
+    sched = sub.add_parser("schedule", help="schedule + execute one model")
+    sched.add_argument("--model", choices=sorted(MODEL_BUILDERS), default="inception_v3")
+    sched.add_argument("--size", type=int, default=None, help="input size (pixels)")
+    sched.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="hios-lp")
+    sched.add_argument("--gpus", type=int, default=2)
+    sched.add_argument("--window", type=int, default=3, help="Alg. 2 max window size")
+    sched.add_argument("--json", action="store_true", help="print schedule JSON")
+    sched.add_argument("--stages", action="store_true", help="print stage layout")
+
+    report = sub.add_parser(
+        "report", help="paper-vs-measured report from benchmark artifacts"
+    )
+    report.add_argument(
+        "--results", default="benchmarks/results", help="artifact directory"
+    )
+
+    compare = sub.add_parser(
+        "compare", help="run several algorithms on one model and compare"
+    )
+    compare.add_argument("--model", choices=sorted(MODEL_BUILDERS), default="inception_v3")
+    compare.add_argument("--size", type=int, default=None)
+    compare.add_argument("--gpus", type=int, default=2)
+    compare.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["sequential", "ios", "hios-mr", "hios-lp"],
+        choices=sorted(ALGORITHMS),
+    )
+
+    validate = sub.add_parser(
+        "validate", help="check a schedule JSON against a priced graph JSON"
+    )
+    validate.add_argument("graph", help="graph document from save_graph()")
+    validate.add_argument("schedule", help="schedule document from Schedule.to_json()")
+    validate.add_argument(
+        "--gpus", type=int, default=None, help="override the schedule's GPU count"
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    print("algorithms:")
+    for name in sorted(ALGORITHMS):
+        print(f"  {name}")
+    print("models:")
+    for name in sorted(MODEL_BUILDERS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig.full() if args.full else default_config()
+    if args.instances is not None:
+        config = config.with_(instances=args.instances)
+    result = EXPERIMENTS[args.figure](config)
+    print(result.to_text())
+    if args.plot:
+        from .utils import plot_series_result
+
+        print()
+        print(plot_series_result(result))
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    builder = MODEL_BUILDERS[args.model]
+    size = args.size if args.size is not None else (299 if args.model == "inception_v3" else 331)
+    profiler = default_profiler(num_gpus=args.gpus)
+    profile = profiler.profile(builder(size))
+    kwargs = {"window": args.window} if args.algorithm in ("hios-lp", "hios-mr") else {}
+    result = schedule_graph(profile, args.algorithm, **kwargs)
+    trace = profiler.engine().run(profile.graph, result.schedule)
+    print(
+        f"{args.model}@{size} | {args.algorithm} on {args.gpus} GPU(s): "
+        f"predicted {result.latency:.3f} ms, measured {trace.latency:.3f} ms, "
+        f"{trace.num_transfers} transfers, scheduling took "
+        f"{result.scheduling_time:.2f} s"
+    )
+    if args.stages:
+        print(render_schedule_table(result.schedule))
+    if args.json:
+        print(result.schedule.to_json(indent=2))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .core.analysis import analyze_schedule
+    from .core.bounds import latency_lower_bound, optimality_gap
+    from .experiments.reporting import format_table
+
+    builder = MODEL_BUILDERS[args.model]
+    size = args.size if args.size is not None else (299 if args.model == "inception_v3" else 331)
+    profiler = default_profiler(num_gpus=args.gpus)
+    profile = profiler.profile(builder(size))
+    engine = profiler.engine()
+    rows = []
+    for alg in args.algorithms:
+        res = schedule_graph(profile, alg)
+        trace = engine.run(profile.graph, res.schedule)
+        metrics = analyze_schedule(profile, res.schedule)
+        rows.append(
+            [
+                alg,
+                res.latency,
+                trace.latency,
+                metrics.num_cross_edges,
+                metrics.max_stage_width,
+                f"{optimality_gap(profile, res):.2f}",
+            ]
+        )
+    print(
+        f"{args.model}@{size} on {args.gpus} GPU(s); lower bound "
+        f"{latency_lower_bound(profile):.3f} ms\n"
+    )
+    print(
+        format_table(
+            ["algorithm", "predicted ms", "measured ms", "crossings", "max width", "gap"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.evaluator import evaluate_schedule
+    from .core.graphio import load_graph
+    from .core.schedule import Schedule, ScheduleError
+    from .costmodel.profile import CostProfile
+
+    graph = load_graph(args.graph)
+    with open(args.schedule) as fh:
+        schedule = Schedule.from_dict(json.load(fh))
+    if args.gpus is not None and args.gpus != schedule.num_gpus:
+        print(
+            f"error: schedule declares {schedule.num_gpus} GPUs, "
+            f"--gpus says {args.gpus}"
+        )
+        return 2
+    profile = CostProfile(graph=graph, num_gpus=schedule.num_gpus)
+    try:
+        result = evaluate_schedule(profile, schedule, validate=True)
+    except ScheduleError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    print(
+        f"OK: {len(schedule.operators())} operators in "
+        f"{schedule.num_stages} stages on {len(schedule.used_gpus())} GPU(s); "
+        f"predicted latency {result.latency:.3f} ms"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "schedule":
+        return _cmd_schedule(args)
+    if args.command == "report":
+        from .experiments.summary import build_report
+
+        print(build_report(args.results))
+        return 0
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

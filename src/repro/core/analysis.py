@@ -1,0 +1,111 @@
+"""Schedule analysis: structural and load metrics for comparing
+schedules beyond their latency.
+
+The paper's discussion attributes HIOS-LP's advantage to *fewer
+cross-GPU crossings* (whole paths co-located) and HIOS-MR's weakness to
+"unnecessary communication"; these metrics make such statements
+measurable on any schedule:
+
+* crossings / communication volume / communication time;
+* per-GPU computational load and balance;
+* stage width distribution (how much Alg. 2 grouped);
+* critical-path co-location (fraction of longest-path edges kept
+  local).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..costmodel.profile import CostProfile
+from .evaluator import evaluate_schedule
+from .graph import OpGraph
+from .priority import critical_path
+from .schedule import Schedule
+
+__all__ = ["ScheduleMetrics", "analyze_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Structural summary of one schedule against its graph."""
+
+    num_operators: int
+    num_gpus_used: int
+    num_stages: int
+    max_stage_width: int
+    mean_stage_width: float
+    num_cross_edges: int
+    cross_edge_fraction: float
+    comm_time_total: float  # sum of cross-edge transfer times (ms)
+    comm_bytes_total: int
+    gpu_load: dict[int, float]  # solo compute ms per used GPU
+    load_imbalance: float  # max load / mean load (1.0 = perfect)
+    critical_path_local_fraction: float  # longest-path edges kept on one GPU
+    latency: float
+    parallel_efficiency: float  # total work / (latency * gpus used)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        return (
+            f"{self.num_operators} ops on {self.num_gpus_used} GPU(s) in "
+            f"{self.num_stages} stages (width <= {self.max_stage_width}); "
+            f"{self.num_cross_edges} cross-GPU edges "
+            f"({self.cross_edge_fraction:.0%} of edges, "
+            f"{self.comm_time_total:.2f} ms of transfers); load imbalance "
+            f"{self.load_imbalance:.2f}; critical path "
+            f"{self.critical_path_local_fraction:.0%} co-located; latency "
+            f"{self.latency:.3f} ms at {self.parallel_efficiency:.0%} "
+            f"parallel efficiency"
+        )
+
+
+def analyze_schedule(profile: CostProfile, schedule: Schedule) -> ScheduleMetrics:
+    """Compute :class:`ScheduleMetrics` for a feasible schedule."""
+    graph: OpGraph = profile.graph
+    evaluation = evaluate_schedule(profile, schedule, validate=True)
+
+    gpu_of = {op: schedule.gpu_of(op) for op in graph.names}
+    cross = [
+        (u, v, w) for u, v, w in graph.edges() if gpu_of[u] != gpu_of[v]
+    ]
+    num_edges = graph.num_edges
+    comm_time = sum(w for _u, _v, w in cross)
+    comm_bytes = sum(graph.operator(u).output_bytes for u, _v, _w in cross)
+
+    used = schedule.used_gpus()
+    load: dict[int, float] = {g: 0.0 for g in used}
+    for op in graph.names:
+        load[gpu_of[op]] += graph.cost(op)
+    mean_load = sum(load.values()) / len(load) if load else 0.0
+    imbalance = (max(load.values()) / mean_load) if mean_load > 0 else 1.0
+
+    cp = critical_path(graph, include_transfers=True)
+    cp_edges = list(zip(cp, cp[1:]))
+    local_cp = sum(1 for u, v in cp_edges if gpu_of[u] == gpu_of[v])
+    cp_local_fraction = local_cp / len(cp_edges) if cp_edges else 1.0
+
+    stages = schedule.all_stages()
+    widths = [len(st) for st in stages]
+    total_work = graph.total_cost()
+    efficiency = (
+        total_work / (evaluation.latency * len(used))
+        if evaluation.latency > 0 and used
+        else 1.0
+    )
+    return ScheduleMetrics(
+        num_operators=len(graph),
+        num_gpus_used=len(used),
+        num_stages=len(stages),
+        max_stage_width=max(widths, default=0),
+        mean_stage_width=(sum(widths) / len(widths)) if widths else 0.0,
+        num_cross_edges=len(cross),
+        cross_edge_fraction=(len(cross) / num_edges) if num_edges else 0.0,
+        comm_time_total=comm_time,
+        comm_bytes_total=comm_bytes,
+        gpu_load=load,
+        load_imbalance=imbalance,
+        critical_path_local_fraction=cp_local_fraction,
+        latency=evaluation.latency,
+        parallel_efficiency=efficiency,
+    )

@@ -1,0 +1,83 @@
+"""Latency lower bounds — how far from optimal can a schedule be?
+
+The scheduling problem is NP-hard (Section III-B), so exact optima are
+unavailable beyond toy sizes; these bounds certify schedule quality
+instead.  For any feasible schedule on ``M`` GPUs:
+
+* **critical-path bound** — the computation-only longest path cannot be
+  compressed by any placement (transfers can be avoided by
+  co-location, computation cannot);
+* **work bound** — total solo work spread perfectly over ``M`` GPUs at
+  the best available speed;
+* **bottleneck bound** — the single largest operator.
+
+``latency_lower_bound`` is their maximum; ``optimality_gap`` reports
+``latency / bound`` (1.0 = provably optimal).  The property tests hold
+every scheduler above these bounds, and the random-DAG studies use the
+gap to show HIOS-LP sits within a small factor of optimal at 4 GPUs.
+"""
+
+from __future__ import annotations
+
+from ..costmodel.profile import CostProfile
+from .priority import critical_path_length
+from .result import ScheduleResult
+
+__all__ = [
+    "critical_path_bound",
+    "work_bound",
+    "bottleneck_bound",
+    "latency_lower_bound",
+    "optimality_gap",
+]
+
+
+def critical_path_bound(profile: CostProfile) -> float:
+    """Longest chain of computation, ignoring transfers, at the fastest
+    GPU's speed — unavoidable under any schedule."""
+    fastest = max(profile.gpu_speed(g) for g in range(profile.num_gpus))
+    return critical_path_length(profile.graph, include_transfers=False) / fastest
+
+
+def work_bound(profile: CostProfile) -> float:
+    """Total solo work divided by the fleet's aggregate speed.
+
+    Concurrency within one GPU never reduces *work* under the
+    saturation model's ``t(S) >= max_v t(v)`` and per-GPU rate <= 1
+    invariants, so no schedule finishes earlier than this.  (With an
+    idealized `MaxConcurrencyModel` a GPU can exceed unit rate and the
+    bound degrades to a heuristic — the property tests therefore apply
+    it only under saturation-style models.)
+    """
+    total_speed = sum(profile.gpu_speed(g) for g in range(profile.num_gpus))
+    work = sum(
+        op.cost * min(1.0, op.occupancy) for op in profile.graph.operators()
+    )
+    return work / total_speed
+
+
+def bottleneck_bound(profile: CostProfile) -> float:
+    """The largest single operator at the fastest GPU's speed."""
+    fastest = max(profile.gpu_speed(g) for g in range(profile.num_gpus))
+    if not len(profile.graph):
+        return 0.0
+    return max(op.cost for op in profile.graph.operators()) / fastest
+
+
+def latency_lower_bound(profile: CostProfile) -> float:
+    """Best (largest) of the three bounds."""
+    return max(
+        critical_path_bound(profile),
+        work_bound(profile),
+        bottleneck_bound(profile),
+    )
+
+
+def optimality_gap(profile: CostProfile, result: ScheduleResult) -> float:
+    """``latency / lower bound`` — 1.0 means provably optimal; values
+    near 1 certify near-optimality, large values are inconclusive (the
+    bound, not the schedule, may be loose)."""
+    bound = latency_lower_bound(profile)
+    if bound <= 0:
+        return 1.0
+    return result.latency / bound

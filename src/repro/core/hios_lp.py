@@ -1,0 +1,112 @@
+"""HIOS-LP — longest-path-based operator scheduling (Alg. 1).
+
+The spatial mapping iterates: extract the longest *valid* path from
+the unscheduled subgraph (see :mod:`repro.core.longest_path`), then try
+mapping the entire path onto each of the ``M`` GPUs, keeping the GPU
+that minimizes the latency of list-scheduling everything mapped so far
+(temporal step, :mod:`repro.core.list_schedule`).  Mapping a whole path
+at once removes every transfer along it — the global optimization that
+distinguishes HIOS-LP from the operator-at-a-time HIOS-MR.
+
+After the spatial mapping, the sliding-window pass of Alg. 2
+(:func:`repro.core.intra_gpu.parallelize`) regroups small co-located
+operators into concurrent stages.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..costmodel.profile import CostProfile
+from .evaluator import evaluate_latency
+from .intra_gpu import parallelize
+from .list_schedule import build_singleton_schedule, list_schedule_latency
+from .longest_path import longest_valid_path
+from .priority import priority_order
+from .result import ScheduleResult
+from .schedule import Schedule
+
+__all__ = ["schedule_hios_lp", "schedule_inter_gpu_lp"]
+
+
+def _lp_spatial_mapping(profile: CostProfile) -> tuple[dict[str, int], list[str], int]:
+    """Run the iterative longest-path mapping; returns (assignment,
+    priority order, number of extracted paths)."""
+    graph = profile.graph
+    num_gpus = profile.num_gpus
+    order = priority_order(graph)
+    unscheduled = set(graph.names)
+    assignment: dict[str, int] = {}
+    paths = 0
+
+    while unscheduled:
+        path = longest_valid_path(graph, unscheduled)
+        unscheduled.difference_update(path.vertices)
+        paths += 1
+
+        if not assignment and not profile.heterogeneous:
+            # First path: all GPUs are interchangeable (homogeneity),
+            # map onto GPU 0 without trying the rest.  With
+            # heterogeneous speed factors (extension) every GPU is
+            # tried like any other path.
+            for v in path:
+                assignment[v] = 0
+            continue
+
+        scheduled_order = [v for v in order if v in assignment or v in path.vertices]
+        best_gpu = 0
+        best_latency = float("inf")
+        for gpu in range(num_gpus):
+            for v in path:
+                assignment[v] = gpu
+            latency = list_schedule_latency(
+                graph,
+                assignment,
+                scheduled_order,
+                num_gpus,
+                send_blocking=profile.send_blocking,
+                gpu_speeds=profile.gpu_speeds,
+            )
+            if latency < best_latency:
+                best_latency = latency
+                best_gpu = gpu
+        for v in path:
+            assignment[v] = best_gpu
+
+    return assignment, order, paths
+
+
+def schedule_hios_lp(
+    profile: CostProfile,
+    window: int = 3,
+    intra_gpu: bool = True,
+) -> ScheduleResult:
+    """Full HIOS-LP: LP-based inter-GPU mapping + Alg. 2 regrouping.
+
+    Set ``intra_gpu=False`` for the paper's "inter-GPU w/ LP" ablation
+    (spatial mapping with sequential per-GPU execution).
+    """
+    t0 = time.perf_counter()
+    assignment, order, paths = _lp_spatial_mapping(profile)
+    schedule: Schedule = build_singleton_schedule(assignment, order, profile.num_gpus)
+    latency = evaluate_latency(profile, schedule, validate=True)
+    stats: dict[str, object] = {"paths": paths, "inter_gpu_latency": latency}
+
+    if intra_gpu:
+        schedule, latency, intra_stats = parallelize(
+            profile, schedule, window=window, priority=order
+        )
+        stats["intra_gpu"] = intra_stats
+
+    return ScheduleResult(
+        algorithm="hios-lp" if intra_gpu else "inter-lp",
+        schedule=schedule,
+        latency=latency,
+        scheduling_time=time.perf_counter() - t0,
+        stats=stats,
+    )
+
+
+def schedule_inter_gpu_lp(profile: CostProfile) -> ScheduleResult:
+    """The "inter-GPU w/ LP" comparison point (no Alg. 2 pass)."""
+    return schedule_hios_lp(profile, intra_gpu=False)

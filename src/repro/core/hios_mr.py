@@ -1,0 +1,135 @@
+"""HIOS-MR — mapping-recording-based operator scheduling (Alg. 3).
+
+Operators are mapped one at a time in descending priority order.  An
+``n x M`` table records, for every (operator ``v_i``, GPU ``j``) pair,
+the earliest finish time ``t_{i,j}`` achievable when ``v_i`` runs on
+GPU ``j`` — together with ``g_{i,j}``, the GPU that ``v_{i-1}`` was
+mapped to in the recorded schedule attaining that finish time.  Each
+cell is filled by replaying the ``min(M, i-1)`` recorded schedules of
+the previous operator (reconstructed by walking the ``g`` pointers) and
+placing ``v_i`` at its earliest start under GPU-availability and
+data-dependency constraints.  Backtracking from the best final cell
+yields the spatial mapping; Alg. 2 then regroups within each GPU.
+
+This is the paper's *local* greedy alternative to HIOS-LP: it never
+reasons about whole paths, so it tends to split dependent chains across
+GPUs and pay avoidable transfers — the behaviour Figs. 7-13 quantify.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..costmodel.profile import CostProfile
+from .evaluator import evaluate_latency
+from .intra_gpu import parallelize
+from .list_schedule import build_singleton_schedule
+from .priority import priority_order
+from .result import ScheduleResult
+
+__all__ = ["schedule_hios_mr", "schedule_inter_gpu_mr"]
+
+_INF = float("inf")
+
+
+def _mr_spatial_mapping(profile: CostProfile) -> tuple[dict[str, int], list[str]]:
+    """Fill the (t, g) table and backtrack the operator-to-GPU mapping."""
+    graph = profile.graph
+    M = profile.num_gpus
+    order = priority_order(graph)
+    n = len(order)
+    if n == 0:
+        return {}, order
+    index = {v: i for i, v in enumerate(order)}
+
+    speeds = [profile.gpu_speed(j) for j in range(M)]
+    t_tab = [[_INF] * M for _ in range(n)]
+    g_tab = [[0] * M for _ in range(n)]
+    if profile.heterogeneous:
+        # extension: with mixed speeds v_1's GPU matters; seed every column
+        for j in range(M):
+            t_tab[0][j] = graph.cost(order[0]) / speeds[j]
+        # g pointers of row 0 are unused (backtracking stops there)
+    else:
+        t_tab[0][0] = graph.cost(order[0])  # v_1 on GPU 1 (homogeneity)
+
+    for i in range(1, n):
+        v = order[i]
+        cost_v = graph.cost(v)
+        preds = [u for u in graph.predecessors(v) if index[u] < i]
+        # the min(M, i) symmetry pruning assumes interchangeable GPUs;
+        # with heterogeneous speeds every GPU is distinct
+        num_j = M if profile.heterogeneous else min(M, i + 1)
+        num_k = M if profile.heterogeneous else min(M, i)
+        for k in range(num_k):
+            if t_tab[i - 1][k] == _INF:
+                continue
+            # Reconstruct the recorded schedule ending with v_{i-1} on
+            # GPU k: finish time and GPU of every earlier operator.
+            finish: dict[str, float] = {}
+            gpu_of: dict[str, int] = {}
+            free = [0.0] * M
+            m = k
+            for l in range(i - 1, -1, -1):
+                u = order[l]
+                fin = t_tab[l][m]
+                finish[u] = fin
+                gpu_of[u] = m
+                if fin > free[m]:
+                    free[m] = fin
+                m = g_tab[l][m]
+            for j in range(num_j):
+                ready = free[j]
+                for u in preds:
+                    dep = finish[u]
+                    if gpu_of[u] != j:
+                        dep += graph.transfer(u, v)
+                    if dep > ready:
+                        ready = dep
+                cand = ready + cost_v / speeds[j]
+                if cand < t_tab[i][j]:
+                    t_tab[i][j] = cand
+                    g_tab[i][j] = k
+
+    best_j = min(range(M), key=lambda j: t_tab[n - 1][j])
+    assignment: dict[str, int] = {}
+    m = best_j
+    for i in range(n - 1, -1, -1):
+        assignment[order[i]] = m
+        m = g_tab[i][m]
+    return assignment, order
+
+
+def schedule_hios_mr(
+    profile: CostProfile,
+    window: int = 3,
+    intra_gpu: bool = True,
+) -> ScheduleResult:
+    """Full HIOS-MR: MR-based inter-GPU mapping + Alg. 2 regrouping.
+
+    Set ``intra_gpu=False`` for the paper's "inter-GPU w/ MR" ablation.
+    """
+    t0 = time.perf_counter()
+    assignment, order = _mr_spatial_mapping(profile)
+    schedule = build_singleton_schedule(assignment, order, profile.num_gpus)
+    latency = evaluate_latency(profile, schedule, validate=True)
+    stats: dict[str, object] = {"inter_gpu_latency": latency}
+
+    if intra_gpu:
+        schedule, latency, intra_stats = parallelize(
+            profile, schedule, window=window, priority=order
+        )
+        stats["intra_gpu"] = intra_stats
+
+    return ScheduleResult(
+        algorithm="hios-mr" if intra_gpu else "inter-mr",
+        schedule=schedule,
+        latency=latency,
+        scheduling_time=time.perf_counter() - t0,
+        stats=stats,
+    )
+
+
+def schedule_inter_gpu_mr(profile: CostProfile) -> ScheduleResult:
+    """The "inter-GPU w/ MR" comparison point (no Alg. 2 pass)."""
+    return schedule_hios_mr(profile, intra_gpu=False)

@@ -1,0 +1,140 @@
+"""Longest *valid* path extraction (Alg. 1, line 5).
+
+Each HIOS-LP iteration pulls from the unscheduled subgraph ``G'`` the
+longest path ``P`` whose *intermediate* vertices (all vertices of
+``P ∩ G'`` except the first and the last) have no edges from/to any
+already-scheduled vertex.  The first and last unscheduled vertices on
+the path are exempt, and the path's length additionally counts one
+optional *anchor* edge on each side — an edge arriving at the first
+vertex from a scheduled vertex and an edge leaving the last vertex to a
+scheduled vertex — exactly as in the paper's Fig. 4 walk-through where
+``P2 = {e2, v3, e4, v5, e6}`` includes the boundary edges ``e2`` and
+``e6`` but excludes the longer candidate through ``v5 -> v6`` because
+its intermediate vertex ``v5`` touches the scheduled ``v6``.
+
+Path length counts vertex weights (operator times) *and* edge weights
+(worst-case inter-GPU transfer times): the path is selected before its
+GPU is chosen, so adjacent operators are pessimistically assumed to be
+split across GPUs.
+
+The implementation is a linear-time DP over the DAG induced on the
+unscheduled vertex set (two passes), well below the
+``O(|V|^2 |E|)`` bound quoted in the paper's complexity analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet
+
+from .graph import GraphError, OpGraph
+
+__all__ = ["ValidPath", "longest_valid_path"]
+
+_NEG_INF = float("-inf")
+
+
+@dataclass(frozen=True)
+class ValidPath:
+    """A valid path: its unscheduled vertices in order and its length
+    (vertex weights + internal edge weights + anchor edge weights)."""
+
+    vertices: tuple[str, ...]
+    length: float
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def __iter__(self):
+        return iter(self.vertices)
+
+
+def longest_valid_path(
+    graph: OpGraph, unscheduled: AbstractSet[str]
+) -> ValidPath:
+    """Find the longest valid path within ``unscheduled``.
+
+    Parameters
+    ----------
+    graph:
+        The full computation graph ``G``.
+    unscheduled:
+        Names of the vertices still in ``G'``.  Must be non-empty and a
+        subset of ``graph``.
+
+    Returns
+    -------
+    ValidPath
+        Ties are broken deterministically (lexicographically smallest
+        successor chain).
+    """
+    if not unscheduled:
+        raise GraphError("no unscheduled vertices left")
+    for v in unscheduled:
+        if v not in graph:
+            raise GraphError(f"unscheduled vertex {v!r} not in graph")
+
+    scheduled = {v for v in graph.names if v not in unscheduled}
+
+    # A vertex is *free* when it has no edge to or from the scheduled
+    # subgraph; only free vertices may appear in a path's interior.
+    free: set[str] = set()
+    start_bonus: dict[str, float] = {}
+    end_bonus: dict[str, float] = {}
+    for v in unscheduled:
+        in_sched = [u for u in graph.predecessors(v) if u in scheduled]
+        out_sched = [s for s in graph.successors(v) if s in scheduled]
+        if not in_sched and not out_sched:
+            free.add(v)
+        start_bonus[v] = max((graph.transfer(u, v) for u in in_sched), default=0.0)
+        end_bonus[v] = max((graph.transfer(v, s) for s in out_sched), default=0.0)
+
+    # ``tail[v]``: best length of a valid path in which ``v`` is NOT the
+    # first vertex (so continuing past ``v`` requires ``v`` to be free),
+    # counting t(v), downstream weights and the final anchor edge.
+    order = [v for v in graph.topological_order() if v in unscheduled]
+    tail: dict[str, float] = {}
+    tail_next: dict[str, str | None] = {}
+    for v in reversed(order):
+        best = end_bonus[v]
+        best_next: str | None = None
+        if v in free:
+            for s in sorted(graph.successors(v)):
+                if s not in unscheduled:
+                    continue
+                cand = graph.transfer(v, s) + tail[s]
+                if cand > best:
+                    best = cand
+                    best_next = s
+        tail[v] = graph.cost(v) + best
+        tail_next[v] = best_next
+
+    # ``head[v]``: best length of a valid path whose FIRST vertex is
+    # ``v`` (exempt from the free constraint), excluding the start
+    # anchor bonus.
+    best_start: str | None = None
+    best_len = _NEG_INF
+    head_next: dict[str, str | None] = {}
+    for v in order:
+        best = end_bonus[v]
+        nxt: str | None = None
+        for s in sorted(graph.successors(v)):
+            if s not in unscheduled:
+                continue
+            cand = graph.transfer(v, s) + tail[s]
+            if cand > best:
+                best = cand
+                nxt = s
+        head_next[v] = nxt
+        total = start_bonus[v] + graph.cost(v) + best
+        if total > best_len or (total == best_len and best_start is not None and v < best_start):
+            best_len = total
+            best_start = v
+
+    assert best_start is not None
+    path = [best_start]
+    cursor = head_next[best_start]
+    while cursor is not None:
+        path.append(cursor)
+        cursor = tail_next[cursor]
+    return ValidPath(vertices=tuple(path), length=best_len)

@@ -1,0 +1,101 @@
+"""Priority indicators and path-length utilities (Section IV-A).
+
+The *priority indicator* ``p(v)`` is the length of the longest path
+from ``v`` to any sink of the original computation graph, counting both
+vertex weights (operator execution times) and edge weights (worst-case
+inter-GPU transfer times).  Sorting operators by descending ``p(v)``
+yields a topological order in which every operator precedes all of its
+successors — the order used by the temporal scheduling step of Alg. 1,
+by HIOS-MR (Alg. 3), and by the window sweep of Alg. 2.
+"""
+
+from __future__ import annotations
+
+from .graph import OpGraph
+
+__all__ = [
+    "priority_indicators",
+    "priority_order",
+    "critical_path_length",
+    "critical_path",
+]
+
+
+def priority_indicators(graph: OpGraph) -> dict[str, float]:
+    """Compute ``p(v)`` for every operator.
+
+    ``p(v) = t(v) + max over successors s of (t(v, s) + p(s))`` with
+    ``p(sink) = t(sink)``.  This equals the negated latest start time of
+    ``v`` relative to the makespan when every adjacent pair of operators
+    is pessimistically assumed to sit on different GPUs.
+    """
+    order = graph.topological_order()
+    p: dict[str, float] = {}
+    for v in reversed(order):
+        best = 0.0
+        for s in graph.successors(v):
+            cand = graph.transfer(v, s) + p[s]
+            if cand > best:
+                best = cand
+        p[v] = graph.cost(v) + best
+    return p
+
+
+def priority_order(graph: OpGraph) -> list[str]:
+    """Operators sorted by descending priority indicator.
+
+    Ties are broken by name so the order is deterministic; any
+    tie-break preserves topological validity because a successor's
+    priority is strictly smaller whenever vertex weights are positive,
+    and never larger otherwise (zero-cost chains are ordered by a
+    secondary topological rank).
+    """
+    p = priority_indicators(graph)
+    topo_rank = {v: i for i, v in enumerate(graph.topological_order())}
+    return sorted(graph.names, key=lambda v: (-p[v], topo_rank[v], v))
+
+
+def critical_path_length(graph: OpGraph, include_transfers: bool = True) -> float:
+    """Length of the longest source-to-sink path.
+
+    With ``include_transfers=False`` edge weights are ignored, giving
+    the classic critical-path lower bound on latency for *any* schedule
+    (transfers can be avoided by co-locating operators, computation
+    cannot).
+    """
+    order = graph.topological_order()
+    dist: dict[str, float] = {}
+    for v in reversed(order):
+        best = 0.0
+        for s in graph.successors(v):
+            edge = graph.transfer(v, s) if include_transfers else 0.0
+            cand = edge + dist[s]
+            if cand > best:
+                best = cand
+        dist[v] = graph.cost(v) + best
+    return max((dist[v] for v in graph.sources()), default=0.0)
+
+
+def critical_path(graph: OpGraph, include_transfers: bool = True) -> list[str]:
+    """One longest source-to-sink path (vertex names, in order)."""
+    order = graph.topological_order()
+    dist: dict[str, float] = {}
+    nxt: dict[str, str | None] = {}
+    for v in reversed(order):
+        best = 0.0
+        best_s: str | None = None
+        for s in sorted(graph.successors(v)):
+            edge = graph.transfer(v, s) if include_transfers else 0.0
+            cand = edge + dist[s]
+            if cand > best:
+                best = cand
+                best_s = s
+        dist[v] = graph.cost(v) + best
+        nxt[v] = best_s
+    if not graph.names:
+        return []
+    start = max(graph.sources(), key=lambda v: (dist[v], v))
+    path = [start]
+    while nxt[path[-1]] is not None:
+        path.append(nxt[path[-1]])  # type: ignore[arg-type]
+    return path

@@ -1,0 +1,36 @@
+"""Sequential baseline: one operator at a time on a single GPU.
+
+The paper's weakest comparison point — operators execute one by one in
+a topological order on one GPU, so the latency is simply the sum of all
+operator execution times (no transfers, no concurrency).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..costmodel.profile import CostProfile
+from .evaluator import evaluate_latency
+from .priority import priority_order
+from .result import ScheduleResult
+from .schedule import Schedule, Stage
+
+__all__ = ["schedule_sequential"]
+
+
+def schedule_sequential(profile: CostProfile, gpu: int = 0) -> ScheduleResult:
+    """Place every operator in its own stage on ``gpu``, in descending
+    priority-indicator order (a topological order)."""
+    t0 = time.perf_counter()
+    if not (0 <= gpu < profile.num_gpus):
+        raise ValueError(f"GPU index {gpu} out of range for {profile.num_gpus} GPUs")
+    schedule = Schedule(profile.num_gpus)
+    for v in priority_order(profile.graph):
+        schedule.append_stage(Stage(gpu, (v,)))
+    latency = evaluate_latency(profile, schedule, validate=True)
+    return ScheduleResult(
+        algorithm="sequential",
+        schedule=schedule,
+        latency=latency,
+        scheduling_time=time.perf_counter() - t0,
+    )

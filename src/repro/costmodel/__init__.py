@@ -1,0 +1,35 @@
+"""Cost models consumed by the schedulers: concurrent stage durations
+``t(S)``, inter-GPU transfer times ``t(u, v)``, and the CostProfile
+bundle that packages them with a graph."""
+
+from .concurrency import (
+    ConcurrencyModel,
+    MaxConcurrencyModel,
+    SaturationConcurrencyModel,
+    SumConcurrencyModel,
+    TableConcurrencyModel,
+)
+from .profile import CostProfile
+from .transfer import (
+    BytesTransferModel,
+    ConstantTransferModel,
+    RatioTransferModel,
+    TransferModel,
+    ZeroTransferModel,
+    apply_transfer_model,
+)
+
+__all__ = [
+    "BytesTransferModel",
+    "ConcurrencyModel",
+    "ConstantTransferModel",
+    "CostProfile",
+    "MaxConcurrencyModel",
+    "RatioTransferModel",
+    "SaturationConcurrencyModel",
+    "SumConcurrencyModel",
+    "TableConcurrencyModel",
+    "TransferModel",
+    "ZeroTransferModel",
+    "apply_transfer_model",
+]

@@ -1,0 +1,104 @@
+"""Transfer cost models: the inter-GPU edge weight ``t(u, v)``.
+
+Two sources of transfer times appear in the paper:
+
+* the Section V simulations derive them from operator execution times
+  (``t(e) = max(floor, p * t(u))`` — :class:`RatioTransferModel`);
+* the Section VI experiments measure tensor movement over a concrete
+  interconnect (:class:`LinkTransferModel` over an NVLink/PCIe
+  :class:`~repro.substrate.link.LinkModel`).
+
+Both produce per-edge milliseconds and are used by
+:meth:`repro.costmodel.transfer.apply_transfer_model` to annotate an
+:class:`~repro.core.graph.OpGraph` in place of hand-written weights.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..core.graph import OpGraph, Operator
+
+__all__ = [
+    "TransferModel",
+    "ZeroTransferModel",
+    "ConstantTransferModel",
+    "RatioTransferModel",
+    "BytesTransferModel",
+    "apply_transfer_model",
+]
+
+
+class TransferModel(Protocol):
+    """Prices moving the output tensor of ``u`` to the GPU hosting ``v``."""
+
+    def transfer_time(self, u: Operator, v: Operator) -> float:
+        ...
+
+
+class ZeroTransferModel:
+    """Free communication — isolates computation effects in ablations."""
+
+    def transfer_time(self, u: Operator, v: Operator) -> float:
+        return 0.0
+
+
+class ConstantTransferModel:
+    """Every transfer costs the same fixed time (latency-bound regime)."""
+
+    def __init__(self, cost: float) -> None:
+        if cost < 0:
+            raise ValueError("negative transfer cost")
+        self.cost = cost
+
+    def transfer_time(self, u: Operator, v: Operator) -> float:
+        return self.cost
+
+
+class RatioTransferModel:
+    """Section V's synthetic model: ``t(u, v) = max(floor, ratio * t(u))``.
+
+    The paper sets ``ratio = p = 0.8`` by default and sweeps
+    ``p in [0.4, 1.2]`` in Fig. 11; the 0.1 ms floor models the fixed
+    per-message cost of an MPI transfer over NVLink.
+    """
+
+    def __init__(self, ratio: float = 0.8, floor: float = 0.1) -> None:
+        if ratio < 0:
+            raise ValueError("negative transfer ratio")
+        if floor < 0:
+            raise ValueError("negative transfer floor")
+        self.ratio = ratio
+        self.floor = floor
+
+    def transfer_time(self, u: Operator, v: Operator) -> float:
+        return max(self.floor, self.ratio * u.cost)
+
+
+class BytesTransferModel:
+    """Bandwidth/latency model: ``t = latency + bytes / bandwidth``.
+
+    ``bandwidth`` is in bytes per millisecond; operators must carry
+    ``output_bytes``.  This is the analytic twin of routing the tensor
+    through :class:`repro.substrate.link.LinkModel` and is what the
+    platform profiler emits for Section VI workloads.
+    """
+
+    def __init__(self, bandwidth_bytes_per_ms: float, latency_ms: float = 0.0) -> None:
+        if bandwidth_bytes_per_ms <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_ms < 0:
+            raise ValueError("negative link latency")
+        self.bandwidth = bandwidth_bytes_per_ms
+        self.latency = latency_ms
+
+    def transfer_time(self, u: Operator, v: Operator) -> float:
+        return self.latency + u.output_bytes / self.bandwidth
+
+
+def apply_transfer_model(graph: OpGraph, model: TransferModel) -> OpGraph:
+    """Return a copy of ``graph`` whose edge weights are re-derived from
+    ``model``; vertex weights are untouched."""
+    return graph.map_costs(
+        edge=lambda u, v, _w: model.transfer_time(graph.operator(u), graph.operator(v))
+    )

@@ -1,0 +1,55 @@
+"""Experiment parameterisation.
+
+Every figure driver accepts an :class:`ExperimentConfig`.  The default
+is a *fast* configuration (3 random instances per data point, trimmed
+sweeps) so the whole benchmark suite runs in minutes; set the
+environment variable ``REPRO_FULL=1`` (or build the config with
+``fast=False``) for the paper's full setting of 30 instances per point.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+__all__ = ["ExperimentConfig", "default_config", "ALGORITHM_ORDER"]
+
+# canonical plotting/report order (paper legend order)
+ALGORITHM_ORDER = ["sequential", "ios", "hios-mr", "hios-lp", "inter-mr", "inter-lp"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared experiment knobs.
+
+    ``instances`` random DAGs are generated per simulation data point
+    (seeds ``seed0 .. seed0 + instances - 1``) and their latencies
+    averaged, as in the paper ("each data point denotes the average of
+    30 randomly generated instances").
+    """
+
+    fast: bool = True
+    instances: int = 3
+    seed0: int = 0
+    num_gpus: int = 4
+    window: int = 3
+
+    def __post_init__(self) -> None:
+        if self.instances < 1:
+            raise ValueError("need at least one instance per data point")
+        if self.num_gpus < 1:
+            raise ValueError("need at least one GPU")
+
+    @classmethod
+    def full(cls) -> "ExperimentConfig":
+        return cls(fast=False, instances=30)
+
+    def with_(self, **kwargs: object) -> "ExperimentConfig":
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+def default_config() -> ExperimentConfig:
+    """Fast config unless ``REPRO_FULL`` is set in the environment."""
+    if os.environ.get("REPRO_FULL", "").strip() not in ("", "0", "false"):
+        return ExperimentConfig.full()
+    return ExperimentConfig()

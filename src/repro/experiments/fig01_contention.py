@@ -1,0 +1,81 @@
+"""Fig. 1 — parallel vs. sequential execution of two identical convs.
+
+The Section II-A motivation experiment: a convolution with 48 input
+channels, a 5x5 kernel and stride 1 is run twice on one A40, once
+sequentially and once concurrently, for input sizes 8x8 .. 1024x1024.
+The reported ratio is ``parallel time / sequential time``: below 1.0
+while the kernel under-occupies the device (<= 64x64), above 1.0 once
+it saturates (>= 128x128) — the crossover that motivates inter-GPU
+operator parallelism for large operators.
+"""
+
+from __future__ import annotations
+
+from ..core.graph import Operator
+from ..costmodel.concurrency import SaturationConcurrencyModel
+from ..models.ops import Conv2d, TensorShape
+from ..substrate.device import A40, GpuDeviceModel, KernelWork
+from .config import ExperimentConfig, default_config
+from .reporting import SeriesResult
+
+__all__ = ["run", "conv_operator", "INPUT_SIZES"]
+
+INPUT_SIZES = (8, 16, 32, 64, 128, 256, 512, 1024)
+CHANNELS = 48
+
+
+def conv_operator(
+    size: int, device: GpuDeviceModel = A40, channels: int = CHANNELS
+) -> Operator:
+    """The benchmark convolution priced on ``device``: ``channels``
+    input channels of ``size x size`` pixels, 5x5 kernel, stride 1,
+    same output channel count."""
+    spec = Conv2d(out_channels=channels, kernel=5, stride=1)
+    x = TensorShape(channels, size, size)
+    out = spec.infer([x])
+    flops, rd, wr, blocks = spec.work_items([x], out)
+    work = KernelWork(flops=flops, bytes_read=rd, bytes_written=wr, blocks=blocks)
+    return Operator(
+        f"conv{size}",
+        cost=device.kernel_time(work),
+        occupancy=device.occupancy(work),
+        output_bytes=out.bytes,
+        kind="conv",
+    )
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    device: GpuDeviceModel = A40,
+    contention_penalty: float = 0.06,
+    stream_overhead: float = 0.15,
+) -> SeriesResult:
+    """Latency ratio between parallel and sequential execution of the
+    two identical convolutions, per input size."""
+    del config  # no sweep-size knobs; kept for driver uniformity
+    model = SaturationConcurrencyModel(contention_penalty, stream_overhead)
+    ratios = []
+    occupancies = []
+    for size in INPUT_SIZES:
+        op = conv_operator(size, device)
+        second = Operator(
+            op.name + "_b",
+            cost=op.cost,
+            occupancy=op.occupancy,
+            output_bytes=op.output_bytes,
+            kind=op.kind,
+        )
+        parallel = model.duration([op, second])
+        sequential = 2.0 * op.cost
+        ratios.append(parallel / sequential)
+        occupancies.append(op.occupancy)
+    return SeriesResult(
+        figure="fig1",
+        title="parallel/sequential latency ratio of two identical 5x5 convs (A40)",
+        x_label="input_size",
+        y_label="latency ratio",
+        x=list(INPUT_SIZES),
+        series={"ratio": ratios, "occupancy": occupancies},
+        notes="ratio < 1: concurrency pays off; > 1: contention (crossover "
+        "expected between 64 and 128, as in the paper)",
+    )

@@ -1,0 +1,50 @@
+"""Fig. 2 — transfer/computation time ratio on three dual-GPU platforms.
+
+The Section II-B motivation experiment: for the same 48-channel 5x5
+convolution, compare the time to move its input tensor between two
+GPUs against the convolution's execution time, on
+
+* dual A40 over an NVLink bridge,
+* dual RTX A5500 over an NVLink bridge,
+* dual V100S over PCIe Gen3.
+
+Paper shape: the NVLink platforms sit at a visibly lower ratio than the
+PCIe platform, and the ratio is far from negligible everywhere — the
+reason HIOS must co-locate dependent operators.
+"""
+
+from __future__ import annotations
+
+from ..models.ops import DTYPE_BYTES, TensorShape
+from ..substrate.platform import MultiGpuPlatform, dual_a40, dual_a5500, dual_v100s
+from .config import ExperimentConfig, default_config
+from .fig01_contention import CHANNELS, INPUT_SIZES, conv_operator
+from .reporting import SeriesResult
+
+__all__ = ["run", "PLATFORMS"]
+
+PLATFORMS: tuple[MultiGpuPlatform, ...] = (dual_a40(), dual_a5500(), dual_v100s())
+
+
+def run(config: ExperimentConfig | None = None) -> SeriesResult:
+    """Ratio of input-tensor transfer time to convolution time, per
+    platform and input size."""
+    del config
+    series: dict[str, list[float]] = {}
+    for platform in PLATFORMS:
+        ratios = []
+        for size in INPUT_SIZES:
+            op = conv_operator(size, platform.device)
+            input_bytes = TensorShape(CHANNELS, size, size).bytes
+            assert input_bytes == CHANNELS * size * size * DTYPE_BYTES
+            ratios.append(platform.transfer_time(input_bytes) / op.cost)
+        series[platform.name] = ratios
+    return SeriesResult(
+        figure="fig2",
+        title="input transfer time / conv computation time per platform",
+        x_label="input_size",
+        y_label="time ratio",
+        x=list(INPUT_SIZES),
+        series=series,
+        notes="NVLink platforms should sit below the PCIe platform",
+    )

@@ -1,0 +1,30 @@
+"""Fig. 7 — inference latency vs. number of GPUs (2..12).
+
+Paper shape: HIOS-LP's speedup over sequential grows from ~1.4 at two
+GPUs to ~3.8 at twelve, while HIOS-MR plateaus below ~1.5-1.7 and the
+single-GPU algorithms (sequential, IOS) stay flat by construction.
+"""
+
+from __future__ import annotations
+
+from ..models.randomdag import random_dag_profile
+from .config import ExperimentConfig, default_config
+from .reporting import SeriesResult
+from .simsweep import sweep_random_dags
+
+__all__ = ["run"]
+
+GPU_COUNTS = (2, 4, 6, 8, 10, 12)
+
+
+def run(config: ExperimentConfig | None = None) -> SeriesResult:
+    cfg = config or default_config()
+    return sweep_random_dags(
+        figure="fig7",
+        title="latency vs number of GPUs (200 ops, 14 layers, |E|=2|V|)",
+        x_label="num_gpus",
+        x_values=GPU_COUNTS,
+        profile_factory=lambda m, seed: random_dag_profile(seed=seed, num_gpus=int(m)),
+        config=cfg,
+        graph_varies_with_x=False,
+    )

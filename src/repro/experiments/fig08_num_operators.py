@@ -1,0 +1,34 @@
+"""Fig. 8 — inference latency vs. number of operators (100..400).
+
+Paper shape: HIOS-LP holds a ~2x speedup over sequential across model
+sizes (2.01-2.12), ~1.8-1.9x over IOS and ~1.5x over HIOS-MR; the
+intra-GPU pass (Alg. 2) contributes a mid-single-digit percentage on
+top of LP-based inter-GPU scheduling and roughly twice that on MR.
+"""
+
+from __future__ import annotations
+
+from ..models.randomdag import random_dag_profile
+from .config import ExperimentConfig, default_config
+from .reporting import SeriesResult
+from .simsweep import sweep_random_dags
+
+__all__ = ["run"]
+
+OPERATOR_COUNTS_FULL = (100, 150, 200, 250, 300, 350, 400)
+OPERATOR_COUNTS_FAST = (100, 200, 300, 400)
+
+
+def run(config: ExperimentConfig | None = None) -> SeriesResult:
+    cfg = config or default_config()
+    counts = OPERATOR_COUNTS_FAST if cfg.fast else OPERATOR_COUNTS_FULL
+    return sweep_random_dags(
+        figure="fig8",
+        title="latency vs number of operators (4 GPUs, 14 layers)",
+        x_label="num_ops",
+        x_values=counts,
+        profile_factory=lambda n, seed: random_dag_profile(
+            seed=seed, num_gpus=cfg.num_gpus, num_ops=int(n)
+        ),
+        config=cfg,
+    )

@@ -1,0 +1,32 @@
+"""Fig. 9 — inference latency vs. number of inter-operator dependencies.
+
+Paper shape: as dependencies grow from 400 to 600 on a 200-operator
+model, HIOS-LP's speedup over sequential declines (2.06 -> 1.64 in the
+paper) and HIOS-MR's as well (1.35 -> 1.19): denser dependencies leave
+fewer independent operators to spread across GPUs.
+"""
+
+from __future__ import annotations
+
+from ..models.randomdag import random_dag_profile
+from .config import ExperimentConfig, default_config
+from .reporting import SeriesResult
+from .simsweep import sweep_random_dags
+
+__all__ = ["run"]
+
+DEPENDENCY_COUNTS = (400, 450, 500, 550, 600)
+
+
+def run(config: ExperimentConfig | None = None) -> SeriesResult:
+    cfg = config or default_config()
+    return sweep_random_dags(
+        figure="fig9",
+        title="latency vs number of dependencies (200 ops, 4 GPUs)",
+        x_label="num_edges",
+        x_values=DEPENDENCY_COUNTS,
+        profile_factory=lambda e, seed: random_dag_profile(
+            seed=seed, num_gpus=cfg.num_gpus, num_edges=int(e)
+        ),
+        config=cfg,
+    )

@@ -1,0 +1,33 @@
+"""Fig. 10 — inference latency vs. degree of model parallelism.
+
+The number of layers of a 200-operator model sweeps 6..22: fewer
+layers means more operators per layer, i.e. a higher degree of
+parallelism.  Paper shape: sequential, IOS and HIOS-MR stay flat while
+HIOS-LP's latency falls as layers decrease — HIOS-LP is self-adaptive
+to the parallelism available in the model.
+"""
+
+from __future__ import annotations
+
+from ..models.randomdag import random_dag_profile
+from .config import ExperimentConfig, default_config
+from .reporting import SeriesResult
+from .simsweep import sweep_random_dags
+
+__all__ = ["run"]
+
+LAYER_COUNTS = (6, 10, 14, 18, 22)
+
+
+def run(config: ExperimentConfig | None = None) -> SeriesResult:
+    cfg = config or default_config()
+    return sweep_random_dags(
+        figure="fig10",
+        title="latency vs number of layers (200 ops, 4 GPUs)",
+        x_label="num_layers",
+        x_values=LAYER_COUNTS,
+        profile_factory=lambda L, seed: random_dag_profile(
+            seed=seed, num_gpus=cfg.num_gpus, num_layers=int(L)
+        ),
+        config=cfg,
+    )

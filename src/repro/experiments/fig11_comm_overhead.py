@@ -1,0 +1,36 @@
+"""Fig. 11 — inference latency vs. communication/computation ratio p.
+
+The transfer time of each edge is ``max(0.1 ms, p * t(u))``; p sweeps
+0.4..1.2.  Paper shape: HIOS-LP's advantage over sequential shrinks
+from ~2.2x to ~1.8x as p grows, HIOS-MR's from ~1.5x to ~1.1x —
+cheap interconnects (NVLink, p < 1) are where multi-GPU inter-operator
+parallelism pays off.
+"""
+
+from __future__ import annotations
+
+from ..models.randomdag import random_dag_profile
+from .config import ExperimentConfig, default_config
+from .reporting import SeriesResult
+from .simsweep import sweep_random_dags
+
+__all__ = ["run"]
+
+COMM_RATIOS = (0.4, 0.6, 0.8, 1.0, 1.2)
+
+
+def run(config: ExperimentConfig | None = None) -> SeriesResult:
+    cfg = config or default_config()
+    return sweep_random_dags(
+        figure="fig11",
+        title="latency vs transfer/computation time ratio p (200 ops, 4 GPUs)",
+        x_label="p",
+        x_values=COMM_RATIOS,
+        profile_factory=lambda p, seed: random_dag_profile(
+            seed=seed, num_gpus=cfg.num_gpus, transfer_ratio=float(p)
+        ),
+        config=cfg,
+        # only edge weights change with p; the single-GPU baselines see
+        # identical graphs (no transfers), so reuse them across x
+        graph_varies_with_x=False,
+    )

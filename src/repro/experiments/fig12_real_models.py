@@ -1,0 +1,44 @@
+"""Fig. 12 — measured inference latency of Inception-v3 and NASNet.
+
+For each CNN and input size (default up to 2^K pixels), the engine
+executes the schedules produced by sequential, IOS, HIOS-MR and
+HIOS-LP on the dual-A40 platform.  Paper shape: HIOS-LP reduces
+latency vs. sequential by up to ~20% (Inception-v3) / ~15% (NASNet)
+and beats IOS by a margin that widens with input size; HIOS-LP beats
+HIOS-MR at every size.
+"""
+
+from __future__ import annotations
+
+from ..models.builder import ModelGraph
+from .config import ExperimentConfig, default_config
+from .realmodels import MODEL_BUILDERS, default_profiler, model_sizes, run_model
+from .reporting import SeriesResult
+
+__all__ = ["run", "ALGORITHMS"]
+
+ALGORITHMS = ("sequential", "ios", "hios-mr", "hios-lp")
+
+
+def run(
+    config: ExperimentConfig | None = None, model: str = "inception_v3"
+) -> SeriesResult:
+    cfg = config or default_config()
+    sizes = model_sizes(model, cfg)
+    profiler = default_profiler()
+    series: dict[str, list[float]] = {a: [] for a in ALGORITHMS}
+    for size in sizes:
+        profile = profiler.profile(MODEL_BUILDERS[model](size))
+        for alg in ALGORITHMS:
+            run_ = run_model(
+                model, size, alg, profiler=profiler, window=cfg.window, profile=profile
+            )
+            series[alg].append(run_.measured_ms)
+    return SeriesResult(
+        figure="fig12",
+        title=f"measured inference latency of {model} (dual A40, engine)",
+        x_label="input_size",
+        y_label="inference latency (ms)",
+        x=list(sizes),
+        series=series,
+    )

@@ -1,0 +1,50 @@
+"""Fig. 13 — performance-gain analysis at small and large input sizes.
+
+All six algorithms run on both CNNs at their default ("small") and
+largest input sizes; the engine-measured latencies dissect where
+HIOS-LP's gain comes from.  Paper shape: inter-GPU LP mapping accounts
+for the bulk of HIOS-LP's reduction (≈98% at large inputs, ≈82% at
+small for Inception-v3; ≈100% for NASNet), and IOS's single-GPU
+optimum is far from HIOS-LP's multi-GPU result for large inputs.
+"""
+
+from __future__ import annotations
+
+from .config import ExperimentConfig, default_config
+from .realmodels import MODEL_BUILDERS, default_profiler, model_sizes, run_model
+from .reporting import SeriesResult
+
+__all__ = ["run", "ALGORITHMS"]
+
+ALGORITHMS = ("sequential", "ios", "hios-mr", "hios-lp", "inter-mr", "inter-lp")
+
+
+def run(config: ExperimentConfig | None = None) -> SeriesResult:
+    cfg = config or default_config()
+    cases: list[tuple[str, int, str]] = []
+    for model in ("inception_v3", "nasnet"):
+        sizes = model_sizes(model, cfg)
+        cases.append((model, sizes[0], f"{model}@{sizes[0]} (small)"))
+        cases.append((model, sizes[-1], f"{model}@{sizes[-1]} (large)"))
+
+    profiler = default_profiler()
+    series: dict[str, list[float]] = {a: [] for a in ALGORITHMS}
+    labels: list[str] = []
+    for model, size, label in cases:
+        labels.append(label)
+        profile = profiler.profile(MODEL_BUILDERS[model](size))
+        for alg in ALGORITHMS:
+            run_ = run_model(
+                model, size, alg, profiler=profiler, window=cfg.window, profile=profile
+            )
+            series[alg].append(run_.measured_ms)
+    return SeriesResult(
+        figure="fig13",
+        title="gain analysis: all algorithms at small/large inputs (dual A40)",
+        x_label="benchmark",
+        y_label="inference latency (ms)",
+        x=labels,
+        series=series,
+        notes="inter-mr / inter-lp are HIOS-MR / HIOS-LP without the "
+        "intra-GPU pass (Alg. 2)",
+    )

@@ -1,0 +1,120 @@
+"""Shared machinery for the Section VI real-model experiments.
+
+Builds Inception-v3 / NASNet at a given input size, profiles them on
+the dual-A40 platform, schedules with each algorithm, and *executes*
+the schedule on the discrete-event engine — the measured latency, not
+the scheduler's prediction, is what Figs. 12-14 report, exactly like
+the paper's testbed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.api import schedule_graph
+from ..core.result import ScheduleResult
+from ..costmodel.profile import CostProfile
+from ..models.builder import ModelGraph
+from ..models.inception import inception_v3
+from ..models.nasnet import nasnet
+from ..models.randwire import randwire
+from ..models.resnet import resnet50
+from ..substrate.engine import ExecutionTrace
+from ..substrate.platform import MultiGpuPlatform, dual_a40
+from ..substrate.profiler import PlatformProfiler
+from .config import ExperimentConfig
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "ModelRun",
+    "default_profiler",
+    "run_model",
+    "model_sizes",
+]
+
+MODEL_BUILDERS: dict[str, Callable[[int], ModelGraph]] = {
+    "inception_v3": inception_v3,
+    "nasnet": nasnet,
+    # contrast workloads beyond the paper's two benchmarks
+    "resnet50": resnet50,
+    "randwire": randwire,
+}
+
+# input-size sweeps (the paper goes from the default size up to 2^K)
+_SIZES_FAST = {
+    "inception_v3": (299, 512, 1024),
+    "nasnet": (331, 512, 1024),
+    "resnet50": (224, 512, 1024),
+    "randwire": (224, 512, 1024),
+}
+_SIZES_FULL = {
+    "inception_v3": (299, 448, 640, 896, 1280, 2048),
+    "nasnet": (331, 448, 640, 896, 1280, 2048),
+    "resnet50": (224, 448, 640, 896, 1280, 2048),
+    "randwire": (224, 448, 640, 896, 1280, 2048),
+}
+
+
+def model_sizes(model: str, config: ExperimentConfig) -> tuple[int, ...]:
+    table = _SIZES_FAST if config.fast else _SIZES_FULL
+    try:
+        return table[model]
+    except KeyError:
+        raise ValueError(f"unknown model {model!r}") from None
+
+
+def default_profiler(num_gpus: int = 2) -> PlatformProfiler:
+    """The paper's primary testbed: dual A40 over an NVLink bridge."""
+    return PlatformProfiler(dual_a40(num_gpus))
+
+
+@dataclass(frozen=True)
+class ModelRun:
+    """One (model, size, algorithm) measurement."""
+
+    model: str
+    input_size: int
+    algorithm: str
+    result: ScheduleResult
+    trace: ExecutionTrace
+
+    @property
+    def predicted_ms(self) -> float:
+        return self.result.latency
+
+    @property
+    def measured_ms(self) -> float:
+        return self.trace.latency
+
+
+def run_model(
+    model: str,
+    input_size: int,
+    algorithm: str,
+    profiler: PlatformProfiler | None = None,
+    window: int = 3,
+    overlap_launch: bool = False,
+    profile: CostProfile | None = None,
+    **schedule_kwargs: object,
+) -> ModelRun:
+    """Profile, schedule, and execute one configuration.
+
+    ``profile`` short-circuits the profiling step when the caller has
+    already priced the model (reused across algorithms in sweeps).
+    """
+    pp = profiler or default_profiler()
+    if profile is None:
+        graph_model = MODEL_BUILDERS[model](input_size)
+        profile = pp.profile(graph_model)
+    if algorithm in ("hios-lp", "hios-mr"):
+        schedule_kwargs.setdefault("window", window)
+    result = schedule_graph(profile, algorithm, **schedule_kwargs)
+    trace = pp.engine(overlap_launch=overlap_launch).run(profile.graph, result.schedule)
+    return ModelRun(
+        model=model,
+        input_size=input_size,
+        algorithm=algorithm,
+        result=result,
+        trace=trace,
+    )

@@ -1,0 +1,91 @@
+"""Result containers and text rendering shared by all figure drivers.
+
+Each experiment returns a :class:`SeriesResult`: an x-axis sweep with
+one y-series per algorithm/platform, rendered as the aligned text table
+the benchmarks print (and EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = ["SeriesResult", "format_table"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], precision: int = 3
+) -> str:
+    """Render an aligned monospace table."""
+
+    def fmt(x: object) -> str:
+        if isinstance(x, float):
+            return f"{x:.{precision}f}"
+        return str(x)
+
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class SeriesResult:
+    """One figure's data: ``series[name][i]`` corresponds to ``x[i]``."""
+
+    figure: str
+    title: str
+    x_label: str
+    y_label: str
+    x: list[object]
+    series: dict[str, list[float]]
+    notes: str = ""
+    extras: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, ys in self.series.items():
+            if len(ys) != len(self.x):
+                raise ValueError(
+                    f"series {name!r} has {len(ys)} points for {len(self.x)} x values"
+                )
+
+    def value(self, name: str, x: object) -> float:
+        """Single data point lookup."""
+        return self.series[name][self.x.index(x)]
+
+    def ratio(self, numerator: str, denominator: str) -> list[float]:
+        """Pointwise ratio between two series (e.g. speedup curves)."""
+        num = self.series[numerator]
+        den = self.series[denominator]
+        return [n / d for n, d in zip(num, den)]
+
+    def speedup(self, baseline: str, name: str) -> list[float]:
+        """``baseline latency / name latency`` per x value."""
+        return self.ratio(baseline, name)
+
+    def to_text(self, precision: int = 3, include_std: bool = True) -> str:
+        stds = self.extras.get("std") if include_std else None
+        headers = [self.x_label] + list(self.series)
+        rows = []
+        for i, xv in enumerate(self.x):
+            row: list[object] = [xv]
+            for name in self.series:
+                val = self.series[name][i]
+                if stds is not None and name in stds:
+                    row.append(f"{val:.{precision}f}±{stds[name][i]:.{precision}f}")
+                else:
+                    row.append(val)
+            rows.append(row)
+        body = format_table(headers, rows, precision=precision)
+        head = f"{self.figure}: {self.title}  [{self.y_label}]"
+        if self.notes:
+            return f"{head}\n{body}\n# {self.notes}"
+        return f"{head}\n{body}"

@@ -1,0 +1,91 @@
+"""Shared machinery for the Section V random-DAG sweeps (Figs. 7-11).
+
+Each data point averages the scheduled latency of ``config.instances``
+random DAG instances.  Single-GPU algorithms (sequential, IOS) do not
+depend on parameters that only affect the multi-GPU setting, so the
+helper recomputes them only when the underlying graphs change.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.api import schedule_graph
+from ..costmodel.profile import CostProfile
+from ..models.randomdag import random_dag_profile
+from .config import ALGORITHM_ORDER, ExperimentConfig, default_config
+from .reporting import SeriesResult
+
+__all__ = ["sweep_random_dags", "SIM_ALGORITHMS"]
+
+SIM_ALGORITHMS = tuple(ALGORITHM_ORDER)
+_SINGLE_GPU = {"sequential", "ios"}
+
+
+def _schedule_kwargs(config: ExperimentConfig, algorithm: str) -> dict[str, object]:
+    if algorithm in ("hios-lp", "hios-mr"):
+        return {"window": config.window}
+    return {}
+
+
+def sweep_random_dags(
+    figure: str,
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    profile_factory: Callable[[object, int], CostProfile],
+    config: ExperimentConfig | None = None,
+    algorithms: Sequence[str] = SIM_ALGORITHMS,
+    graph_varies_with_x: bool = True,
+    notes: str = "",
+) -> SeriesResult:
+    """Run ``algorithms`` over ``x_values``; average over instances.
+
+    ``profile_factory(x, seed)`` must return the cost profile of one
+    instance.  When ``graph_varies_with_x`` is false (e.g. the Fig. 7
+    GPU-count sweep, where only ``num_gpus`` changes), the single-GPU
+    baselines are computed once per seed and reused across x.
+    """
+    cfg = config or default_config()
+    series: dict[str, list[float]] = {a: [] for a in algorithms}
+    stds: dict[str, list[float]] = {a: [] for a in algorithms}
+    single_cache: dict[tuple[str, int], float] = {}
+
+    for x in x_values:
+        samples: dict[str, list[float]] = {a: [] for a in algorithms}
+        for i in range(cfg.instances):
+            seed = cfg.seed0 + i
+            profile = profile_factory(x, seed)
+            for alg in algorithms:
+                if alg in _SINGLE_GPU and not graph_varies_with_x:
+                    key = (alg, seed)
+                    if key not in single_cache:
+                        single_cache[key] = schedule_graph(
+                            profile, alg, **_schedule_kwargs(cfg, alg)
+                        ).latency
+                    samples[alg].append(single_cache[key])
+                else:
+                    samples[alg].append(
+                        schedule_graph(
+                            profile, alg, **_schedule_kwargs(cfg, alg)
+                        ).latency
+                    )
+        for alg in algorithms:
+            vals = np.asarray(samples[alg])
+            series[alg].append(float(vals.mean()))
+            stds[alg].append(float(vals.std(ddof=0)))
+
+    return SeriesResult(
+        figure=figure,
+        title=title,
+        x_label=x_label,
+        y_label="inference latency (ms)",
+        x=list(x_values),
+        series=series,
+        notes=notes
+        or f"mean of {cfg.instances} random instances per point "
+        f"({'fast' if cfg.fast else 'full'} config)",
+        extras={"std": stds},
+    )

@@ -1,0 +1,54 @@
+"""Workloads: CNN operator library, model builders (Inception-v3,
+NASNet at the paper's operator counts) and the Section V random
+layered DAG generator."""
+
+from .builder import INPUT, GraphBuilder, ModelGraph, ModelNode
+from .inception import INCEPTION_V3_DEPS, INCEPTION_V3_OPS, inception_v3
+from .nasnet import NASNET_DEPS, NASNET_OPS, nasnet
+from .ops import (
+    Activation,
+    Add,
+    AvgPool2d,
+    Concat,
+    Conv2d,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    OpSpec,
+    SeparableConv2d,
+    TensorShape,
+)
+from .randomdag import RandomDagConfig, random_dag_profile, random_layered_dag
+from .randwire import randwire
+from .resnet import RESNET50_DEPS, RESNET50_OPS, resnet50
+
+__all__ = [
+    "Activation",
+    "Add",
+    "AvgPool2d",
+    "Concat",
+    "Conv2d",
+    "GlobalAvgPool",
+    "GraphBuilder",
+    "INCEPTION_V3_DEPS",
+    "INCEPTION_V3_OPS",
+    "INPUT",
+    "Linear",
+    "MaxPool2d",
+    "ModelGraph",
+    "ModelNode",
+    "NASNET_DEPS",
+    "NASNET_OPS",
+    "OpSpec",
+    "RESNET50_DEPS",
+    "RESNET50_OPS",
+    "RandomDagConfig",
+    "SeparableConv2d",
+    "TensorShape",
+    "inception_v3",
+    "nasnet",
+    "random_dag_profile",
+    "random_layered_dag",
+    "randwire",
+    "resnet50",
+]

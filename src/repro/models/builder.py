@@ -1,0 +1,146 @@
+"""Model graph builder: from operator specs to a shaped DAG.
+
+A :class:`ModelGraph` is the device-independent description of a DL
+model — operators (:mod:`repro.models.ops`), their connectivity, and
+inferred tensor shapes.  It becomes a schedulable, cost-annotated
+:class:`~repro.core.graph.OpGraph` only once a platform prices it (see
+:mod:`repro.substrate.profiler`), mirroring the paper's
+profile-then-schedule pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.graph import GraphError, OpGraph, Operator
+from .ops import OpSpec, TensorShape
+
+__all__ = ["ModelNode", "ModelGraph", "GraphBuilder", "INPUT"]
+
+INPUT = "__input__"  # sentinel tensor name for the model input
+
+
+@dataclass(frozen=True)
+class ModelNode:
+    """One operator instance in a model."""
+
+    name: str
+    spec: OpSpec
+    inputs: tuple[str, ...]  # producing operator names, or INPUT
+    output: TensorShape
+
+
+class ModelGraph:
+    """Topology + shapes of a model (batch size 1, single input)."""
+
+    def __init__(self, name: str, input_shape: TensorShape) -> None:
+        self.name = name
+        self.input_shape = input_shape
+        self._nodes: dict[str, ModelNode] = {}
+
+    def _shape_of(self, tensor: str) -> TensorShape:
+        if tensor == INPUT:
+            return self.input_shape
+        try:
+            return self._nodes[tensor].output
+        except KeyError:
+            raise GraphError(f"unknown tensor {tensor!r} in model {self.name!r}") from None
+
+    def add(self, name: str, spec: OpSpec, inputs: Sequence[str]) -> ModelNode:
+        if name in self._nodes or name == INPUT:
+            raise GraphError(f"duplicate operator name {name!r}")
+        shapes = [self._shape_of(t) for t in inputs]
+        node = ModelNode(name=name, spec=spec, inputs=tuple(inputs), output=spec.infer(shapes))
+        self._nodes[name] = node
+        return node
+
+    def node(self, name: str) -> ModelNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise GraphError(f"unknown operator {name!r}") from None
+
+    def nodes(self) -> list[ModelNode]:
+        return list(self._nodes.values())
+
+    def input_shapes(self, name: str) -> list[TensorShape]:
+        return [self._shape_of(t) for t in self.node(name).inputs]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Inter-operator dependencies (edges from the model input are
+        not operator dependencies and do not count)."""
+        return sum(1 for n in self._nodes.values() for t in n.inputs if t != INPUT)
+
+    def to_op_graph(
+        self,
+        costs: Mapping[str, float],
+        occupancies: Mapping[str, float],
+        transfers: Mapping[tuple[str, str], float],
+    ) -> OpGraph:
+        """Materialize a priced :class:`OpGraph` from profiled numbers."""
+        g = OpGraph()
+        for node in self._nodes.values():
+            g.add_operator(
+                Operator(
+                    node.name,
+                    cost=costs[node.name],
+                    occupancy=occupancies[node.name],
+                    output_bytes=node.output.bytes,
+                    kind=node.spec.kind,
+                    attrs={"shape": str(node.output)},
+                )
+            )
+        for node in self._nodes.values():
+            for t in node.inputs:
+                if t != INPUT:
+                    g.add_edge(t, node.name, transfers[(t, node.name)])
+        return g
+
+
+class GraphBuilder:
+    """Fluent construction helper.
+
+    >>> b = GraphBuilder("toy", TensorShape(3, 32, 32))
+    >>> x = b.input
+    >>> c1 = b.add("conv1", Conv2d(16), x)
+    >>> model = b.build()
+    """
+
+    def __init__(self, name: str, input_shape: TensorShape) -> None:
+        self._model = ModelGraph(name, input_shape)
+        self._counter: dict[str, int] = {}
+
+    @property
+    def input(self) -> str:
+        return INPUT
+
+    def add(self, name: str, spec: OpSpec, *inputs: str) -> str:
+        """Add an operator consuming the named tensors; returns its name
+        (usable as a tensor handle downstream)."""
+        if not inputs:
+            raise GraphError(f"operator {name!r} has no inputs")
+        self._model.add(name, spec, inputs)
+        return name
+
+    def auto(self, spec: OpSpec, *inputs: str, prefix: str | None = None) -> str:
+        """Like :meth:`add` with an auto-generated unique name."""
+        base = prefix or spec.kind
+        idx = self._counter.get(base, 0) + 1
+        self._counter[base] = idx
+        return self.add(f"{base}_{idx}", spec, *inputs)
+
+    def shape(self, tensor: str) -> TensorShape:
+        return self._model._shape_of(tensor)
+
+    def build(self) -> ModelGraph:
+        if len(self._model) == 0:
+            raise GraphError("empty model")
+        return self._model

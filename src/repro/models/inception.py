@@ -1,0 +1,137 @@
+"""Inception-v3 (Szegedy et al., CVPR'16) at IOS's operator granularity.
+
+Convolutions fuse BatchNorm + ReLU (one cuDNN call each), pooling and
+concatenation are separate operators, and the classifier head stops at
+the global average pool — the granularity at which the paper reports
+**119 operators and 153 inter-operator dependencies** for this model
+(Section VI-B); :func:`inception_v3` asserts both counts.
+
+The input is square with side ``input_size`` (default 299, the model's
+minimum); the paper sweeps it up to ``2^K`` pixels to grow operator
+workloads (Fig. 12).  The stem downsamples by 8x before the Inception
+blocks, so any multiple-of-8-friendly size works.
+"""
+
+from __future__ import annotations
+
+from .builder import GraphBuilder, ModelGraph
+from .ops import AvgPool2d, Concat, Conv2d, GlobalAvgPool, MaxPool2d, TensorShape
+
+__all__ = ["inception_v3", "INCEPTION_V3_OPS", "INCEPTION_V3_DEPS"]
+
+INCEPTION_V3_OPS = 119
+INCEPTION_V3_DEPS = 153
+
+
+def _block_a(b: GraphBuilder, x: str, idx: int, pool_features: int) -> str:
+    """InceptionA: 1x1 / 5x5 / double-3x3 / pool branches."""
+    p = f"a{idx}"
+    b1 = b.add(f"{p}_1x1", Conv2d(64, 1), x)
+    b2 = b.add(f"{p}_5x5_1", Conv2d(48, 1), x)
+    b2 = b.add(f"{p}_5x5_2", Conv2d(64, 5), b2)
+    b3 = b.add(f"{p}_3x3dbl_1", Conv2d(64, 1), x)
+    b3 = b.add(f"{p}_3x3dbl_2", Conv2d(96, 3), b3)
+    b3 = b.add(f"{p}_3x3dbl_3", Conv2d(96, 3), b3)
+    b4 = b.add(f"{p}_pool", AvgPool2d(3, 1), x)
+    b4 = b.add(f"{p}_pool_1x1", Conv2d(pool_features, 1), b4)
+    return b.add(f"{p}_concat", Concat(), b1, b2, b3, b4)
+
+
+def _block_b(b: GraphBuilder, x: str) -> str:
+    """InceptionB (grid reduction 35 -> 17)."""
+    b1 = b.add("b_3x3", Conv2d(384, 3, stride=2, padding=0), x)
+    b2 = b.add("b_3x3dbl_1", Conv2d(64, 1), x)
+    b2 = b.add("b_3x3dbl_2", Conv2d(96, 3), b2)
+    b2 = b.add("b_3x3dbl_3", Conv2d(96, 3, stride=2, padding=0), b2)
+    b3 = b.add("b_pool", MaxPool2d(3, 2, padding=0), x)
+    return b.add("b_concat", Concat(), b1, b2, b3)
+
+
+def _block_c(b: GraphBuilder, x: str, idx: int, c7: int) -> str:
+    """InceptionC: 1x1 / 7x7 / double-7x7 / pool branches.
+
+    The factorized 1x7 / 7x1 convolutions are modeled as square 7x7
+    kernels at the same operator granularity; this overestimates their
+    FLOPs by a constant factor shared by every scheduler, so relative
+    comparisons are unaffected."""
+    p = f"c{idx}"
+    b1 = b.add(f"{p}_1x1", Conv2d(192, 1), x)
+    b2 = b.add(f"{p}_7x7_1", Conv2d(c7, 1), x)
+    b2 = b.add(f"{p}_7x7_2", Conv2d(c7, 7, padding=3), b2)
+    b2 = b.add(f"{p}_7x7_3", Conv2d(192, 7, padding=3), b2)
+    b3 = b.add(f"{p}_7x7dbl_1", Conv2d(c7, 1), x)
+    b3 = b.add(f"{p}_7x7dbl_2", Conv2d(c7, 7, padding=3), b3)
+    b3 = b.add(f"{p}_7x7dbl_3", Conv2d(c7, 7, padding=3), b3)
+    b3 = b.add(f"{p}_7x7dbl_4", Conv2d(c7, 7, padding=3), b3)
+    b3 = b.add(f"{p}_7x7dbl_5", Conv2d(192, 7, padding=3), b3)
+    b4 = b.add(f"{p}_pool", AvgPool2d(3, 1), x)
+    b4 = b.add(f"{p}_pool_1x1", Conv2d(192, 1), b4)
+    return b.add(f"{p}_concat", Concat(), b1, b2, b3, b4)
+
+
+def _block_d(b: GraphBuilder, x: str) -> str:
+    """InceptionD (grid reduction 17 -> 8)."""
+    b1 = b.add("d_3x3_1", Conv2d(192, 1), x)
+    b1 = b.add("d_3x3_2", Conv2d(320, 3, stride=2, padding=0), b1)
+    b2 = b.add("d_7x7x3_1", Conv2d(192, 1), x)
+    b2 = b.add("d_7x7x3_2", Conv2d(192, 7, padding=3), b2)
+    b2 = b.add("d_7x7x3_3", Conv2d(192, 7, padding=3), b2)
+    b2 = b.add("d_7x7x3_4", Conv2d(192, 3, stride=2, padding=0), b2)
+    b3 = b.add("d_pool", MaxPool2d(3, 2, padding=0), x)
+    return b.add("d_concat", Concat(), b1, b2, b3)
+
+
+def _block_e(b: GraphBuilder, x: str, idx: int) -> str:
+    """InceptionE: the 1x3/3x1 fan-outs feed the block concat directly
+    (no nested concats), as in IOS's flattened graph."""
+    p = f"e{idx}"
+    b1 = b.add(f"{p}_1x1", Conv2d(320, 1), x)
+    b2 = b.add(f"{p}_3x3_1", Conv2d(384, 1), x)
+    b2a = b.add(f"{p}_3x3_2a", Conv2d(384, 3), b2)
+    b2b = b.add(f"{p}_3x3_2b", Conv2d(384, 3), b2)
+    b3 = b.add(f"{p}_3x3dbl_1", Conv2d(448, 1), x)
+    b3 = b.add(f"{p}_3x3dbl_2", Conv2d(384, 3), b3)
+    b3a = b.add(f"{p}_3x3dbl_3a", Conv2d(384, 3), b3)
+    b3b = b.add(f"{p}_3x3dbl_3b", Conv2d(384, 3), b3)
+    b4 = b.add(f"{p}_pool", AvgPool2d(3, 1), x)
+    b4 = b.add(f"{p}_pool_1x1", Conv2d(192, 1), b4)
+    return b.add(f"{p}_concat", Concat(), b1, b2a, b2b, b3a, b3b, b4)
+
+
+def inception_v3(input_size: int = 299, channels: int = 3) -> ModelGraph:
+    """Build Inception-v3 for a square ``input_size`` input.
+
+    Returns a :class:`~repro.models.builder.ModelGraph` with exactly
+    ``INCEPTION_V3_OPS`` operators and ``INCEPTION_V3_DEPS``
+    dependencies (asserted), ready for platform profiling.
+    """
+    if input_size < 75:
+        raise ValueError("Inception-v3 needs input_size >= 75")
+    b = GraphBuilder("inception_v3", TensorShape(channels, input_size, input_size))
+
+    # stem: 3 convs, pool, 2 convs, pool
+    x = b.add("stem_conv1", Conv2d(32, 3, stride=2, padding=0), b.input)
+    x = b.add("stem_conv2", Conv2d(32, 3, padding=0), x)
+    x = b.add("stem_conv3", Conv2d(64, 3, padding=1), x)
+    x = b.add("stem_pool1", MaxPool2d(3, 2, padding=0), x)
+    x = b.add("stem_conv4", Conv2d(80, 1), x)
+    x = b.add("stem_conv5", Conv2d(192, 3, padding=0), x)
+    x = b.add("stem_pool2", MaxPool2d(3, 2, padding=0), x)
+
+    x = _block_a(b, x, 1, pool_features=32)
+    x = _block_a(b, x, 2, pool_features=64)
+    x = _block_a(b, x, 3, pool_features=64)
+    x = _block_b(b, x)
+    x = _block_c(b, x, 1, c7=128)
+    x = _block_c(b, x, 2, c7=160)
+    x = _block_c(b, x, 3, c7=160)
+    x = _block_c(b, x, 4, c7=192)
+    x = _block_d(b, x)
+    x = _block_e(b, x, 1)
+    x = _block_e(b, x, 2)
+    b.add("head_gap", GlobalAvgPool(), x)
+
+    model = b.build()
+    assert len(model) == INCEPTION_V3_OPS, f"got {len(model)} operators"
+    assert model.num_edges == INCEPTION_V3_DEPS, f"got {model.num_edges} dependencies"
+    return model

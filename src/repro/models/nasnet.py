@@ -1,0 +1,137 @@
+"""NASNet-A (Zoph et al., CVPR'18) at IOS's operator granularity.
+
+The model is a chain of *cells*, each consuming the two previous cell
+outputs.  Every cell first adjusts both inputs with 1x1 convolutions
+(stride 2 when the skip input is one reduction behind), then runs five
+two-branch blocks joined by elementwise adds, and concatenates block
+outputs.  Separable convolutions (depthwise + pointwise, fused),
+pooling, add and concat are each one operator — the granularity at
+which the paper reports **374 operators and 576 inter-operator
+dependencies** (Section VI-B); :func:`nasnet` asserts both counts.
+
+Layout (NASNet-A-Large flavored): one stem convolution, two stem
+reduction cells, then three stacks of 7/6/6 normal cells separated by
+two reduction cells, and a global average pool.  The default input is
+331x331, the model's published minimum; the paper sweeps it to
+``2^K`` pixels (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from .builder import GraphBuilder, ModelGraph
+from .ops import (
+    AvgPool2d,
+    Add,
+    Concat,
+    Conv2d,
+    GlobalAvgPool,
+    MaxPool2d,
+    SeparableConv2d,
+    TensorShape,
+)
+
+__all__ = ["nasnet", "NASNET_OPS", "NASNET_DEPS"]
+
+NASNET_OPS = 374
+NASNET_DEPS = 576
+
+
+def _adjust(b: GraphBuilder, p: str, h1: str, h2: str, filters: int) -> tuple[str, str]:
+    """1x1 adjust convolutions bringing both cell inputs to ``filters``
+    channels and to ``h1``'s spatial size (stride-2 when ``h2`` lags a
+    reduction behind)."""
+    s1 = b.shape(h1)
+    s2 = b.shape(h2)
+    a1 = b.add(f"{p}_adj1", Conv2d(filters, 1), h1)
+    stride = 2 if s2.h > s1.h else 1
+    a2 = b.add(f"{p}_adj2", Conv2d(filters, 1, stride=stride, padding=0), h2)
+    if b.shape(a1).h != b.shape(a2).h:
+        raise ValueError(f"cell {p}: adjusted inputs disagree spatially")
+    return a1, a2
+
+
+def _normal_cell(b: GraphBuilder, p: str, h1: str, h2: str, filters: int) -> str:
+    """NASNet-A normal cell: 16 operators, 25 dependencies."""
+    a1, a2 = _adjust(b, p, h1, h2, filters)
+    x1 = b.add(f"{p}_sep3_l", SeparableConv2d(filters, 3), a1)
+    y1 = b.add(f"{p}_add1", Add(), x1, a1)
+    x2a = b.add(f"{p}_sep3_r", SeparableConv2d(filters, 3), a2)
+    x2b = b.add(f"{p}_sep5_l", SeparableConv2d(filters, 5), a1)
+    y2 = b.add(f"{p}_add2", Add(), x2a, x2b)
+    x3 = b.add(f"{p}_avg_l", AvgPool2d(3, 1), a1)
+    y3 = b.add(f"{p}_add3", Add(), x3, a2)
+    x4a = b.add(f"{p}_avg_r1", AvgPool2d(3, 1), a2)
+    x4b = b.add(f"{p}_avg_r2", AvgPool2d(3, 1), a2)
+    y4 = b.add(f"{p}_add4", Add(), x4a, x4b)
+    x5a = b.add(f"{p}_sep5_r", SeparableConv2d(filters, 5), a2)
+    x5b = b.add(f"{p}_sep3_r2", SeparableConv2d(filters, 3), a2)
+    y5 = b.add(f"{p}_add5", Add(), x5a, x5b)
+    return b.add(f"{p}_concat", Concat(), y1, y2, y3, y4, y5)
+
+
+def _reduction_cell(b: GraphBuilder, p: str, h1: str, h2: str, filters: int) -> str:
+    """NASNet-A reduction cell: 17 operators, 25 dependencies; halves
+    the spatial size.  Blocks z2 is consumed internally; the concat
+    collects (z1, z3, z4, z5)."""
+    a1, a2 = _adjust(b, p, h1, h2, filters)
+    r1a = b.add(f"{p}_sep5_s2", SeparableConv2d(filters, 5, stride=2), a1)
+    r1b = b.add(f"{p}_sep7_s2a", SeparableConv2d(filters, 7, stride=2), a2)
+    z1 = b.add(f"{p}_add1", Add(), r1a, r1b)
+    r2a = b.add(f"{p}_max_s2a", MaxPool2d(3, 2), a1)
+    r2b = b.add(f"{p}_sep7_s2b", SeparableConv2d(filters, 7, stride=2), a2)
+    z2 = b.add(f"{p}_add2", Add(), r2a, r2b)
+    r3a = b.add(f"{p}_avg_s2", AvgPool2d(3, 2), a1)
+    r3b = b.add(f"{p}_sep5_s2b", SeparableConv2d(filters, 5, stride=2), a2)
+    z3 = b.add(f"{p}_add3", Add(), r3a, r3b)
+    r4a = b.add(f"{p}_max_s2b", MaxPool2d(3, 2), a1)
+    r4b = b.add(f"{p}_sep3", SeparableConv2d(filters, 3), z2)
+    z4 = b.add(f"{p}_add4", Add(), r4a, r4b)
+    r5 = b.add(f"{p}_avg", AvgPool2d(3, 1), z1)
+    z5 = b.add(f"{p}_add5", Add(), r5, z2)
+    return b.add(f"{p}_concat", Concat(), z1, z3, z4, z5)
+
+
+def nasnet(
+    input_size: int = 331,
+    channels: int = 3,
+    stem_filters: int = 96,
+    cell_filters: int = 168,
+    stacks: tuple[int, ...] = (7, 6, 6),
+) -> ModelGraph:
+    """Build the NASNet graph.
+
+    With the default configuration the graph has exactly
+    ``NASNET_OPS`` operators and ``NASNET_DEPS`` dependencies
+    (asserted).  ``cell_filters`` is the F of the first stack; filters
+    double at each reduction, as published.
+    """
+    if input_size < 63:
+        raise ValueError("NASNet needs input_size >= 63")
+    b = GraphBuilder("nasnet", TensorShape(channels, input_size, input_size))
+
+    x = b.add("stem_conv", Conv2d(stem_filters, 3, stride=2, padding=0), b.input)
+    # two stem reduction cells (both inputs initially the stem conv)
+    f = cell_filters // 2
+    prev_prev, prev = x, x
+    for i in (1, 2):
+        out = _reduction_cell(b, f"stem{i}", prev, prev_prev, f)
+        prev_prev, prev = prev, out
+
+    f = cell_filters
+    cell = 0
+    for stack, num_normals in enumerate(stacks):
+        for _ in range(num_normals):
+            cell += 1
+            out = _normal_cell(b, f"n{cell}", prev, prev_prev, f)
+            prev_prev, prev = prev, out
+        if stack < len(stacks) - 1:
+            f *= 2
+            out = _reduction_cell(b, f"r{stack + 1}", prev, prev_prev, f)
+            prev_prev, prev = prev, out
+    b.add("head_gap", GlobalAvgPool(), prev)
+
+    model = b.build()
+    if stacks == (7, 6, 6) and stem_filters == 96 and cell_filters == 168:
+        assert len(model) == NASNET_OPS, f"got {len(model)} operators"
+        assert model.num_edges == NASNET_DEPS, f"got {model.num_edges} dependencies"
+    return model

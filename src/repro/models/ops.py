@@ -1,0 +1,268 @@
+"""Operator library: CNN operators with shape and work inference.
+
+These are *descriptions*, not executable kernels: each operator infers
+its output tensor shape from its inputs and reports its resource
+footprint (FLOPs, bytes moved, thread blocks) so a
+:class:`~repro.substrate.device.GpuDeviceModel` can price it.  Batch
+size is fixed to one throughout, matching the paper's
+lowest-latency-inference setting.
+
+Convolutions are modeled with BatchNorm + ReLU fused in, the standard
+granularity of IOS's cuDNN engine (and the reason the paper's operator
+counts are what they are: Inception-v3 = 119, NASNet = 374).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "TensorShape",
+    "OpSpec",
+    "Conv2d",
+    "SeparableConv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool",
+    "Concat",
+    "Add",
+    "Activation",
+    "Linear",
+    "DTYPE_BYTES",
+    "THREADS_PER_BLOCK",
+]
+
+DTYPE_BYTES = 4  # fp32, the paper's precision
+THREADS_PER_BLOCK = 256  # nominal CTA size used for block-count estimates
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """A CHW activation tensor (batch size 1)."""
+
+    c: int
+    h: int
+    w: int
+
+    def __post_init__(self) -> None:
+        if self.c < 1 or self.h < 1 or self.w < 1:
+            raise ValueError(f"invalid tensor shape {self}")
+
+    @property
+    def numel(self) -> int:
+        return self.c * self.h * self.w
+
+    @property
+    def bytes(self) -> int:
+        return self.numel * DTYPE_BYTES
+
+    def __str__(self) -> str:
+        return f"{self.c}x{self.h}x{self.w}"
+
+
+def _out_hw(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"kernel {kernel}/stride {stride}/padding {padding} too large for size {size}"
+        )
+    return out
+
+
+def _blocks(out: TensorShape) -> int:
+    return max(1, -(-out.numel // THREADS_PER_BLOCK))
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Base operator description.
+
+    Subclasses implement :meth:`infer` (output shape) and
+    :meth:`work_items` (flops, bytes read, bytes written, blocks).
+    """
+
+    def infer(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        raise NotImplementedError
+
+    def work_items(
+        self, inputs: Sequence[TensorShape], out: TensorShape
+    ) -> tuple[float, int, int, int]:
+        raise NotImplementedError
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__.lower()
+
+    def _expect_inputs(self, inputs: Sequence[TensorShape], n: int) -> None:
+        if len(inputs) != n:
+            raise ValueError(f"{type(self).__name__} expects {n} input(s), got {len(inputs)}")
+
+
+@dataclass(frozen=True)
+class Conv2d(OpSpec):
+    """Convolution + fused BatchNorm + ReLU."""
+
+    out_channels: int
+    kernel: int = 3
+    stride: int = 1
+    padding: int | None = None  # None = "same"-style (kernel // 2)
+
+    def _pad(self) -> int:
+        return self.kernel // 2 if self.padding is None else self.padding
+
+    def infer(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._expect_inputs(inputs, 1)
+        x = inputs[0]
+        return TensorShape(
+            self.out_channels,
+            _out_hw(x.h, self.kernel, self.stride, self._pad()),
+            _out_hw(x.w, self.kernel, self.stride, self._pad()),
+        )
+
+    def work_items(self, inputs, out):
+        x = inputs[0]
+        flops = 2.0 * self.kernel**2 * x.c * out.c * out.h * out.w
+        weights = self.kernel**2 * x.c * out.c * DTYPE_BYTES
+        return flops, x.bytes + weights, out.bytes, _blocks(out)
+
+
+@dataclass(frozen=True)
+class SeparableConv2d(OpSpec):
+    """Depthwise + pointwise convolution (NASNet's workhorse), fused."""
+
+    out_channels: int
+    kernel: int = 3
+    stride: int = 1
+    padding: int | None = None
+
+    def _pad(self) -> int:
+        return self.kernel // 2 if self.padding is None else self.padding
+
+    def infer(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._expect_inputs(inputs, 1)
+        x = inputs[0]
+        return TensorShape(
+            self.out_channels,
+            _out_hw(x.h, self.kernel, self.stride, self._pad()),
+            _out_hw(x.w, self.kernel, self.stride, self._pad()),
+        )
+
+    def work_items(self, inputs, out):
+        x = inputs[0]
+        depthwise = 2.0 * self.kernel**2 * x.c * out.h * out.w
+        pointwise = 2.0 * x.c * out.c * out.h * out.w
+        weights = (self.kernel**2 * x.c + x.c * out.c) * DTYPE_BYTES
+        return depthwise + pointwise, x.bytes + weights, out.bytes, _blocks(out)
+
+
+@dataclass(frozen=True)
+class _Pool(OpSpec):
+    kernel: int = 3
+    stride: int = 2
+    padding: int | None = None
+
+    def _pad(self) -> int:
+        return self.kernel // 2 if self.padding is None else self.padding
+
+    def infer(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._expect_inputs(inputs, 1)
+        x = inputs[0]
+        return TensorShape(
+            x.c,
+            _out_hw(x.h, self.kernel, self.stride, self._pad()),
+            _out_hw(x.w, self.kernel, self.stride, self._pad()),
+        )
+
+    def work_items(self, inputs, out):
+        x = inputs[0]
+        flops = float(self.kernel**2 * out.numel)
+        return flops, x.bytes, out.bytes, _blocks(out)
+
+
+@dataclass(frozen=True)
+class MaxPool2d(_Pool):
+    pass
+
+
+@dataclass(frozen=True)
+class AvgPool2d(_Pool):
+    pass
+
+
+@dataclass(frozen=True)
+class GlobalAvgPool(OpSpec):
+    """Spatial global average; output is ``C x 1 x 1``."""
+
+    def infer(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._expect_inputs(inputs, 1)
+        return TensorShape(inputs[0].c, 1, 1)
+
+    def work_items(self, inputs, out):
+        x = inputs[0]
+        return float(x.numel), x.bytes, out.bytes, max(1, x.c // 32)
+
+
+@dataclass(frozen=True)
+class Concat(OpSpec):
+    """Channel-dimension concatenation; pure data movement."""
+
+    def infer(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        if not inputs:
+            raise ValueError("Concat needs at least one input")
+        h, w = inputs[0].h, inputs[0].w
+        for x in inputs[1:]:
+            if (x.h, x.w) != (h, w):
+                raise ValueError(f"Concat spatial mismatch: {inputs}")
+        return TensorShape(sum(x.c for x in inputs), h, w)
+
+    def work_items(self, inputs, out):
+        read = sum(x.bytes for x in inputs)
+        return 0.0, read, out.bytes, _blocks(out)
+
+
+@dataclass(frozen=True)
+class Add(OpSpec):
+    """Elementwise sum of same-shape tensors (residual joins)."""
+
+    def infer(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        if len(inputs) < 2:
+            raise ValueError("Add needs at least two inputs")
+        if len(set(inputs)) != 1:
+            raise ValueError(f"Add shape mismatch: {inputs}")
+        return inputs[0]
+
+    def work_items(self, inputs, out):
+        read = sum(x.bytes for x in inputs)
+        return float(out.numel * (len(inputs) - 1)), read, out.bytes, _blocks(out)
+
+
+@dataclass(frozen=True)
+class Activation(OpSpec):
+    """Standalone activation (ReLU and friends), memory bound."""
+
+    fn: str = "relu"
+
+    def infer(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._expect_inputs(inputs, 1)
+        return inputs[0]
+
+    def work_items(self, inputs, out):
+        return float(out.numel), inputs[0].bytes, out.bytes, _blocks(out)
+
+
+@dataclass(frozen=True)
+class Linear(OpSpec):
+    """Fully connected layer on a flattened ``C x 1 x 1`` tensor."""
+
+    out_features: int
+
+    def infer(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._expect_inputs(inputs, 1)
+        return TensorShape(self.out_features, 1, 1)
+
+    def work_items(self, inputs, out):
+        x = inputs[0]
+        flops = 2.0 * x.numel * self.out_features
+        weights = x.numel * self.out_features * DTYPE_BYTES
+        return flops, x.bytes + weights, out.bytes, max(1, out.numel // 32)

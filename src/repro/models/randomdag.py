@@ -1,0 +1,165 @@
+"""Random layered DAG workloads — the Section V simulation setting.
+
+The paper evaluates the schedulers on randomly generated model
+structures: ``n`` operators spread over ``L`` layers, ``|E| = 2 n``
+dependencies, operator times uniform in ``[0.1, 4]`` ms, and transfer
+times ``t(e) = max(0.1 ms, p * t(u))`` with ``p = 0.8`` by default
+(Fig. 11 sweeps ``p``).  Operator occupancies follow the saturation
+model calibration ``u(v) = min(1, t(v) / t_sat)``: a 3 ms-plus operator
+saturates a GPU, so only smaller operators benefit from intra-GPU
+concurrency — the regime that keeps IOS's single-GPU gain near the
+paper's ~10 %.
+
+Edges only connect earlier layers to later layers, every non-first
+layer operator has at least one predecessor in the previous layer, and
+generation is fully deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.graph import OpGraph, Operator
+from ..costmodel.concurrency import SaturationConcurrencyModel
+from ..costmodel.profile import CostProfile
+
+__all__ = ["RandomDagConfig", "random_layered_dag", "random_dag_profile"]
+
+
+@dataclass(frozen=True)
+class RandomDagConfig:
+    """Knobs of the Section V generator (paper defaults)."""
+
+    num_ops: int = 200
+    num_layers: int = 14
+    num_edges: int | None = None  # None = 2 * num_ops
+    cost_min: float = 0.1
+    cost_max: float = 4.0
+    transfer_ratio: float = 0.8  # the paper's p
+    transfer_floor: float = 0.1
+    saturation_ms: float = 3.0  # t_sat for occupancy calibration
+
+    def __post_init__(self) -> None:
+        if self.num_ops < 1:
+            raise ValueError("need at least one operator")
+        if not (1 <= self.num_layers <= self.num_ops):
+            raise ValueError("num_layers must be in [1, num_ops]")
+        if self.cost_min <= 0 or self.cost_max < self.cost_min:
+            raise ValueError("invalid cost range")
+        if self.transfer_ratio < 0 or self.transfer_floor < 0:
+            raise ValueError("invalid transfer parameters")
+        if self.saturation_ms <= 0:
+            raise ValueError("saturation threshold must be positive")
+
+    @property
+    def edges_target(self) -> int:
+        return 2 * self.num_ops if self.num_edges is None else self.num_edges
+
+
+def _assign_layers(cfg: RandomDagConfig, rng: np.random.Generator) -> np.ndarray:
+    """Layer index per operator; every layer is non-empty."""
+    layers = np.empty(cfg.num_ops, dtype=np.int64)
+    layers[: cfg.num_layers] = np.arange(cfg.num_layers)
+    if cfg.num_ops > cfg.num_layers:
+        layers[cfg.num_layers :] = rng.integers(
+            0, cfg.num_layers, size=cfg.num_ops - cfg.num_layers
+        )
+    rng.shuffle(layers)
+    return layers
+
+
+def random_layered_dag(
+    config: RandomDagConfig | None = None, seed: int = 0, **kwargs: object
+) -> OpGraph:
+    """Generate one random layered DAG.
+
+    Either pass a :class:`RandomDagConfig` or keyword overrides
+    (``num_ops=300, transfer_ratio=1.0, ...``).
+    """
+    if config is None:
+        config = RandomDagConfig(**kwargs)  # type: ignore[arg-type]
+    elif kwargs:
+        raise TypeError("pass either a config object or keyword overrides, not both")
+    cfg = config
+    rng = np.random.default_rng(seed)
+
+    layers = _assign_layers(cfg, rng)
+    by_layer: list[np.ndarray] = [
+        np.flatnonzero(layers == l) for l in range(cfg.num_layers)
+    ]
+    costs = rng.uniform(cfg.cost_min, cfg.cost_max, size=cfg.num_ops)
+
+    # Mandatory edges: each operator beyond layer 0 draws one
+    # predecessor from the previous layer, keeping layers connected.
+    edges: set[tuple[int, int]] = set()
+    for l in range(1, cfg.num_layers):
+        prev = by_layer[l - 1]
+        for v in by_layer[l]:
+            u = int(prev[rng.integers(0, len(prev))])
+            edges.add((u, int(v)))
+
+    target = cfg.edges_target
+    if target < len(edges):
+        raise ValueError(
+            f"edge target {target} below the {len(edges)} mandatory layer edges"
+        )
+    # Capacity check: edges go from any earlier layer to any later one.
+    layer_sizes = np.array([len(b) for b in by_layer])
+    later = np.cumsum(layer_sizes[::-1])[::-1]
+    capacity = int(np.sum(layer_sizes[:-1] * later[1:]))
+    if target > capacity:
+        raise ValueError(f"edge target {target} exceeds DAG capacity {capacity}")
+
+    # Extra edges: sample (earlier-layer, later-layer) vertex pairs.
+    attempts = 0
+    while len(edges) < target:
+        attempts += 1
+        if attempts > 1000 * target:
+            raise RuntimeError("edge sampling failed to converge")
+        u = int(rng.integers(0, cfg.num_ops))
+        v = int(rng.integers(0, cfg.num_ops))
+        if layers[u] >= layers[v]:
+            continue
+        edges.add((u, v))
+
+    graph = OpGraph()
+    for i in range(cfg.num_ops):
+        t = float(costs[i])
+        graph.add_operator(
+            Operator(
+                f"op{i:04d}",
+                cost=t,
+                occupancy=min(1.0, t / cfg.saturation_ms),
+                kind="synthetic",
+                attrs={"layer": int(layers[i])},
+            )
+        )
+    for u, v in sorted(edges):
+        tu = float(costs[u])
+        graph.add_edge(
+            f"op{u:04d}",
+            f"op{v:04d}",
+            max(cfg.transfer_floor, cfg.transfer_ratio * tu),
+        )
+    return graph
+
+
+def random_dag_profile(
+    config: RandomDagConfig | None = None,
+    seed: int = 0,
+    num_gpus: int = 4,
+    contention_penalty: float = 0.06,
+    max_streams: int = 0,
+    **kwargs: object,
+) -> CostProfile:
+    """Convenience: generate a DAG and wrap it in a cost profile with
+    the calibrated saturation concurrency model."""
+    graph = random_layered_dag(config, seed=seed, **kwargs)
+    return CostProfile(
+        graph=graph,
+        concurrency=SaturationConcurrencyModel(contention_penalty),
+        num_gpus=num_gpus,
+        max_streams=max_streams,
+    )

@@ -1,0 +1,88 @@
+"""Randomly wired CNN (RandWire-style, Xie et al. 2019).
+
+The opposite contrast case to ResNet: a stage of convolution nodes
+wired by a random DAG, giving a *high* degree of inter-operator
+parallelism — the regime the paper's introduction motivates (robust
+multi-branch architectures) and where HIOS-LP shines, provided the
+interconnect keeps the communication/computation ratio low (on an
+NVSwitch fabric the 4-GPU gain exceeds 40 %; over a single NVLink
+bridge the blocking sends eat most of it — Fig. 2's lesson).
+
+Construction: a stem convolution feeds ``num_nodes`` convolution
+nodes connected by a seeded random DAG (every non-source node draws at
+least one predecessor among earlier nodes; multi-input nodes aggregate
+with an elementwise Add, as in the original paper's weighted sum); the
+outputs of all sink nodes are concatenated and pooled.  All nodes share
+one spatial size and channel width so any wiring is shape-consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builder import GraphBuilder, ModelGraph
+from .ops import Add, Concat, Conv2d, GlobalAvgPool, TensorShape
+
+__all__ = ["randwire"]
+
+
+def randwire(
+    input_size: int = 224,
+    channels: int = 3,
+    num_nodes: int = 32,
+    edge_prob: float = 0.2,
+    width: int = 128,
+    seed: int = 0,
+) -> ModelGraph:
+    """Build a randomly wired CNN.
+
+    ``edge_prob`` is the probability of each forward edge beyond the
+    mandatory one predecessor per node; higher values densify the graph
+    (mirroring the paper's Fig. 9 dependency sweep on a real-operator
+    workload).  Deterministic for a given seed.
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least two wired nodes")
+    if not (0.0 <= edge_prob <= 1.0):
+        raise ValueError("edge_prob must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    b = GraphBuilder(
+        f"randwire{num_nodes}", TensorShape(channels, input_size, input_size)
+    )
+    stem = b.add("stem", Conv2d(width, 3, stride=2), b.input)
+
+    preds: dict[int, list[int]] = {}
+    for v in range(num_nodes):
+        choices = list(range(v))
+        chosen: list[int] = []
+        if choices:
+            chosen.append(int(rng.integers(0, v)))
+            for u in choices:
+                if u not in chosen and rng.random() < edge_prob:
+                    chosen.append(u)
+        preds[v] = sorted(chosen)
+
+    outputs: dict[int, str] = {}
+    consumed: set[int] = set()
+    for v in range(num_nodes):
+        if preds[v]:
+            inputs = [outputs[u] for u in preds[v]]
+            consumed.update(preds[v])
+            if len(inputs) > 1:
+                agg = b.add(f"n{v}_agg", Add(), *inputs)
+            else:
+                agg = inputs[0]
+        else:
+            agg = stem
+        # dense 3x3 convs keep the arithmetic intensity high enough
+        # that inter-GPU transfers can amortize (separable convs are
+        # memory-bound and pin the whole graph to one GPU)
+        outputs[v] = b.add(f"n{v}_conv", Conv2d(width, 3), agg)
+
+    sinks = [outputs[v] for v in range(num_nodes) if v not in consumed]
+    if len(sinks) > 1:
+        tail = b.add("tail_concat", Concat(), *sinks)
+    else:
+        tail = sinks[0]
+    b.add("head_gap", GlobalAvgPool(), tail)
+    return b.build()

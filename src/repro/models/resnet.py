@@ -1,0 +1,63 @@
+"""ResNet-50 (He et al., 2016) at the same operator granularity.
+
+Not one of the paper's benchmarks — included as the *contrast* case:
+ResNet's residual blocks are nearly a chain (the identity skip adds no
+operator), so inter-operator parallelism is minimal and HIOS's gains
+should largely vanish.  The architecture-comparison example and the
+ablation benchmarks use it to show that HIOS-LP's advantage tracks the
+branching factor of the model, as the paper's Fig. 9/10 analysis
+predicts.
+
+Granularity: convolutions fuse BatchNorm + ReLU; elementwise residual
+adds and pooling are separate operators; the head stops at the global
+average pool.  The default build has 71 operators and 86 dependencies.
+"""
+
+from __future__ import annotations
+
+from .builder import GraphBuilder, ModelGraph
+from .ops import Add, Conv2d, GlobalAvgPool, MaxPool2d, TensorShape
+
+__all__ = ["resnet50", "RESNET50_OPS", "RESNET50_DEPS"]
+
+RESNET50_OPS = 71
+RESNET50_DEPS = 86
+
+# blocks per stage and the bottleneck widths, as published
+_STAGES = ((3, 64), (4, 128), (6, 256), (3, 512))
+
+
+def _bottleneck(
+    b: GraphBuilder, prefix: str, x: str, width: int, stride: int, project: bool
+) -> str:
+    """conv1x1 -> conv3x3 -> conv1x1(4w) with a residual add; the first
+    block of a stage projects the skip with a strided 1x1 conv."""
+    out_c = 4 * width
+    y = b.add(f"{prefix}_c1", Conv2d(width, 1), x)
+    y = b.add(f"{prefix}_c2", Conv2d(width, 3, stride=stride), y)
+    y = b.add(f"{prefix}_c3", Conv2d(out_c, 1), y)
+    if project:
+        skip = b.add(f"{prefix}_proj", Conv2d(out_c, 1, stride=stride, padding=0), x)
+    else:
+        skip = x
+    return b.add(f"{prefix}_add", Add(), y, skip)
+
+
+def resnet50(input_size: int = 224, channels: int = 3) -> ModelGraph:
+    """Build ResNet-50 for a square input; asserts the default op and
+    dependency counts."""
+    if input_size < 33:
+        raise ValueError("ResNet-50 needs input_size >= 33")
+    b = GraphBuilder("resnet50", TensorShape(channels, input_size, input_size))
+    x = b.add("stem_conv", Conv2d(64, 7, stride=2), b.input)
+    x = b.add("stem_pool", MaxPool2d(3, 2), x)
+    for si, (blocks, width) in enumerate(_STAGES):
+        for bi in range(blocks):
+            stride = 2 if (bi == 0 and si > 0) else 1
+            project = bi == 0
+            x = _bottleneck(b, f"s{si + 1}b{bi + 1}", x, width, stride, project)
+    b.add("head_gap", GlobalAvgPool(), x)
+    model = b.build()
+    assert len(model) == RESNET50_OPS, f"got {len(model)} operators"
+    assert model.num_edges == RESNET50_DEPS, f"got {model.num_edges} dependencies"
+    return model

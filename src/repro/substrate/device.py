@@ -1,0 +1,132 @@
+"""Analytic GPU device models (the paper's A40 / A5500 / V100S testbeds).
+
+The paper measures operator execution times on real hardware; we price
+them with a roofline-style model:
+
+``kernel_time = launch_overhead + max(flops / (peak_flops * eff), bytes / mem_bw)``
+
+and estimate the *occupancy* of a kernel — the fraction of the device
+its thread blocks can fill — as ``blocks / (num_sms * resident_blocks)``.
+Occupancy is what separates the Fig. 1 regimes: kernels under ~50 %
+occupancy gain from concurrent execution, kernels near 100 % contend.
+
+``resident_blocks_per_sm`` is a calibration knob, set so that the
+48-channel 5x5 convolution of Section II-A crosses from
+"parallel-friendly" to "contended" between 64x64 and 128x128 inputs on
+the A40, matching Fig. 1.  All times are milliseconds, all sizes bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelWork", "GpuDeviceModel", "A40", "RTX_A5500", "V100S", "DEVICE_PRESETS"]
+
+
+@dataclass(frozen=True)
+class KernelWork:
+    """Resource footprint of one kernel launch (one operator).
+
+    ``blocks`` is the number of thread blocks the kernel decomposes
+    into; ``flops`` counts multiply-accumulates twice, as usual.
+    """
+
+    flops: float
+    bytes_read: int
+    bytes_written: int
+    blocks: int
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_read < 0 or self.bytes_written < 0:
+            raise ValueError("kernel work amounts must be non-negative")
+        if self.blocks < 1:
+            raise ValueError("a kernel has at least one block")
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+@dataclass(frozen=True)
+class GpuDeviceModel:
+    """One GPU of the paper's homogeneous multi-GPU platforms.
+
+    Parameters
+    ----------
+    name: marketing name, for reports.
+    num_sms: streaming multiprocessors.
+    peak_tflops: peak fp32 throughput in TFLOP/s.
+    mem_bw_gbs: device memory bandwidth in GB/s.
+    efficiency: fraction of peak a tuned cuDNN kernel sustains.
+    resident_blocks_per_sm: concurrent thread blocks one SM can host
+        for the workload class we model (calibration knob, see module
+        docstring).
+    launch_overhead_ms: host-side kernel launch cost — the overhead the
+        paper blames for HIOS-LP's NASNet-small regression (§VI-E).
+    """
+
+    name: str
+    num_sms: int
+    peak_tflops: float
+    mem_bw_gbs: float
+    efficiency: float = 0.55
+    resident_blocks_per_sm: int = 16
+    launch_overhead_ms: float = 0.007
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1:
+            raise ValueError("device needs at least one SM")
+        if self.peak_tflops <= 0 or self.mem_bw_gbs <= 0:
+            raise ValueError("throughput figures must be positive")
+        if not (0 < self.efficiency <= 1):
+            raise ValueError("efficiency must be in (0, 1]")
+        if self.resident_blocks_per_sm < 1:
+            raise ValueError("need at least one resident block per SM")
+        if self.launch_overhead_ms < 0:
+            raise ValueError("negative launch overhead")
+
+    @property
+    def effective_flops_per_ms(self) -> float:
+        """Sustained FLOPs per millisecond."""
+        return self.peak_tflops * 1e12 * self.efficiency / 1e3
+
+    @property
+    def mem_bytes_per_ms(self) -> float:
+        return self.mem_bw_gbs * 1e9 / 1e3
+
+    @property
+    def block_capacity(self) -> int:
+        """Thread blocks the whole device can host concurrently."""
+        return self.num_sms * self.resident_blocks_per_sm
+
+    def kernel_time(self, work: KernelWork) -> float:
+        """Solo execution time of one kernel, in milliseconds."""
+        compute = work.flops / self.effective_flops_per_ms
+        memory = work.bytes_total / self.mem_bytes_per_ms
+        return self.launch_overhead_ms + max(compute, memory)
+
+    def occupancy(self, work: KernelWork) -> float:
+        """Fraction of the device the kernel can occupy alone, clamped
+        to a small positive floor so cost models stay well-defined."""
+        raw = work.blocks / self.block_capacity
+        return max(1e-4, min(1.0, raw))
+
+
+# ---------------------------------------------------------------------------
+# Presets matching the paper's three dual-GPU platforms (Section II-B).
+# ---------------------------------------------------------------------------
+A40 = GpuDeviceModel(
+    name="NVIDIA A40", num_sms=84, peak_tflops=37.4, mem_bw_gbs=696.0
+)
+RTX_A5500 = GpuDeviceModel(
+    name="NVIDIA RTX A5500", num_sms=80, peak_tflops=34.1, mem_bw_gbs=768.0
+)
+V100S = GpuDeviceModel(
+    name="NVIDIA V100S", num_sms=80, peak_tflops=16.4, mem_bw_gbs=1134.0
+)
+
+DEVICE_PRESETS: dict[str, GpuDeviceModel] = {
+    "a40": A40,
+    "a5500": RTX_A5500,
+    "v100s": V100S,
+}

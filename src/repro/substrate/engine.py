@@ -1,0 +1,362 @@
+"""Discrete-event multi-GPU execution engine.
+
+This is the reproduction of the paper's runtime (Section VI-A): a
+cuDNN-based engine extended with one MPI process per GPU and CUDA-aware
+MPI transfers.  Given a cost-annotated graph and a schedule, it *plays
+out* the execution and reports measured times — deliberately not
+identical to the analytic evaluator the schedulers optimize:
+
+* **Kernel launches** are issued serially by each GPU's host process
+  and cost ``launch_overhead`` each.  In the default CUDA-aware-MPI
+  mode the host *blocks* on an operator whose remote inputs have not
+  arrived (an ``MPI_Recv`` before the dependent launch), which delays
+  every later launch of the stage — the effect the paper blames for
+  HIOS-LP trailing IOS on NASNet with small inputs (§VI-E).  The
+  ``overlap_launch`` option models the suggested NCCL-style fix where
+  launches are enqueued eagerly and only the kernel start waits for
+  data.
+* **Within a stage**, operators do not all start at the stage boundary;
+  each starts as soon as it is launched and its data is ready (the
+  "may execute earlier in a practical system" remark of §III-A).
+* **Concurrent kernels** share the device by processor sharing: when
+  the summed occupancy ``U`` of running kernels exceeds 1, every
+  resident kernel slows by ``U * (1 + penalty * (U - 1))`` — consistent
+  with (but not numerically equal to) the analytic ``t(S)`` model.
+* **Transfers** serialize per link direction through
+  :class:`~repro.substrate.mpi.SimFabric`.
+
+Stages on one GPU still execute as barriers: no operator of stage
+``j+1`` is launched before every operator of stage ``j`` completed on
+that GPU.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.graph import OpGraph
+from ..core.schedule import Schedule
+from .events import EventQueue
+from .link import LinkModel, NVLINK_BRIDGE
+from .mpi import SimFabric, TransferRecord
+
+__all__ = ["EngineError", "EngineConfig", "ExecutionTrace", "MultiGpuEngine"]
+
+_EPS = 1e-9
+
+
+class EngineError(RuntimeError):
+    """Raised when a run cannot make progress (deadlock) or is misused."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Runtime knobs of the engine.
+
+    ``launch_overhead_ms`` is charged per kernel launch on the host;
+    when ``launch_included_in_cost`` is true (platform-priced graphs,
+    where the device model already folds the launch into ``t(v)``) the
+    kernel's device-side duration is ``t(v) - launch_overhead_ms``.
+    ``contention_penalty`` matches the analytic saturation model's
+    ``lam``.  ``overlap_launch`` selects the NCCL-style eager-launch
+    mode.  ``transfer_from_edges`` prices messages with graph edge
+    weights instead of the link model (used by the synthetic Section V
+    workloads whose edges carry transfer times directly).
+    """
+
+    launch_overhead_ms: float = 0.007
+    launch_included_in_cost: bool = True
+    contention_penalty: float = 0.06
+    stream_overhead: float = 0.0
+    overlap_launch: bool = False
+    send_blocking: bool = True
+    transfer_from_edges: bool = True
+    max_streams: int = 0
+    fabric_serializes: bool = True
+    gpu_speeds: Sequence[float] | None = None
+    link: LinkModel = NVLINK_BRIDGE
+
+    def __post_init__(self) -> None:
+        if self.launch_overhead_ms < 0:
+            raise ValueError("negative launch overhead")
+        if self.contention_penalty < 0:
+            raise ValueError("negative contention penalty")
+        if self.stream_overhead < 0:
+            raise ValueError("negative stream overhead")
+        if self.max_streams < 0:
+            raise ValueError("max_streams must be >= 0 (0 = unbounded)")
+        if self.gpu_speeds is not None and any(sp <= 0 for sp in self.gpu_speeds):
+            raise ValueError("GPU speed factors must be positive")
+
+
+@dataclass
+class ExecutionTrace:
+    """Measured outcome of one engine run."""
+
+    latency: float
+    op_launch: dict[str, float]
+    op_start: dict[str, float]
+    op_finish: dict[str, float]
+    transfers: list[TransferRecord]
+    gpu_busy: dict[int, float]
+
+    @property
+    def num_transfers(self) -> int:
+        return len(self.transfers)
+
+    @property
+    def bytes_transferred(self) -> int:
+        return sum(t.num_bytes for t in self.transfers)
+
+    def utilization(self, gpu: int) -> float:
+        """Busy time of one GPU divided by the end-to-end latency."""
+        if self.latency <= 0:
+            return 0.0
+        return self.gpu_busy.get(gpu, 0.0) / self.latency
+
+
+class MultiGpuEngine:
+    """Executes a (graph, schedule) pair under an :class:`EngineConfig`."""
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config or EngineConfig()
+
+    # ------------------------------------------------------------------
+    def run(self, graph: OpGraph, schedule: Schedule, validate: bool = True) -> ExecutionTrace:
+        if validate:
+            schedule.validate(graph)
+        cfg = self.config
+        M = schedule.num_gpus
+        fabric = SimFabric(max(M, 1), cfg.link, serialize=cfg.fabric_serializes)
+        events = EventQueue()
+
+        stage_lists = [schedule.stages_on(g) for g in range(M)]
+        stage_idx = [0] * M
+        stage_remaining = [len(q[0]) if q else 0 for q in stage_lists]
+        pending: list[deque[str]] = [
+            deque(q[0].ops) if q else deque() for q in stage_lists
+        ]
+        host_free = [0.0] * M
+        host_blocked = [False] * M
+
+        gpu_of = {op: schedule.gpu_of(op) for op in schedule.operators()}
+        remote_pending: dict[str, int] = {}
+        for v in graph.names:
+            remote_pending[v] = sum(
+                1 for u in graph.predecessors(v) if gpu_of[u] != gpu_of[v]
+            )
+
+        running: list[dict[str, float]] = [dict() for _ in range(M)]  # op -> remaining
+        slowdown = [1.0] * M
+        last_update = [0.0] * M
+        awaiting_data: set[str] = set()  # launched, waiting for remote input (overlap)
+        finished: set[str] = set()
+        launched: set[str] = set()
+        started: set[str] = set()
+
+        # CUDA-stream serialization: within each stage, operators are
+        # dealt round-robin onto L streams; stream_pred[op] is the op
+        # that must finish before op's kernel may start.
+        stream_pred: dict[str, str | None] = {}
+        stream_succ: dict[str, str] = {}
+
+        def assign_streams(ops: tuple[str, ...]) -> None:
+            if cfg.max_streams <= 0:
+                for op in ops:
+                    stream_pred[op] = None
+                return
+            tails: dict[int, str] = {}
+            for i, op in enumerate(ops):
+                lane = i % cfg.max_streams
+                prev = tails.get(lane)
+                stream_pred[op] = prev
+                if prev is not None:
+                    stream_succ[prev] = op
+                tails[lane] = op
+
+        for g0 in range(M):
+            for st in stage_lists[g0]:
+                assign_streams(st.ops)
+
+        op_launch: dict[str, float] = {}
+        op_start: dict[str, float] = {}
+        op_finish: dict[str, float] = {}
+        gpu_busy = dict.fromkeys(range(M), 0.0)
+        unfinished = len(graph)
+        now = 0.0
+
+        # -------------------------------- helpers
+        def recompute_slowdown(g: int) -> None:
+            total = sum(graph.operator(op).occupancy for op in running[g])
+            if total <= 1.0:
+                base = 1.0
+            else:
+                base = total * (1.0 + cfg.contention_penalty * (total - 1.0))
+            streams = 1.0 + cfg.stream_overhead * max(0, len(running[g]) - 1)
+            slowdown[g] = base * streams
+
+        def settle(g: int, t: float) -> None:
+            """Account execution progress of GPU g up to time t."""
+            dt = t - last_update[g]
+            if dt > 0 and running[g]:
+                step = dt / slowdown[g]
+                for op in running[g]:
+                    running[g][op] -= step
+                gpu_busy[g] += dt
+            last_update[g] = t
+
+        def gpu_speed(g: int) -> float:
+            if cfg.gpu_speeds is None:
+                return 1.0
+            return cfg.gpu_speeds[g]
+
+        def exec_duration(op: str, g: int) -> float:
+            cost = graph.cost(op)
+            if cfg.launch_included_in_cost:
+                cost = max(0.0, cost - cfg.launch_overhead_ms)
+            return cost / gpu_speed(g)
+
+        def start_kernel(g: int, op: str, t: float) -> None:
+            settle(g, t)
+            started.add(op)
+            op_start[op] = t
+            running[g][op] = exec_duration(op, g)
+            recompute_slowdown(g)
+
+        def try_start(g: int, op: str, t: float) -> None:
+            """Start the kernel once launched, fed, and stream-clear."""
+            if op in started:
+                return
+            if op not in launched:
+                return
+            if cfg.overlap_launch and remote_pending[op] > 0:
+                return
+            pred = stream_pred.get(op)
+            if pred is not None and pred not in finished:
+                return
+            start_kernel(g, op, t)
+
+        def advance_host(g: int, t: float) -> None:
+            """Issue launches for the active stage until blocked/done."""
+            host_blocked[g] = False
+            while pending[g]:
+                head = pending[g][0]
+                if not cfg.overlap_launch and remote_pending[head] > 0:
+                    host_blocked[g] = True
+                    return
+                pending[g].popleft()
+                t_done = max(host_free[g], t) + cfg.launch_overhead_ms
+                host_free[g] = t_done
+                events.push(t_done, "launch_done", (g, head))
+
+        def finish_kernel(g: int, op: str, t: float) -> None:
+            nonlocal unfinished
+            del running[g][op]
+            recompute_slowdown(g)
+            op_finish[op] = t
+            finished.add(op)
+            unfinished -= 1
+            succ = stream_succ.get(op)
+            if succ is not None:
+                try_start(g, succ, t)
+            # transfers to remote consumers (sorted for determinism).
+            # Under send_blocking the host issues them one blocking
+            # MPI_Send at a time, so each send is posted only after the
+            # previous one delivered (matching the analytic evaluator's
+            # serialized-send semantics).
+            blocking = cfg.send_blocking and not cfg.overlap_launch
+            cursor = t
+            last_delivery = t
+            for s in sorted(graph.successors(op)):
+                gs = gpu_of[s]
+                if gs == g:
+                    continue
+                post_at = cursor if blocking else t
+                if cfg.transfer_from_edges:
+                    delivery = fabric.post_send(
+                        post_at, g, gs, num_bytes=graph.operator(op).output_bytes,
+                        duration=graph.transfer(op, s), tag=f"{op}->{s}",
+                    )
+                else:
+                    delivery = fabric.post_send(
+                        post_at, g, gs, num_bytes=graph.operator(op).output_bytes,
+                        tag=f"{op}->{s}",
+                    )
+                events.push(delivery, "data_arrival", (s, op))
+                cursor = delivery
+                last_delivery = max(last_delivery, delivery)
+            if blocking and last_delivery > t:
+                # the host's blocking MPI sends stall subsequent launches
+                host_free[g] = max(host_free[g], last_delivery)
+            # stage bookkeeping
+            stage_remaining[g] -= 1
+            if stage_remaining[g] == 0:
+                stage_idx[g] += 1
+                if stage_idx[g] < len(stage_lists[g]):
+                    nxt = stage_lists[g][stage_idx[g]]
+                    stage_remaining[g] = len(nxt)
+                    pending[g].extend(nxt.ops)
+                    advance_host(g, t)
+
+        # -------------------------------- prime the hosts
+        for g in range(M):
+            advance_host(g, 0.0)
+
+        # -------------------------------- main loop
+        while unfinished > 0:
+            # next discrete event vs. next projected kernel finish
+            t_next = events.peek_time()
+            for g in range(M):
+                if running[g]:
+                    proj = last_update[g] + min(running[g].values()) * slowdown[g]
+                    if t_next is None or proj < t_next:
+                        t_next = proj
+            if t_next is None:
+                raise EngineError(
+                    "engine deadlock: no pending events but "
+                    f"{unfinished} operators unfinished"
+                )
+            t_next = max(t_next, now)
+            now = t_next
+
+            for g in range(M):
+                settle(g, now)
+            # kernels that ran out of work
+            for g in range(M):
+                done = [op for op, rem in running[g].items() if rem <= _EPS]
+                for op in done:
+                    finish_kernel(g, op, now)
+            # discrete events due now
+            for ev in events.pop_until(now + _EPS):
+                if ev.kind == "launch_done":
+                    g, op = ev.payload
+                    op_launch[op] = ev.time
+                    launched.add(op)
+                    if cfg.overlap_launch and remote_pending[op] > 0:
+                        awaiting_data.add(op)
+                    else:
+                        try_start(g, op, now)
+                elif ev.kind == "data_arrival":
+                    consumer, _producer = ev.payload
+                    remote_pending[consumer] -= 1
+                    if remote_pending[consumer] == 0:
+                        g = gpu_of[consumer]
+                        if consumer in awaiting_data:
+                            awaiting_data.discard(consumer)
+                            try_start(g, consumer, now)
+                        elif host_blocked[g]:
+                            advance_host(g, now)
+                else:  # pragma: no cover - defensive
+                    raise EngineError(f"unknown event kind {ev.kind!r}")
+
+        latency = max(op_finish.values(), default=0.0)
+        return ExecutionTrace(
+            latency=latency,
+            op_launch=op_launch,
+            op_start=op_start,
+            op_finish=op_finish,
+            transfers=fabric.records,
+            gpu_busy=gpu_busy,
+        )

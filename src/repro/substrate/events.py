@@ -1,0 +1,58 @@
+"""Minimal discrete-event core used by the execution engine.
+
+A stable priority queue of ``(time, kind, payload)`` events; ties are
+broken by insertion order so simulations are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    time: float
+    kind: str
+    payload: Any = None
+
+
+class EventQueue:
+    """Deterministic min-heap of events."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: str, payload: Any = None) -> Event:
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        ev = Event(time=time, kind=kind, payload=payload)
+        heapq.heappush(self._heap, (time, self._seq, ev))
+        self._seq += 1
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest pending event, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)[2]
+
+    def pop_until(self, time: float) -> list[Event]:
+        """Pop every event with timestamp <= ``time`` (in order)."""
+        out: list[Event] = []
+        while self._heap and self._heap[0][0] <= time:
+            out.append(heapq.heappop(self._heap)[2])
+        return out

@@ -1,0 +1,120 @@
+"""Simulated CUDA-aware MPI fabric.
+
+The paper's runtime uses one MPI process per GPU and CUDA-aware MPI
+point-to-point transfers over NVLink/PCIe.  :class:`SimFabric` models
+that transport: each ordered GPU pair ``(src, dst)`` is a FIFO channel —
+messages in the same direction serialize, opposite directions share the
+channel only when the link is not full duplex.  Transfer durations come
+either from the link model (bytes / bandwidth + latency) or from an
+explicit per-message duration (the synthetic Section V workloads carry
+transfer times directly on graph edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .link import LinkModel
+
+__all__ = ["TransferRecord", "SimFabric"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed (simulated) message."""
+
+    src: int
+    dst: int
+    tag: str
+    post_time: float
+    start_time: float
+    finish_time: float
+    num_bytes: int
+
+    @property
+    def duration(self) -> float:
+        return self.finish_time - self.start_time
+
+    @property
+    def queue_delay(self) -> float:
+        return self.start_time - self.post_time
+
+
+class SimFabric:
+    """All-to-all fabric of point-to-point FIFO channels.
+
+    Each channel tracks a ``busy_until`` watermark: a message starts at
+    ``max(post time, channel free)``, so messages on one channel never
+    overlap regardless of the order posts arrive in (the engine may
+    post future-dated sends when a host issues chained blocking
+    MPI_Sends).  With ``serialize=False`` the fabric is idealized:
+    every message starts at its post time (used to cross-validate the
+    engine against the analytic evaluator, which does not model
+    channel contention).
+    """
+
+    def __init__(self, num_gpus: int, link: LinkModel, serialize: bool = True) -> None:
+        if num_gpus < 1:
+            raise ValueError("fabric needs at least one GPU")
+        self.num_gpus = num_gpus
+        self.link = link
+        self.serialize = serialize
+        self._busy_until: dict[tuple[int, int], float] = {}
+        self._last_post = 0.0  # latest post time seen, for introspection
+        self.records: list[TransferRecord] = []
+
+    def _channel(self, src: int, dst: int) -> tuple[int, int]:
+        if not (0 <= src < self.num_gpus and 0 <= dst < self.num_gpus):
+            raise ValueError(f"GPU pair ({src}, {dst}) out of range")
+        if src == dst:
+            raise ValueError("no fabric transfer within one GPU")
+        if self.link.full_duplex:
+            return (src, dst)
+        # half duplex: both directions share one channel
+        return (min(src, dst), max(src, dst))
+
+    def post_send(
+        self,
+        time: float,
+        src: int,
+        dst: int,
+        num_bytes: int = 0,
+        duration: float | None = None,
+        tag: str = "",
+    ) -> float:
+        """Post a message at ``time``; returns its delivery time.
+
+        ``duration`` overrides the link-model pricing when given (used
+        by workloads that carry transfer times on graph edges).
+        """
+        self._last_post = max(self._last_post, time)
+        chan = self._channel(src, dst)
+        if self.serialize:
+            start = max(time, self._busy_until.get(chan, 0.0))
+        else:
+            start = time  # idealized fabric: unlimited channel capacity
+        cost = self.link.transfer_time(num_bytes) if duration is None else duration
+        if cost < 0:
+            raise ValueError("negative transfer duration")
+        finish = start + cost
+        self._busy_until[chan] = finish
+        self.records.append(
+            TransferRecord(
+                src=src,
+                dst=dst,
+                tag=tag,
+                post_time=time,
+                start_time=start,
+                finish_time=finish,
+                num_bytes=num_bytes,
+            )
+        )
+        return finish
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.num_bytes for r in self.records)
+
+    @property
+    def num_transfers(self) -> int:
+        return len(self.records)

@@ -1,0 +1,67 @@
+"""Multi-GPU platform: homogeneous devices + interconnect.
+
+Mirrors the paper's testbeds — symmetric multiprocessing boxes where
+``M`` identical GPUs are pairwise connected by the same link (an NVLink
+bridge for the dual-A40 / dual-A5500 machines, PCIe Gen3 for the dual
+V100S, an all-to-all NVSwitch for larger ``M``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import A40, RTX_A5500, V100S, GpuDeviceModel, KernelWork
+from .link import NVLINK_BRIDGE, NVSWITCH, PCIE_GEN3_X16, LinkModel
+
+__all__ = [
+    "MultiGpuPlatform",
+    "dual_a40",
+    "dual_a5500",
+    "dual_v100s",
+    "nvswitch_platform",
+]
+
+
+@dataclass(frozen=True)
+class MultiGpuPlatform:
+    """``M`` homogeneous GPUs, all pairs joined by the same link."""
+
+    name: str
+    device: GpuDeviceModel
+    link: LinkModel
+    num_gpus: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError("platform needs at least one GPU")
+
+    def kernel_time(self, work: KernelWork) -> float:
+        return self.device.kernel_time(work)
+
+    def occupancy(self, work: KernelWork) -> float:
+        return self.device.occupancy(work)
+
+    def transfer_time(self, num_bytes: int) -> float:
+        """One-way inter-GPU transfer time in milliseconds."""
+        return self.link.transfer_time(num_bytes)
+
+
+def dual_a40(num_gpus: int = 2) -> MultiGpuPlatform:
+    """The paper's primary testbed: A40 pair over an NVLink bridge
+    (Dell PowerEdge R750XA)."""
+    return MultiGpuPlatform("dual-A40 (NVLink)", A40, NVLINK_BRIDGE, num_gpus)
+
+
+def dual_a5500(num_gpus: int = 2) -> MultiGpuPlatform:
+    return MultiGpuPlatform("dual-RTX-A5500 (NVLink)", RTX_A5500, NVLINK_BRIDGE, num_gpus)
+
+
+def dual_v100s(num_gpus: int = 2) -> MultiGpuPlatform:
+    return MultiGpuPlatform("dual-V100S (PCIe Gen3)", V100S, PCIE_GEN3_X16, num_gpus)
+
+
+def nvswitch_platform(num_gpus: int = 4, device: GpuDeviceModel = A40) -> MultiGpuPlatform:
+    """An NVSwitch all-to-all box for scaling studies beyond two GPUs."""
+    return MultiGpuPlatform(
+        f"{num_gpus}x {device.name} (NVSwitch)", device, NVSWITCH, num_gpus
+    )

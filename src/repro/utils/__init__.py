@@ -1,0 +1,15 @@
+"""Utilities: ASCII Gantt/timeline rendering, terminal line charts,
+and Chrome trace-event export for engine traces."""
+
+from .asciiplot import ascii_plot, plot_series_result
+from .chrometrace import save_chrome_trace, trace_to_events
+from .gantt import render_gantt, render_schedule_table
+
+__all__ = [
+    "ascii_plot",
+    "plot_series_result",
+    "render_gantt",
+    "render_schedule_table",
+    "save_chrome_trace",
+    "trace_to_events",
+]

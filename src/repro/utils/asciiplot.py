@@ -1,0 +1,87 @@
+"""ASCII line charts for experiment results.
+
+matplotlib is deliberately not a dependency of this repository; the
+figure drivers return tabular :class:`~repro.experiments.reporting.SeriesResult`
+objects, and this module renders them as terminal line charts so the
+CLI's ``run --plot`` can show the paper figures' shapes at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_plot", "plot_series_result"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[object] | None = None,
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+) -> str:
+    """Render one or more aligned series as an ASCII chart.
+
+    Each series gets a marker; points are placed on a ``width x height``
+    canvas scaled to the global y-range.  Ties on a cell keep the first
+    series' marker (legend order).
+    """
+    if not series:
+        return "(no data)"
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    npts = lengths.pop()
+    if npts == 0:
+        return "(no data)"
+    lo = min(min(v) for v in series.values())
+    hi = max(max(v) for v in series.values())
+    if hi == lo:
+        hi = lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for si, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for i, v in enumerate(values):
+            x = 0 if npts == 1 else round(i * (width - 1) / (npts - 1))
+            y = round((v - lo) / (hi - lo) * (height - 1))
+            row = height - 1 - y
+            if canvas[row][x] == " ":
+                canvas[row][x] = marker
+
+    left = max(len(f"{hi:.4g}"), len(f"{lo:.4g}"))
+    lines = []
+    for r, row in enumerate(canvas):
+        if r == 0:
+            label = f"{hi:.4g}"
+        elif r == height - 1:
+            label = f"{lo:.4g}"
+        else:
+            label = ""
+        lines.append(f"{label:>{left}} |{''.join(row)}")
+    lines.append(f"{'':>{left}} +{'-' * width}")
+    if x_labels is not None and len(x_labels) >= 2:
+        axis = f"{x_labels[0]}"
+        tail = f"{x_labels[-1]}"
+        pad = max(1, width - len(axis) - len(tail))
+        lines.append(f"{'':>{left}}  {axis}{' ' * pad}{tail}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>{left}}  {legend}")
+    if y_label:
+        lines.insert(0, f"{y_label}")
+    return "\n".join(lines)
+
+
+def plot_series_result(result, width: int = 64, height: int = 16) -> str:
+    """Chart a :class:`~repro.experiments.reporting.SeriesResult`."""
+    return ascii_plot(
+        result.series,
+        x_labels=result.x,
+        width=width,
+        height=height,
+        y_label=f"{result.figure}: {result.y_label} vs {result.x_label}",
+    )

@@ -1,0 +1,75 @@
+"""ASCII Gantt rendering of schedules and engine traces.
+
+Turns an :class:`~repro.core.evaluator.EvaluationResult` or an
+:class:`~repro.substrate.engine.ExecutionTrace` into a per-GPU text
+timeline — handy for eyeballing where a schedule spends its time and
+for the example scripts' output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["render_gantt", "render_schedule_table"]
+
+
+def render_gantt(
+    op_start: Mapping[str, float],
+    op_finish: Mapping[str, float],
+    op_gpu: Mapping[str, int],
+    width: int = 72,
+    max_ops_per_gpu: int = 0,
+) -> str:
+    """Render per-GPU operator timelines as fixed-width ASCII bars.
+
+    ``max_ops_per_gpu`` caps the rows per GPU (0 = unlimited); the
+    longest-running operators are kept when truncating.
+    """
+    if not op_start:
+        return "(empty schedule)"
+    horizon = max(op_finish.values())
+    if horizon <= 0:
+        return "(zero-length schedule)"
+    name_w = min(24, max(len(n) for n in op_start))
+    scale = width / horizon
+
+    by_gpu: dict[int, list[str]] = {}
+    for op, gpu in op_gpu.items():
+        by_gpu.setdefault(gpu, []).append(op)
+
+    lines: list[str] = [f"0 ms {' ' * (name_w + width - 12)} {horizon:.3f} ms"]
+    for gpu in sorted(by_gpu):
+        lines.append(f"GPU {gpu}:")
+        ops = sorted(by_gpu[gpu], key=lambda o: (op_start[o], o))
+        if max_ops_per_gpu and len(ops) > max_ops_per_gpu:
+            keep = set(
+                sorted(ops, key=lambda o: op_finish[o] - op_start[o], reverse=True)[
+                    :max_ops_per_gpu
+                ]
+            )
+            dropped = len(ops) - len(keep)
+            ops = [o for o in ops if o in keep]
+        else:
+            dropped = 0
+        for op in ops:
+            a = int(op_start[op] * scale)
+            b = max(a + 1, int(op_finish[op] * scale))
+            bar = " " * a + "#" * (b - a)
+            lines.append(f"  {op[:name_w]:<{name_w}} |{bar:<{width}}|")
+        if dropped:
+            lines.append(f"  ... ({dropped} shorter operators hidden)")
+    return "\n".join(lines)
+
+
+def render_schedule_table(schedule) -> str:
+    """Compact per-GPU stage listing of a Schedule."""
+    lines = []
+    for gpu in range(schedule.num_gpus):
+        stages = schedule.stages_on(gpu)
+        if not stages:
+            continue
+        lines.append(f"GPU {gpu}: {len(stages)} stages")
+        for j, st in enumerate(stages):
+            ops = ", ".join(st.ops)
+            lines.append(f"  S[{gpu},{j}] ({len(st)} op{'s' if len(st) > 1 else ''}): {ops}")
+    return "\n".join(lines) if lines else "(empty schedule)"

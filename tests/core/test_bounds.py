@@ -1,0 +1,81 @@
+"""Tests for latency lower bounds and the optimality gap."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    OpGraph,
+    bottleneck_bound,
+    critical_path_bound,
+    latency_lower_bound,
+    make_profile,
+    optimality_gap,
+    schedule_graph,
+    work_bound,
+)
+from repro.costmodel import CostProfile
+from repro.models import random_dag_profile
+
+
+def chain_profile(num_gpus=2):
+    g = OpGraph.from_edges({"a": 2.0, "b": 3.0}, [("a", "b", 5.0)])
+    return make_profile(g, num_gpus=num_gpus)
+
+
+class TestIndividualBounds:
+    def test_critical_path_ignores_transfers(self):
+        assert critical_path_bound(chain_profile()) == 5.0
+
+    def test_work_bound(self):
+        # occupancy defaults to 1 -> work = 5, fleet speed = 2
+        assert work_bound(chain_profile(2)) == pytest.approx(2.5)
+
+    def test_bottleneck(self):
+        assert bottleneck_bound(chain_profile()) == 3.0
+
+    def test_combined_takes_max(self):
+        prof = chain_profile()
+        assert latency_lower_bound(prof) == 5.0
+
+    def test_empty_graph(self):
+        prof = CostProfile(graph=OpGraph(), num_gpus=2)
+        assert bottleneck_bound(prof) == 0.0
+        assert latency_lower_bound(prof) == 0.0
+
+    def test_heterogeneous_speeds(self):
+        g = OpGraph.from_edges({"a": 4.0}, [])
+        prof = CostProfile(graph=g, num_gpus=2, gpu_speeds=(1.0, 2.0))
+        assert bottleneck_bound(prof) == pytest.approx(2.0)
+        assert critical_path_bound(prof) == pytest.approx(2.0)
+        assert work_bound(prof) == pytest.approx(4.0 / 3.0)
+
+
+class TestGap:
+    def test_sequential_single_gpu_chain_is_optimal(self):
+        g = OpGraph.from_edges({"a": 1.0, "b": 1.0}, [("a", "b")])
+        prof = make_profile(g, num_gpus=1)
+        res = schedule_graph(prof, "sequential")
+        assert optimality_gap(prof, res) == pytest.approx(1.0)
+
+    def test_gap_at_least_one_for_all_algorithms(self):
+        prof = random_dag_profile(seed=3, num_gpus=4, num_ops=60, num_layers=6)
+        for alg in ("sequential", "ios", "hios-lp", "hios-mr"):
+            res = schedule_graph(prof, alg)
+            assert optimality_gap(prof, res) >= 1.0 - 1e-9
+
+    def test_hios_lp_near_bound_on_wide_graphs(self):
+        """At 4 GPUs on the Section V workloads, HIOS-LP lands within a
+        modest factor of the proven lower bound."""
+        prof = random_dag_profile(seed=4, num_gpus=4)
+        res = schedule_graph(prof, "hios-lp")
+        assert optimality_gap(prof, res) < 2.5
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), m=st.integers(1, 4))
+def test_bounds_never_exceed_any_schedule(seed, m):
+    prof = random_dag_profile(seed=seed, num_gpus=m, num_ops=30, num_layers=4)
+    bound = latency_lower_bound(prof)
+    for alg in ("sequential", "hios-lp", "hios-mr"):
+        res = schedule_graph(prof, alg)
+        assert res.latency >= bound - 1e-9

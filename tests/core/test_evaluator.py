@@ -1,0 +1,159 @@
+"""Unit tests for the stage-timing evaluator (repro.core.evaluator)."""
+
+import pytest
+
+from repro.core import (
+    OpGraph,
+    Schedule,
+    ScheduleError,
+    Stage,
+    evaluate_latency,
+    evaluate_schedule,
+)
+from repro.costmodel import CostProfile, MaxConcurrencyModel, SumConcurrencyModel
+
+
+def profile_of(graph, num_gpus=2, send_blocking=True, concurrency=None):
+    kwargs = {"concurrency": concurrency} if concurrency else {}
+    return CostProfile(
+        graph=graph, num_gpus=num_gpus, send_blocking=send_blocking, **kwargs
+    )
+
+
+class TestSequentialTiming:
+    def test_chain_on_one_gpu(self):
+        g = OpGraph.from_edges({"a": 1, "b": 2, "c": 3}, [("a", "b"), ("b", "c")])
+        s = Schedule(1)
+        for op in "abc":
+            s.append_op(0, op)
+        res = evaluate_schedule(profile_of(g, 1), s)
+        assert res.latency == 6.0
+        assert res.op_start == {"a": 0.0, "b": 1.0, "c": 3.0}
+        assert res.op_finish == {"a": 1.0, "b": 3.0, "c": 6.0}
+        assert res.gpu_finish(0) == 6.0
+
+    def test_no_transfer_cost_within_gpu(self):
+        g = OpGraph.from_edges({"a": 1, "b": 1}, [("a", "b", 100.0)])
+        s = Schedule(1)
+        s.append_op(0, "a")
+        s.append_op(0, "b")
+        assert evaluate_latency(profile_of(g, 1), s) == 2.0
+
+
+class TestCrossGpuTiming:
+    def test_transfer_delay(self):
+        g = OpGraph.from_edges({"a": 1, "b": 1}, [("a", "b", 2.0)])
+        s = Schedule(2)
+        s.append_op(0, "a")
+        s.append_op(1, "b")
+        # a finishes at 1, transfer 2, b runs 3..4
+        assert evaluate_latency(profile_of(g), s) == 4.0
+
+    def test_send_blocking_serializes_sender(self):
+        # a feeds two remote consumers; sends serialize on GPU0 and
+        # delay GPU0's next stage.
+        g = OpGraph.from_edges(
+            {"a": 1, "b": 1, "c": 1, "d": 1},
+            [("a", "b", 2.0), ("a", "c", 2.0)],
+        )
+        s = Schedule(2)
+        s.append_op(0, "a")
+        s.append_op(0, "d")
+        s.append_op(1, "b")
+        s.append_op(1, "c")
+        res = evaluate_schedule(profile_of(g, send_blocking=True), s)
+        # a: 0-1; sends complete at 3 and 5; d starts at 5
+        assert res.op_start["d"] == 5.0
+        # b arrives at 3 and runs 3-4; c arrives at 5 and runs 5-6
+        assert res.op_start["b"] == 3.0
+        assert res.op_start["c"] == 5.0
+        assert res.latency == 6.0
+
+    def test_non_blocking_transfers_overlap(self):
+        g = OpGraph.from_edges(
+            {"a": 1, "b": 1, "c": 1, "d": 1},
+            [("a", "b", 2.0), ("a", "c", 2.0)],
+        )
+        s = Schedule(2)
+        s.append_op(0, "a")
+        s.append_op(0, "d")
+        s.append_op(1, "b")
+        s.append_op(1, "c")
+        res = evaluate_schedule(profile_of(g, send_blocking=False), s)
+        assert res.op_start["d"] == 1.0  # no send serialization
+        # both consumers ready at 3; b 3-4, c 4-5
+        assert res.latency == 5.0
+
+    def test_trailing_send_counts_toward_latency(self):
+        # last stage's send extends the makespan under blocking
+        g = OpGraph.from_edges({"a": 1, "b": 0.5}, [("a", "b", 10.0)])
+        s = Schedule(2)
+        s.append_op(0, "a")
+        s.append_op(1, "b")
+        assert evaluate_latency(profile_of(g, send_blocking=True), s) == 11.5
+
+
+class TestStageSemantics:
+    def test_stage_duration_from_concurrency_model(self):
+        g = OpGraph.from_edges({"a": 2, "b": 3}, [])
+        s = Schedule(1, [Stage(0, ("a", "b"))])
+        assert evaluate_latency(
+            profile_of(g, 1, concurrency=MaxConcurrencyModel()), s
+        ) == 3.0
+        assert evaluate_latency(
+            profile_of(g, 1, concurrency=SumConcurrencyModel()), s
+        ) == 5.0
+
+    def test_stage_waits_for_all_inputs(self):
+        # stage {b, c}: b's producer finishes late, c must wait too
+        g = OpGraph.from_edges(
+            {"a": 5, "b": 1, "c": 1}, [("a", "b")]
+        )
+        s = Schedule(1)
+        s.append_op(0, "a")
+        s.append_stage(Stage(0, ("b", "c")))
+        res = evaluate_schedule(profile_of(g, 1, concurrency=MaxConcurrencyModel()), s)
+        assert res.op_start["c"] == 5.0
+
+    def test_idle_gpu_finish_zero(self):
+        g = OpGraph.from_edges({"a": 1}, [])
+        s = Schedule(2)
+        s.append_op(0, "a")
+        res = evaluate_schedule(profile_of(g), s)
+        assert res.gpu_finish(1) == 0.0
+
+
+class TestErrors:
+    def test_dependent_ops_in_stage(self):
+        g = OpGraph.from_edges({"a": 1, "b": 1}, [("a", "b")])
+        s = Schedule(1, [Stage(0, ("a", "b"))])
+        with pytest.raises(ScheduleError):
+            evaluate_schedule(profile_of(g, 1), s)
+
+    def test_cycle_detected_without_validate(self):
+        g = OpGraph.from_edges({"a": 1, "b": 1, "c": 1, "d": 1}, [("a", "b"), ("c", "d")])
+        s = Schedule(2)
+        s.append_op(0, "d")
+        s.append_op(0, "a")
+        s.append_op(1, "b")
+        s.append_op(1, "c")
+        with pytest.raises(ScheduleError):
+            evaluate_schedule(profile_of(g), s, validate=False)
+
+    def test_missing_operator_caught_by_validate(self):
+        g = OpGraph.from_edges({"a": 1, "b": 1}, [])
+        s = Schedule(1, [Stage(0, ("a",))])
+        with pytest.raises(ScheduleError):
+            evaluate_schedule(profile_of(g, 1), s, validate=True)
+
+
+class TestStageTimingRecord:
+    def test_timings_ordered_and_consistent(self):
+        g = OpGraph.from_edges({"a": 1, "b": 2}, [("a", "b")])
+        s = Schedule(1)
+        s.append_op(0, "a")
+        s.append_op(0, "b")
+        res = evaluate_schedule(profile_of(g, 1), s)
+        assert [t.stage.ops for t in res.stage_timings] == [("a",), ("b",)]
+        for t in res.stage_timings:
+            assert t.duration == pytest.approx(t.finish - t.start)

@@ -1,0 +1,98 @@
+"""Tests for computation-graph (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    GraphError,
+    OpGraph,
+    Operator,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.models import inception_v3
+from repro.substrate import PlatformProfiler, dual_a40
+
+
+def sample_graph() -> OpGraph:
+    g = OpGraph()
+    g.add_operator(
+        Operator("a", cost=1.5, occupancy=0.4, output_bytes=1024, kind="conv",
+                 attrs={"shape": "8x8x8"})
+    )
+    g.add_operator(Operator("b", cost=2.0))
+    g.add_edge("a", "b", 0.25)
+    return g
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        g = sample_graph()
+        restored = graph_from_dict(graph_to_dict(g))
+        assert restored.names == g.names
+        assert restored.edges() == g.edges()
+        a = restored.operator("a")
+        assert a.cost == 1.5
+        assert a.occupancy == 0.4
+        assert a.output_bytes == 1024
+        assert a.kind == "conv"
+        assert a.attrs["shape"] == "8x8x8"
+
+    def test_file_roundtrip(self, tmp_path):
+        g = sample_graph()
+        path = tmp_path / "graph.json"
+        save_graph(g, path, indent=2)
+        restored = load_graph(path)
+        assert restored.edges() == g.edges()
+        # document is real JSON
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro.opgraph/v1"
+
+    def test_priced_inception_roundtrip(self, tmp_path):
+        profiler = PlatformProfiler(dual_a40())
+        g = profiler.price_graph(inception_v3(299))
+        path = tmp_path / "inception.json"
+        save_graph(g, path)
+        restored = load_graph(path)
+        assert len(restored) == 119
+        assert restored.num_edges == 153
+        assert restored.total_cost() == pytest.approx(g.total_cost())
+
+
+class TestValidation:
+    def test_unknown_format(self):
+        with pytest.raises(GraphError, match="format"):
+            graph_from_dict({"format": "nope", "operators": [], "edges": []})
+
+    def test_malformed_operator(self):
+        with pytest.raises(GraphError, match="malformed"):
+            graph_from_dict(
+                {"format": "repro.opgraph/v1", "operators": [{"cost": 1}], "edges": []}
+            )
+
+    def test_cycle_rejected(self):
+        doc = {
+            "format": "repro.opgraph/v1",
+            "operators": [{"name": "a", "cost": 1}, {"name": "b", "cost": 1}],
+            "edges": [
+                {"src": "a", "dst": "b", "transfer": 0},
+                {"src": "b", "dst": "a", "transfer": 0},
+            ],
+        }
+        with pytest.raises(GraphError):
+            graph_from_dict(doc)
+
+    def test_defaults_applied(self):
+        doc = {
+            "format": "repro.opgraph/v1",
+            "operators": [{"name": "a", "cost": 1}],
+            "edges": [],
+        }
+        g = graph_from_dict(doc)
+        op = g.operator("a")
+        assert op.occupancy == 1.0
+        assert op.output_bytes == 0
+        assert op.kind == "op"

@@ -1,0 +1,84 @@
+"""Unit tests for priority indicators and critical-path utilities."""
+
+import pytest
+
+from repro.core import (
+    OpGraph,
+    critical_path,
+    critical_path_length,
+    priority_indicators,
+    priority_order,
+)
+from repro.models.worked_examples import fig4_graph
+
+
+class TestPriorityIndicators:
+    def test_chain(self):
+        g = OpGraph.from_edges({"a": 1, "b": 2, "c": 3}, [("a", "b", 0.5), ("b", "c", 0.5)])
+        p = priority_indicators(g)
+        assert p["c"] == 3
+        assert p["b"] == 2 + 0.5 + 3
+        assert p["a"] == 1 + 0.5 + 5.5
+
+    def test_fork_takes_max(self):
+        g = OpGraph.from_edges(
+            {"a": 1, "b": 10, "c": 2}, [("a", "b", 1.0), ("a", "c", 5.0)]
+        )
+        p = priority_indicators(g)
+        assert p["a"] == 1 + max(1 + 10, 5 + 2)
+
+    def test_fig4_values(self):
+        # priorities along the longest path of the worked example
+        p = priority_indicators(fig4_graph())
+        assert p["v8"] == 2
+        assert p["v6"] == 3 + 1 + 2
+        assert p["v1"] == max(p[s] + 1 for s in ("v2", "v3")) + 2
+
+    def test_empty_graph(self):
+        assert priority_indicators(OpGraph()) == {}
+
+
+class TestPriorityOrder:
+    def test_is_topological(self):
+        g = fig4_graph()
+        order = priority_order(g)
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v, _ in g.edges():
+            assert pos[u] < pos[v]
+
+    def test_descending_priorities(self):
+        g = fig4_graph()
+        p = priority_indicators(g)
+        order = priority_order(g)
+        values = [p[v] for v in order]
+        assert values == sorted(values, reverse=True)
+
+    def test_deterministic(self):
+        g = fig4_graph()
+        assert priority_order(g) == priority_order(fig4_graph())
+
+
+class TestCriticalPath:
+    def test_length_with_and_without_transfers(self):
+        g = OpGraph.from_edges({"a": 1, "b": 2}, [("a", "b", 10.0)])
+        assert critical_path_length(g) == 13.0
+        assert critical_path_length(g, include_transfers=False) == 3.0
+
+    def test_path_vertices(self):
+        g = fig4_graph()
+        path = critical_path(g)
+        assert path == ["v1", "v2", "v4", "v6", "v8"]
+        total = sum(g.cost(v) for v in path) + sum(
+            g.transfer(u, v) for u, v in zip(path, path[1:])
+        )
+        assert total == critical_path_length(g)
+
+    def test_disconnected_vertices(self):
+        g = OpGraph.from_edges({"a": 5, "b": 1}, [])
+        assert critical_path_length(g) == 5.0
+        assert critical_path(g) == ["a"]
+
+    def test_empty(self):
+        g = OpGraph()
+        assert critical_path_length(g) == 0.0
+        assert critical_path(g) == []

@@ -1,0 +1,67 @@
+"""Unit tests for the t(u,v) transfer models."""
+
+import pytest
+
+from repro.core import OpGraph, Operator
+from repro.costmodel import (
+    BytesTransferModel,
+    ConstantTransferModel,
+    RatioTransferModel,
+    ZeroTransferModel,
+    apply_transfer_model,
+)
+
+
+def two_ops(cost_u=2.0, bytes_u=1000):
+    u = Operator("u", cost=cost_u, output_bytes=bytes_u)
+    v = Operator("v", cost=1.0)
+    return u, v
+
+
+class TestModels:
+    def test_zero(self):
+        u, v = two_ops()
+        assert ZeroTransferModel().transfer_time(u, v) == 0.0
+
+    def test_constant(self):
+        u, v = two_ops()
+        assert ConstantTransferModel(0.25).transfer_time(u, v) == 0.25
+        with pytest.raises(ValueError):
+            ConstantTransferModel(-1)
+
+    def test_ratio_above_floor(self):
+        u, v = two_ops(cost_u=2.0)
+        m = RatioTransferModel(ratio=0.8, floor=0.1)
+        assert m.transfer_time(u, v) == pytest.approx(1.6)
+
+    def test_ratio_floor_applies(self):
+        u, v = two_ops(cost_u=0.05)
+        m = RatioTransferModel(ratio=0.8, floor=0.1)
+        assert m.transfer_time(u, v) == 0.1
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            RatioTransferModel(ratio=-1)
+        with pytest.raises(ValueError):
+            RatioTransferModel(floor=-1)
+
+    def test_bytes_model(self):
+        u, v = two_ops(bytes_u=5000)
+        m = BytesTransferModel(bandwidth_bytes_per_ms=1000.0, latency_ms=0.5)
+        assert m.transfer_time(u, v) == pytest.approx(5.5)
+
+    def test_bytes_validation(self):
+        with pytest.raises(ValueError):
+            BytesTransferModel(0.0)
+        with pytest.raises(ValueError):
+            BytesTransferModel(1.0, latency_ms=-1)
+
+
+class TestApply:
+    def test_rewrites_edges_only(self):
+        g = OpGraph.from_edges({"a": 2.0, "b": 1.0}, [("a", "b", 99.0)])
+        out = apply_transfer_model(g, RatioTransferModel(0.5, floor=0.0))
+        assert out.transfer("a", "b") == pytest.approx(1.0)
+        assert out.cost("a") == 2.0
+        # original untouched
+        assert g.transfer("a", "b") == 99.0

@@ -1,0 +1,74 @@
+"""Tests for experiment configuration and reporting helpers."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, SeriesResult, default_config, format_table
+
+
+class TestConfig:
+    def test_defaults_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        cfg = default_config()
+        assert cfg.fast and cfg.instances == 3
+
+    def test_env_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        cfg = default_config()
+        assert not cfg.fast and cfg.instances == 30
+
+    def test_env_zero_means_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert default_config().fast
+
+    def test_with_(self):
+        cfg = ExperimentConfig().with_(instances=7)
+        assert cfg.instances == 7
+        assert cfg.fast  # others untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(instances=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_gpus=0)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        txt = format_table(["x", "value"], [[1, 2.34567], [100, 9.0]], precision=2)
+        lines = txt.splitlines()
+        assert len(lines) == 4
+        assert "2.35" in lines[2]
+        assert "100" in lines[3]
+
+    def test_empty_rows(self):
+        txt = format_table(["a"], [])
+        assert "a" in txt
+
+
+class TestSeriesResult:
+    def make(self):
+        return SeriesResult(
+            figure="figX",
+            title="t",
+            x_label="x",
+            y_label="y",
+            x=[1, 2],
+            series={"seq": [10.0, 20.0], "lp": [5.0, 8.0]},
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SeriesResult("f", "t", "x", "y", x=[1], series={"a": [1.0, 2.0]})
+
+    def test_value_and_speedup(self):
+        r = self.make()
+        assert r.value("seq", 2) == 20.0
+        assert r.speedup("seq", "lp") == [2.0, 2.5]
+
+    def test_to_text(self):
+        txt = self.make().to_text()
+        assert "figX" in txt
+        assert "seq" in txt and "lp" in txt
+        r2 = self.make()
+        r2.notes = "hello"
+        assert "# hello" in r2.to_text()

@@ -1,0 +1,82 @@
+"""Unit tests for GraphBuilder / ModelGraph."""
+
+import pytest
+
+from repro.core import GraphError
+from repro.models import Conv2d, Concat, GraphBuilder, MaxPool2d, TensorShape
+from repro.models.builder import INPUT
+
+
+def toy_builder():
+    b = GraphBuilder("toy", TensorShape(3, 32, 32))
+    c1 = b.add("c1", Conv2d(8, 3), b.input)
+    c2 = b.add("c2", Conv2d(8, 3), b.input)
+    b.add("cat", Concat(), c1, c2)
+    return b
+
+
+class TestBuilder:
+    def test_shapes_inferred(self):
+        b = toy_builder()
+        assert b.shape("c1") == TensorShape(8, 32, 32)
+        assert b.shape("cat") == TensorShape(16, 32, 32)
+        assert b.shape(INPUT) == TensorShape(3, 32, 32)
+
+    def test_edge_and_op_counts(self):
+        m = toy_builder().build()
+        assert len(m) == 3
+        # input -> c1/c2 edges do not count as operator dependencies
+        assert m.num_edges == 2
+
+    def test_duplicate_name_rejected(self):
+        b = toy_builder()
+        with pytest.raises(GraphError):
+            b.add("c1", Conv2d(8), b.input)
+
+    def test_unknown_tensor_rejected(self):
+        b = toy_builder()
+        with pytest.raises(GraphError):
+            b.add("x", Conv2d(8), "nope")
+
+    def test_no_inputs_rejected(self):
+        b = toy_builder()
+        with pytest.raises(GraphError):
+            b.add("x", Conv2d(8))
+
+    def test_auto_names_unique(self):
+        b = GraphBuilder("t", TensorShape(3, 8, 8))
+        n1 = b.auto(Conv2d(4), b.input)
+        n2 = b.auto(Conv2d(4), b.input)
+        assert n1 != n2
+        assert n1.startswith("conv2d_")
+
+    def test_empty_build_rejected(self):
+        b = GraphBuilder("t", TensorShape(3, 8, 8))
+        with pytest.raises(GraphError):
+            b.build()
+
+
+class TestModelGraph:
+    def test_node_access(self):
+        m = toy_builder().build()
+        node = m.node("cat")
+        assert node.inputs == ("c1", "c2")
+        with pytest.raises(GraphError):
+            m.node("zz")
+        assert "c1" in m and "zz" not in m
+
+    def test_input_shapes(self):
+        m = toy_builder().build()
+        assert m.input_shapes("cat") == [TensorShape(8, 32, 32)] * 2
+
+    def test_to_op_graph(self):
+        m = toy_builder().build()
+        costs = {n.name: 1.0 for n in m.nodes()}
+        occ = {n.name: 0.5 for n in m.nodes()}
+        transfers = {("c1", "cat"): 0.25, ("c2", "cat"): 0.25}
+        g = m.to_op_graph(costs, occ, transfers)
+        assert len(g) == 3
+        assert g.transfer("c1", "cat") == 0.25
+        assert g.operator("c1").output_bytes == TensorShape(8, 32, 32).bytes
+        assert g.operator("c1").kind == "conv2d"
+        g.validate()

@@ -1,0 +1,90 @@
+"""Tests for the Inception-v3 / NASNet builders (paper Section VI-B)."""
+
+import pytest
+
+from repro.models import (
+    INCEPTION_V3_DEPS,
+    INCEPTION_V3_OPS,
+    NASNET_DEPS,
+    NASNET_OPS,
+    inception_v3,
+    nasnet,
+)
+from repro.substrate import PlatformProfiler, dual_a40
+
+
+class TestInceptionV3:
+    def test_paper_counts(self):
+        m = inception_v3()
+        assert len(m) == INCEPTION_V3_OPS == 119
+        assert m.num_edges == INCEPTION_V3_DEPS == 153
+
+    def test_counts_stable_across_sizes(self):
+        for size in (299, 512, 1024):
+            m = inception_v3(size)
+            assert len(m) == INCEPTION_V3_OPS
+            assert m.num_edges == INCEPTION_V3_DEPS
+
+    def test_single_sink_head(self):
+        m = inception_v3()
+        graph = m.to_op_graph(
+            {n.name: 1.0 for n in m.nodes()},
+            {n.name: 1.0 for n in m.nodes()},
+            {
+                (t, n.name): 0.0
+                for n in m.nodes()
+                for t in n.inputs
+                if t in m
+            },
+        )
+        assert graph.sinks() == ["head_gap"]
+        graph.validate()
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            inception_v3(32)
+
+    def test_costs_scale_with_input(self):
+        pp = PlatformProfiler(dual_a40())
+        small = pp.price_graph(inception_v3(299)).total_cost()
+        large = pp.price_graph(inception_v3(1024)).total_cost()
+        assert large > 4 * small
+
+    def test_branches_are_parallel(self):
+        # InceptionA branch heads must be mutually independent
+        pp = PlatformProfiler(dual_a40())
+        g = pp.price_graph(inception_v3())
+        heads = ["a1_1x1", "a1_5x5_1", "a1_3x3dbl_1", "a1_pool"]
+        assert g.independent(heads)
+
+
+class TestNasnet:
+    def test_paper_counts(self):
+        m = nasnet()
+        assert len(m) == NASNET_OPS == 374
+        assert m.num_edges == NASNET_DEPS == 576
+
+    def test_counts_stable_across_sizes(self):
+        for size in (331, 512):
+            m = nasnet(size)
+            assert len(m) == NASNET_OPS
+            assert m.num_edges == NASNET_DEPS
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            nasnet(16)
+
+    def test_custom_config_skips_count_assert(self):
+        m = nasnet(stacks=(2, 2))
+        assert len(m) < NASNET_OPS
+
+    def test_validates_as_dag(self):
+        pp = PlatformProfiler(dual_a40())
+        g = pp.price_graph(nasnet())
+        g.validate()
+        assert g.sinks() == ["head_gap"]
+
+    def test_denser_than_inception(self):
+        # the paper notes NASNet's dependency density limits intra-GPU
+        # parallelism: deps per op must exceed Inception's
+        assert NASNET_DEPS / NASNET_OPS > INCEPTION_V3_DEPS / INCEPTION_V3_OPS

@@ -1,0 +1,140 @@
+"""Unit tests for the CNN operator library (shape/work inference)."""
+
+import pytest
+
+from repro.models import (
+    Activation,
+    Add,
+    AvgPool2d,
+    Concat,
+    Conv2d,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    SeparableConv2d,
+    TensorShape,
+)
+from repro.models.ops import DTYPE_BYTES
+
+
+class TestTensorShape:
+    def test_numel_bytes(self):
+        t = TensorShape(3, 4, 5)
+        assert t.numel == 60
+        assert t.bytes == 60 * DTYPE_BYTES
+        assert str(t) == "3x4x5"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TensorShape(0, 1, 1)
+
+
+class TestConv2d:
+    def test_same_padding_shape(self):
+        out = Conv2d(16, 3).infer([TensorShape(8, 32, 32)])
+        assert out == TensorShape(16, 32, 32)
+
+    def test_stride_and_valid_padding(self):
+        out = Conv2d(16, 3, stride=2, padding=0).infer([TensorShape(8, 33, 33)])
+        assert out == TensorShape(16, 16, 16)
+
+    def test_flops_formula(self):
+        x = TensorShape(8, 10, 10)
+        spec = Conv2d(16, 3)
+        out = spec.infer([x])
+        flops, rd, wr, blocks = spec.work_items([x], out)
+        assert flops == 2 * 9 * 8 * 16 * 10 * 10
+        assert wr == out.bytes
+        assert rd == x.bytes + 9 * 8 * 16 * DTYPE_BYTES
+        assert blocks >= 1
+
+    def test_too_small_input(self):
+        with pytest.raises(ValueError):
+            Conv2d(4, 7, stride=1, padding=0).infer([TensorShape(1, 3, 3)])
+
+    def test_single_input_enforced(self):
+        with pytest.raises(ValueError):
+            Conv2d(4).infer([TensorShape(1, 8, 8), TensorShape(1, 8, 8)])
+
+
+class TestSeparableConv:
+    def test_shape(self):
+        out = SeparableConv2d(32, 3, stride=2).infer([TensorShape(16, 32, 32)])
+        assert out.c == 32
+        assert out.h == 16
+
+    def test_cheaper_than_dense(self):
+        x = TensorShape(64, 16, 16)
+        dense = Conv2d(64, 3)
+        sep = SeparableConv2d(64, 3)
+        fd, *_ = dense.work_items([x], dense.infer([x]))
+        fs, *_ = sep.work_items([x], sep.infer([x]))
+        assert fs < fd
+
+
+class TestPooling:
+    def test_maxpool_shape(self):
+        out = MaxPool2d(3, 2).infer([TensorShape(8, 32, 32)])
+        assert out == TensorShape(8, 16, 16)
+
+    def test_avgpool_defaults(self):
+        out = AvgPool2d(3, 1).infer([TensorShape(8, 17, 17)])
+        assert out == TensorShape(8, 17, 17)
+
+    def test_global_avg(self):
+        spec = GlobalAvgPool()
+        out = spec.infer([TensorShape(128, 8, 8)])
+        assert out == TensorShape(128, 1, 1)
+        flops, *_ = spec.work_items([TensorShape(128, 8, 8)], out)
+        assert flops == 128 * 64
+
+
+class TestJoins:
+    def test_concat(self):
+        out = Concat().infer([TensorShape(8, 4, 4), TensorShape(16, 4, 4)])
+        assert out == TensorShape(24, 4, 4)
+
+    def test_concat_spatial_mismatch(self):
+        with pytest.raises(ValueError):
+            Concat().infer([TensorShape(8, 4, 4), TensorShape(8, 5, 5)])
+
+    def test_concat_empty(self):
+        with pytest.raises(ValueError):
+            Concat().infer([])
+
+    def test_concat_zero_flops(self):
+        x = [TensorShape(8, 4, 4)] * 2
+        out = Concat().infer(x)
+        flops, rd, wr, _ = Concat().work_items(x, out)
+        assert flops == 0.0
+        assert rd == wr == out.bytes
+
+    def test_add(self):
+        x = [TensorShape(8, 4, 4)] * 3
+        out = Add().infer(x)
+        assert out == TensorShape(8, 4, 4)
+        flops, *_ = Add().work_items(x, out)
+        assert flops == 2 * out.numel
+
+    def test_add_mismatch(self):
+        with pytest.raises(ValueError):
+            Add().infer([TensorShape(8, 4, 4), TensorShape(9, 4, 4)])
+        with pytest.raises(ValueError):
+            Add().infer([TensorShape(8, 4, 4)])
+
+
+class TestOthers:
+    def test_activation_identity_shape(self):
+        out = Activation("relu").infer([TensorShape(4, 4, 4)])
+        assert out == TensorShape(4, 4, 4)
+
+    def test_linear(self):
+        spec = Linear(1000)
+        out = spec.infer([TensorShape(2048, 1, 1)])
+        assert out == TensorShape(1000, 1, 1)
+        flops, *_ = spec.work_items([TensorShape(2048, 1, 1)], out)
+        assert flops == 2 * 2048 * 1000
+
+    def test_kind_tags(self):
+        assert Conv2d(8).kind == "conv2d"
+        assert Concat().kind == "concat"

@@ -1,0 +1,102 @@
+"""Tests for the Section V random layered DAG generator."""
+
+import pytest
+
+from repro.models import RandomDagConfig, random_dag_profile, random_layered_dag
+
+
+class TestGeneration:
+    def test_default_paper_settings(self):
+        g = random_layered_dag(seed=0)
+        assert len(g) == 200
+        assert g.num_edges == 400
+
+    def test_costs_in_range(self):
+        g = random_layered_dag(seed=1)
+        for op in g.operators():
+            assert 0.1 <= op.cost <= 4.0
+
+    def test_occupancy_calibration(self):
+        cfg = RandomDagConfig(saturation_ms=3.0)
+        g = random_layered_dag(cfg, seed=2)
+        for op in g.operators():
+            assert op.occupancy == pytest.approx(min(1.0, op.cost / 3.0))
+
+    def test_transfer_rule(self):
+        g = random_layered_dag(seed=3, transfer_ratio=0.8, transfer_floor=0.1)
+        for u, v, w in g.edges():
+            assert w == pytest.approx(max(0.1, 0.8 * g.cost(u)))
+
+    def test_layering_respected(self):
+        g = random_layered_dag(seed=4)
+        for u, v, _ in g.edges():
+            assert g.operator(u).attrs["layer"] < g.operator(v).attrs["layer"]
+
+    def test_every_layer_nonempty(self):
+        g = random_layered_dag(seed=5, num_ops=30, num_layers=10)
+        layers = {op.attrs["layer"] for op in g.operators()}
+        assert layers == set(range(10))
+
+    def test_non_first_layer_ops_have_parents(self):
+        g = random_layered_dag(seed=6)
+        for op in g.operators():
+            if op.attrs["layer"] > 0:
+                assert g.in_degree(op.name) >= 1
+
+    def test_is_dag(self):
+        random_layered_dag(seed=7).validate()
+
+    def test_determinism(self):
+        a = random_layered_dag(seed=8)
+        b = random_layered_dag(seed=8)
+        assert a.edges() == b.edges()
+        assert [op.cost for op in a.operators()] == [op.cost for op in b.operators()]
+
+    def test_seeds_differ(self):
+        a = random_layered_dag(seed=9)
+        b = random_layered_dag(seed=10)
+        assert a.edges() != b.edges()
+
+    def test_custom_edge_count(self):
+        g = random_layered_dag(seed=11, num_edges=550)
+        assert g.num_edges == 550
+
+
+class TestValidation:
+    def test_config_bounds(self):
+        with pytest.raises(ValueError):
+            RandomDagConfig(num_ops=0)
+        with pytest.raises(ValueError):
+            RandomDagConfig(num_layers=0)
+        with pytest.raises(ValueError):
+            RandomDagConfig(num_ops=5, num_layers=6)
+        with pytest.raises(ValueError):
+            RandomDagConfig(cost_min=0)
+        with pytest.raises(ValueError):
+            RandomDagConfig(transfer_ratio=-1)
+        with pytest.raises(ValueError):
+            RandomDagConfig(saturation_ms=0)
+
+    def test_edge_target_too_low(self):
+        with pytest.raises(ValueError, match="mandatory"):
+            random_layered_dag(seed=0, num_ops=100, num_layers=10, num_edges=10)
+
+    def test_edge_target_too_high(self):
+        with pytest.raises(ValueError, match="capacity"):
+            random_layered_dag(seed=0, num_ops=10, num_layers=5, num_edges=1000)
+
+    def test_config_and_kwargs_exclusive(self):
+        with pytest.raises(TypeError):
+            random_layered_dag(RandomDagConfig(), seed=0, num_ops=10)
+
+
+class TestProfileFactory:
+    def test_profile_defaults(self):
+        p = random_dag_profile(seed=0)
+        assert p.num_gpus == 4
+        assert len(p.graph) == 200
+
+    def test_kwargs_passthrough(self):
+        p = random_dag_profile(seed=0, num_gpus=2, num_ops=50, num_layers=5)
+        assert p.num_gpus == 2
+        assert len(p.graph) == 50

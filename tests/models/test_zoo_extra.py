@@ -1,0 +1,76 @@
+"""Tests for the contrast models (ResNet-50, RandWire)."""
+
+import pytest
+
+from repro.core import schedule_graph
+from repro.models import RESNET50_DEPS, RESNET50_OPS, randwire, resnet50
+from repro.substrate import PlatformProfiler, dual_a40, nvswitch_platform
+
+
+class TestResnet50:
+    def test_counts(self):
+        m = resnet50()
+        assert len(m) == RESNET50_OPS == 71
+        assert m.num_edges == RESNET50_DEPS == 86
+
+    def test_counts_stable_across_sizes(self):
+        assert len(resnet50(512)) == RESNET50_OPS
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            resnet50(16)
+
+    def test_nearly_chain_shaped(self):
+        """The skip connections add only short parallel branches: the
+        computation-only critical path covers most of the total work —
+        the regime where HIOS cannot help much."""
+        from repro.core import critical_path_length
+
+        pp = PlatformProfiler(dual_a40())
+        g = pp.price_graph(resnet50(512))
+        cp = critical_path_length(g, include_transfers=False)
+        assert cp / g.total_cost() > 0.8
+
+    def test_hios_gain_is_small(self):
+        pp = PlatformProfiler(dual_a40())
+        prof = pp.profile(resnet50(512))
+        seq = schedule_graph(prof, "sequential").latency
+        lp = schedule_graph(prof, "hios-lp").latency
+        assert lp <= seq + 1e-9
+        assert (seq - lp) / seq < 0.15  # minimal headroom by design
+
+
+class TestRandwire:
+    def test_deterministic(self):
+        a = randwire(seed=3)
+        b = randwire(seed=3)
+        assert [n.name for n in a.nodes()] == [n.name for n in b.nodes()]
+        assert a.num_edges == b.num_edges
+
+    def test_seeds_differ(self):
+        assert randwire(seed=1).num_edges != randwire(seed=2).num_edges
+
+    def test_edge_prob_densifies(self):
+        sparse = randwire(seed=0, edge_prob=0.05)
+        dense = randwire(seed=0, edge_prob=0.6)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            randwire(num_nodes=1)
+        with pytest.raises(ValueError):
+            randwire(edge_prob=1.5)
+
+    def test_wide_parallelism_pays_on_nvswitch(self):
+        pp = PlatformProfiler(nvswitch_platform(4))
+        prof = pp.profile(randwire(512))
+        seq = schedule_graph(prof, "sequential").latency
+        lp = schedule_graph(prof, "hios-lp").latency
+        assert (seq - lp) / seq > 0.25  # branchy graph, cheap fabric
+
+    def test_is_dag_and_schedulable(self):
+        pp = PlatformProfiler(dual_a40())
+        prof = pp.profile(randwire(224, num_nodes=16, seed=5))
+        prof.graph.validate()
+        res = schedule_graph(prof, "hios-mr")
+        res.schedule.validate(prof.graph)

@@ -1,0 +1,76 @@
+"""Unit tests for the GPU device model and its presets."""
+
+import pytest
+
+from repro.substrate import A40, DEVICE_PRESETS, RTX_A5500, V100S, GpuDeviceModel, KernelWork
+
+
+def work(flops=1e9, rd=1000, wr=1000, blocks=100):
+    return KernelWork(flops=flops, bytes_read=rd, bytes_written=wr, blocks=blocks)
+
+
+class TestKernelWork:
+    def test_totals(self):
+        w = work(rd=10, wr=20)
+        assert w.bytes_total == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelWork(flops=-1, bytes_read=0, bytes_written=0, blocks=1)
+        with pytest.raises(ValueError):
+            KernelWork(flops=0, bytes_read=0, bytes_written=0, blocks=0)
+
+
+class TestDeviceModel:
+    def test_compute_bound_kernel(self):
+        d = A40
+        w = work(flops=d.effective_flops_per_ms * 2.0, rd=0, wr=0)
+        assert d.kernel_time(w) == pytest.approx(2.0 + d.launch_overhead_ms)
+
+    def test_memory_bound_kernel(self):
+        d = A40
+        w = work(flops=1.0, rd=int(d.mem_bytes_per_ms), wr=0)
+        assert d.kernel_time(w) == pytest.approx(1.0 + d.launch_overhead_ms)
+
+    def test_occupancy_clamps(self):
+        d = A40
+        assert d.occupancy(work(blocks=10 * d.block_capacity)) == 1.0
+        tiny = d.occupancy(work(blocks=1))
+        assert 0 < tiny < 0.01
+
+    def test_occupancy_monotone_in_blocks(self):
+        d = A40
+        occ = [d.occupancy(work(blocks=b)) for b in (10, 100, 1000, 10000)]
+        assert occ == sorted(occ)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpuDeviceModel("bad", num_sms=0, peak_tflops=1, mem_bw_gbs=1)
+        with pytest.raises(ValueError):
+            GpuDeviceModel("bad", num_sms=1, peak_tflops=-1, mem_bw_gbs=1)
+        with pytest.raises(ValueError):
+            GpuDeviceModel("bad", num_sms=1, peak_tflops=1, mem_bw_gbs=1, efficiency=2)
+        with pytest.raises(ValueError):
+            GpuDeviceModel(
+                "bad", num_sms=1, peak_tflops=1, mem_bw_gbs=1, launch_overhead_ms=-1
+            )
+
+
+class TestPresets:
+    def test_registry(self):
+        assert DEVICE_PRESETS["a40"] is A40
+        assert DEVICE_PRESETS["a5500"] is RTX_A5500
+        assert DEVICE_PRESETS["v100s"] is V100S
+
+    def test_relative_throughput(self):
+        # A40 out-computes V100S (fp32), V100S has more memory bandwidth
+        assert A40.effective_flops_per_ms > V100S.effective_flops_per_ms
+        assert V100S.mem_bytes_per_ms > A40.mem_bytes_per_ms
+
+    def test_fig1_calibration_crossover(self):
+        """The 48-channel 5x5 conv must under-occupy the A40 at 64x64
+        and saturate it at 128x128 (Section II-A / Fig. 1)."""
+        from repro.experiments.fig01_contention import conv_operator
+
+        assert conv_operator(64).occupancy < 1.0
+        assert conv_operator(128).occupancy == 1.0

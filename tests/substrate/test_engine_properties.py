@@ -1,0 +1,114 @@
+"""Property-based bounds on the engine for arbitrary stage schedules.
+
+Unlike the exact-equivalence tests (singleton stages, idealized
+knobs), these run the *default* engine on schedules with multi-operator
+stages and hold it to invariants no configuration may violate:
+
+* every operator starts once, finishes once, and finish >= start;
+* launch <= start for every operator;
+* the makespan is at least the computation-only critical path scaled
+  by the slowest applicable rate, and at least the largest single
+  operator;
+* per-GPU busy time never exceeds the makespan;
+* transfers only occur between distinct GPUs, with positive durations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Schedule, Stage, critical_path_length, priority_order
+from repro.models.randomdag import random_layered_dag
+from repro.substrate import EngineConfig, MultiGpuEngine
+
+
+def _greedy_stage_schedule(graph, num_gpus: int, width: int, seed: int) -> Schedule:
+    """Deterministic multi-op-stage schedule: assign operators to GPUs
+    round-robin in priority order, then pack each GPU's consecutive
+    independent operators into stages of up to ``width``.  Packing can
+    create cross-GPU stage cycles; when it does, fall back to the
+    always-feasible singleton layout (per-GPU priority order)."""
+    order = priority_order(graph)
+    per_gpu: dict[int, list[str]] = {g: [] for g in range(num_gpus)}
+    for i, v in enumerate(order):
+        per_gpu[(i + seed) % num_gpus].append(v)
+    packed = Schedule(num_gpus)
+    for g, ops in per_gpu.items():
+        i = 0
+        while i < len(ops):
+            group = [ops[i]]
+            j = i + 1
+            while j < len(ops) and len(group) < width:
+                if graph.independent(group + [ops[j]]):
+                    group.append(ops[j])
+                    j += 1
+                else:
+                    break
+            packed.append_stage(Stage(g, tuple(group)))
+            i += len(group)
+    try:
+        packed.validate(graph)
+        return packed
+    except Exception:
+        singleton = Schedule(num_gpus)
+        for g, ops in per_gpu.items():
+            for v in ops:
+                singleton.append_stage(Stage(g, (v,)))
+        singleton.validate(graph)
+        return singleton
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    num_gpus=st.integers(1, 3),
+    width=st.integers(1, 4),
+    overlap=st.booleans(),
+)
+def test_engine_invariants(seed, num_gpus, width, overlap):
+    graph = random_layered_dag(num_ops=24, num_layers=4, seed=seed)
+    schedule = _greedy_stage_schedule(graph, num_gpus, width, seed)
+    engine = MultiGpuEngine(
+        EngineConfig(launch_overhead_ms=0.002, overlap_launch=overlap)
+    )
+    trace = engine.run(graph, schedule, validate=False)
+
+    assert set(trace.op_start) == set(graph.names)
+    assert set(trace.op_finish) == set(graph.names)
+    for op in graph.names:
+        assert trace.op_finish[op] >= trace.op_start[op] - 1e-9
+        assert trace.op_launch[op] <= trace.op_start[op] + 1e-9
+
+    cp = critical_path_length(graph, include_transfers=False)
+    assert trace.latency >= cp - 1e-6  # rates never exceed 1.0
+    assert trace.latency >= max(op.cost for op in graph.operators()) - 1e-6
+
+    for g, busy in trace.gpu_busy.items():
+        assert busy <= trace.latency + 1e-6
+
+    gpu_of = {op: schedule.gpu_of(op) for op in graph.names}
+    for rec in trace.transfers:
+        assert rec.src != rec.dst
+        assert rec.duration > 0
+    # every cross-GPU edge produced exactly one transfer
+    expected = sum(
+        1 for u, v, _ in graph.edges() if gpu_of[u] != gpu_of[v]
+    )
+    assert trace.num_transfers == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 200))
+def test_dependencies_respected_in_time(seed):
+    """A consumer never starts before its producer finished (plus the
+    transfer when remote)."""
+    graph = random_layered_dag(num_ops=20, num_layers=4, seed=seed)
+    schedule = _greedy_stage_schedule(graph, 2, 3, seed)
+    trace = MultiGpuEngine(EngineConfig(launch_overhead_ms=0.0)).run(
+        graph, schedule, validate=False
+    )
+    gpu_of = {op: schedule.gpu_of(op) for op in graph.names}
+    for u, v, w in graph.edges():
+        gap = w if gpu_of[u] != gpu_of[v] else 0.0
+        assert trace.op_start[v] >= trace.op_finish[u] + gap - 1e-6

@@ -1,0 +1,73 @@
+"""Tests for the platform profiler (model graph -> cost profile)."""
+
+import pytest
+
+from repro.models import Conv2d, GraphBuilder, TensorShape, inception_v3
+from repro.substrate import PlatformProfiler, dual_a40, dual_v100s
+
+
+def tiny_model():
+    b = GraphBuilder("tiny", TensorShape(3, 64, 64))
+    c1 = b.add("c1", Conv2d(16, 3), b.input)
+    b.add("c2", Conv2d(16, 3), c1)
+    return b.build()
+
+
+class TestPricing:
+    def test_price_graph_structure(self):
+        pp = PlatformProfiler(dual_a40())
+        g = pp.price_graph(tiny_model())
+        assert len(g) == 2
+        assert g.has_edge("c1", "c2")
+        assert g.cost("c1") > 0
+        assert 0 < g.operator("c1").occupancy <= 1
+
+    def test_transfer_prices_producer_bytes(self):
+        pp = PlatformProfiler(dual_a40())
+        m = tiny_model()
+        g = pp.price_graph(m)
+        expected = pp.platform.transfer_time(m.node("c1").output.bytes)
+        assert g.transfer("c1", "c2") == pytest.approx(expected)
+
+    def test_slower_device_costs_more(self):
+        fast = PlatformProfiler(dual_a40()).price_graph(tiny_model())
+        slow = PlatformProfiler(dual_v100s()).price_graph(tiny_model())
+        assert slow.total_cost() > fast.total_cost()
+
+    def test_profile_wiring(self):
+        pp = PlatformProfiler(dual_a40(), contention_penalty=0.1, max_streams=4)
+        prof = pp.profile(tiny_model())
+        assert prof.num_gpus == 2
+        assert prof.max_streams == 4
+        assert prof.concurrency.contention_penalty == 0.1
+
+    def test_num_gpus_override(self):
+        pp = PlatformProfiler(dual_a40())
+        assert pp.profile(tiny_model(), num_gpus=6).num_gpus == 6
+
+    def test_engine_consistent_with_platform(self):
+        pp = PlatformProfiler(dual_a40())
+        eng = pp.engine()
+        assert eng.config.link is pp.platform.link
+        assert eng.config.launch_overhead_ms == pp.platform.device.launch_overhead_ms
+        assert eng.config.overlap_launch is False
+        assert pp.engine(overlap_launch=True).config.overlap_launch is True
+
+    def test_work_of(self):
+        pp = PlatformProfiler(dual_a40())
+        work = pp.work_of(tiny_model(), "c1")
+        assert work.flops > 0
+        assert work.blocks >= 1
+
+
+class TestEndToEnd:
+    def test_inception_schedulable_and_runnable(self):
+        from repro.core import schedule_graph
+
+        pp = PlatformProfiler(dual_a40())
+        prof = pp.profile(inception_v3(299))
+        res = schedule_graph(prof, "hios-lp")
+        trace = pp.engine().run(prof.graph, res.schedule)
+        assert trace.latency > 0
+        # engine and evaluator should agree within a modest factor
+        assert trace.latency == pytest.approx(res.latency, rel=0.5)

@@ -1,0 +1,53 @@
+"""Tests for the ASCII line-chart renderer."""
+
+import pytest
+
+from repro.experiments.reporting import SeriesResult
+from repro.utils import ascii_plot, plot_series_result
+
+
+class TestAsciiPlot:
+    def test_basic_chart(self):
+        out = ascii_plot({"a": [1.0, 2.0, 3.0]}, x_labels=[10, 20, 30], width=30, height=8)
+        assert "o" in out
+        assert "o a" in out  # legend
+        assert "10" in out and "30" in out  # x axis endpoints
+        assert "3" in out.splitlines()[0]  # max label on top row
+
+    def test_multiple_series_distinct_markers(self):
+        out = ascii_plot({"a": [1, 2], "b": [2, 1]}, width=20, height=6)
+        assert "o a" in out and "x b" in out
+
+    def test_extremes_on_first_and_last_rows(self):
+        out = ascii_plot({"a": [0.0, 10.0]}, width=20, height=5)
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert "o" in rows[0]  # max on top
+        assert "o" in rows[-1]  # min on bottom
+
+    def test_constant_series(self):
+        out = ascii_plot({"a": [5.0, 5.0, 5.0]}, width=10, height=4)
+        assert "o" in out  # no division by zero
+
+    def test_empty_and_mismatched(self):
+        assert ascii_plot({}) == "(no data)"
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_y_label_first_line(self):
+        out = ascii_plot({"a": [1, 2]}, y_label="latency")
+        assert out.splitlines()[0] == "latency"
+
+    def test_single_point(self):
+        out = ascii_plot({"a": [3.0]}, width=10, height=4)
+        assert "o" in out
+
+
+class TestPlotSeriesResult:
+    def test_wraps_series_result(self):
+        r = SeriesResult(
+            figure="figX", title="t", x_label="n", y_label="ms",
+            x=[1, 2, 3], series={"seq": [3.0, 2.0, 1.0]},
+        )
+        out = plot_series_result(r)
+        assert "figX" in out
+        assert "seq" in out

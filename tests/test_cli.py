@@ -1,0 +1,143 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_figure_choices(self):
+        args = build_parser().parse_args(["run", "fig1"])
+        assert args.figure == "fig1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_schedule_defaults(self):
+        args = build_parser().parse_args(["schedule"])
+        assert args.model == "inception_v3"
+        assert args.algorithm == "hios-lp"
+        assert args.gpus == 2
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "hios-lp" in out
+        assert "nasnet" in out
+
+    def test_run_fig1(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "ratio" in out
+
+    def test_run_instances_override(self, capsys):
+        assert main(["run", "fig11", "--instances", "1"]) == 0
+        assert "latency" in capsys.readouterr().out
+
+    def test_schedule_inception(self, capsys):
+        assert (
+            main(
+                [
+                    "schedule",
+                    "--model",
+                    "inception_v3",
+                    "--size",
+                    "299",
+                    "--algorithm",
+                    "sequential",
+                    "--stages",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "predicted" in out and "measured" in out
+        assert "GPU 0" in out
+
+    def test_schedule_json_output(self, capsys):
+        assert (
+            main(
+                [
+                    "schedule",
+                    "--model",
+                    "inception_v3",
+                    "--size",
+                    "299",
+                    "--algorithm",
+                    "hios-mr",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert '"num_gpus": 2' in out
+
+
+class TestValidateCommand:
+    @pytest.fixture
+    def artifacts(self, tmp_path):
+        from repro.core import OpGraph, Schedule, save_graph
+
+        g = OpGraph.from_edges({"a": 1.0, "b": 2.0}, [("a", "b", 0.5)])
+        gpath = tmp_path / "g.json"
+        save_graph(g, gpath)
+        s = Schedule(2)
+        s.append_op(0, "a")
+        s.append_op(1, "b")
+        spath = tmp_path / "s.json"
+        spath.write_text(s.to_json())
+        return str(gpath), str(spath), tmp_path
+
+    def test_valid_schedule(self, artifacts, capsys):
+        gpath, spath, _ = artifacts
+        assert main(["validate", gpath, spath]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OK")
+        assert "latency" in out
+
+    def test_invalid_schedule(self, artifacts, capsys):
+        from repro.core import Schedule
+
+        gpath, _, tmp = artifacts
+        bad = Schedule(1)
+        bad.append_op(0, "b")
+        bad.append_op(0, "a")
+        bpath = tmp / "bad.json"
+        bpath.write_text(bad.to_json())
+        assert main(["validate", gpath, str(bpath)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_gpu_mismatch(self, artifacts, capsys):
+        gpath, spath, _ = artifacts
+        assert main(["validate", gpath, spath, "--gpus", "4"]) == 2
+
+
+class TestCompareCommand:
+    def test_compare_table(self, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    "--model",
+                    "inception_v3",
+                    "--size",
+                    "299",
+                    "--algorithms",
+                    "sequential",
+                    "hios-lp",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "lower bound" in out
+        assert "sequential" in out and "hios-lp" in out
+        assert "gap" in out

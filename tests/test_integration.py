@@ -1,0 +1,91 @@
+"""Cross-module integration tests: the full profile -> schedule ->
+serialize -> execute pipeline, and end-to-end paper-shape checks that
+bind the whole stack together."""
+
+import pytest
+
+from repro import Schedule, evaluate_latency, schedule_graph
+from repro.models import inception_v3, nasnet, random_dag_profile
+from repro.substrate import PlatformProfiler, dual_a40, nvswitch_platform
+
+
+class TestScheduleRoundTrip:
+    """The paper's scheduler emits JSON that its engine consumes; the
+    schedule must survive serialization bit-for-bit."""
+
+    @pytest.mark.parametrize("alg", ["hios-lp", "hios-mr", "ios"])
+    def test_json_roundtrip_preserves_engine_latency(self, alg):
+        profiler = PlatformProfiler(dual_a40())
+        profile = profiler.profile(inception_v3(299))
+        res = schedule_graph(profile, alg)
+        restored = Schedule.from_json(res.schedule.to_json())
+        assert restored == res.schedule
+        engine = profiler.engine()
+        t1 = engine.run(profile.graph, res.schedule).latency
+        t2 = engine.run(profile.graph, restored).latency
+        assert t1 == pytest.approx(t2)
+
+
+class TestEndToEndShapes:
+    def test_inception_large_input_ordering(self):
+        """At large inputs the paper's ordering must hold on the engine:
+        HIOS-LP < HIOS-MR < sequential, and HIOS-LP < IOS."""
+        profiler = PlatformProfiler(dual_a40())
+        profile = profiler.profile(inception_v3(1024))
+        engine = profiler.engine()
+        measured = {}
+        for alg in ("sequential", "ios", "hios-mr", "hios-lp"):
+            res = schedule_graph(profile, alg)
+            measured[alg] = engine.run(profile.graph, res.schedule).latency
+        assert measured["hios-lp"] < measured["ios"]
+        assert measured["hios-lp"] < measured["hios-mr"]
+        assert measured["hios-lp"] < measured["sequential"]
+
+    def test_nasnet_engine_runs_all_algorithms(self):
+        profiler = PlatformProfiler(dual_a40())
+        profile = profiler.profile(nasnet(331))
+        engine = profiler.engine()
+        for alg in ("sequential", "hios-mr", "hios-lp"):
+            res = schedule_graph(profile, alg)
+            trace = engine.run(profile.graph, res.schedule)
+            assert trace.latency > 0
+            assert set(trace.op_finish) == set(profile.graph.names)
+
+    def test_four_gpu_platform(self):
+        profiler = PlatformProfiler(nvswitch_platform(4))
+        profile = profiler.profile(inception_v3(1024))
+        res = schedule_graph(profile, "hios-lp")
+        assert len(res.schedule.used_gpus()) >= 2
+        trace = profiler.engine().run(profile.graph, res.schedule)
+        assert trace.latency <= schedule_graph(profile, "sequential").latency
+
+
+class TestPredictionVsMeasurement:
+    """Scheduler prediction and engine measurement must stay close —
+    the engine only adds launch effects and eager starts."""
+
+    @pytest.mark.parametrize(
+        "builder,size", [(inception_v3, 299), (inception_v3, 1024), (nasnet, 331)]
+    )
+    def test_agreement(self, builder, size):
+        profiler = PlatformProfiler(dual_a40())
+        profile = profiler.profile(builder(size))
+        res = schedule_graph(profile, "hios-lp")
+        trace = profiler.engine().run(profile.graph, res.schedule)
+        assert trace.latency == pytest.approx(res.latency, rel=0.35)
+
+
+class TestSimulationIntegration:
+    def test_evaluator_consistency_at_scale(self):
+        profile = random_dag_profile(seed=42, num_gpus=4)
+        for alg in ("hios-lp", "hios-mr", "inter-lp", "inter-mr"):
+            res = schedule_graph(profile, alg)
+            assert evaluate_latency(profile, res.schedule, validate=True) == (
+                pytest.approx(res.latency)
+            )
+
+    def test_full_paper_ranking_on_one_seed(self):
+        profile = random_dag_profile(seed=0, num_gpus=4)
+        lat = {a: schedule_graph(profile, a).latency for a in
+               ("sequential", "ios", "hios-mr", "hios-lp")}
+        assert lat["hios-lp"] < lat["hios-mr"] < lat["ios"] < lat["sequential"]

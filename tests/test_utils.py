@@ -1,0 +1,66 @@
+"""Tests for the ASCII rendering utilities."""
+
+from repro.core import Schedule, Stage
+from repro.utils import render_gantt, render_schedule_table
+
+
+class TestRenderGantt:
+    def test_basic_layout(self):
+        out = render_gantt(
+            op_start={"a": 0.0, "b": 1.0},
+            op_finish={"a": 1.0, "b": 2.0},
+            op_gpu={"a": 0, "b": 1},
+            width=20,
+        )
+        assert "GPU 0:" in out and "GPU 1:" in out
+        assert "#" in out
+        a_line = next(l for l in out.splitlines() if l.strip().startswith("a"))
+        b_line = next(l for l in out.splitlines() if l.strip().startswith("b"))
+        assert a_line.index("#") < b_line.index("#")
+
+    def test_empty(self):
+        assert "empty" in render_gantt({}, {}, {})
+
+    def test_zero_length(self):
+        out = render_gantt({"a": 0.0}, {"a": 0.0}, {"a": 0})
+        assert "zero-length" in out
+
+    def test_truncation(self):
+        n = 10
+        starts = {f"op{i}": float(i) for i in range(n)}
+        finishes = {f"op{i}": float(i) + 1 + i for i in range(n)}
+        gpus = {f"op{i}": 0 for i in range(n)}
+        out = render_gantt(starts, finishes, gpus, max_ops_per_gpu=3)
+        assert "hidden" in out
+        assert sum(1 for l in out.splitlines() if "|" in l) == 3
+
+    def test_minimum_bar_width(self):
+        # a vanishingly short op still renders at least one '#'
+        out = render_gantt(
+            {"tiny": 0.0, "big": 0.0},
+            {"tiny": 0.001, "big": 100.0},
+            {"tiny": 0, "big": 0},
+            width=30,
+        )
+        tiny_line = next(l for l in out.splitlines() if "tiny" in l)
+        assert "#" in tiny_line
+
+
+class TestRenderScheduleTable:
+    def test_lists_stages(self):
+        s = Schedule(2)
+        s.append_stage(Stage(0, ("a", "b")))
+        s.append_op(1, "c")
+        out = render_schedule_table(s)
+        assert "GPU 0: 1 stages" in out
+        assert "S[0,0] (2 ops): a, b" in out
+        assert "S[1,0] (1 op): c" in out
+
+    def test_skips_idle_gpus(self):
+        s = Schedule(3)
+        s.append_op(0, "a")
+        out = render_schedule_table(s)
+        assert "GPU 1" not in out
+
+    def test_empty(self):
+        assert "empty" in render_schedule_table(Schedule(1))
