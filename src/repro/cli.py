@@ -19,6 +19,12 @@ Commands
 ``validate GRAPH.json SCHEDULE.json``
     Feasibility-check a schedule against a priced graph and print its
     predicted latency (exit 1 on an invalid schedule).
+``faults --model NAME --fault SPEC [...]``
+    Latency-under-faults sweep: run several algorithms on one model
+    under an injected fault plan (GPU slowdowns/failures, link
+    degradation, transfer loss) and tabulate fault-free, faulted and
+    repaired latency.  Fault specs: ``fail:G@T``, ``slow:G@TxF``,
+    ``link:S->D@TxF``, ``loss:P``.
 """
 
 from __future__ import annotations
@@ -77,6 +83,34 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=["sequential", "ios", "hios-mr", "hios-lp"],
         choices=sorted(ALGORITHMS),
+    )
+
+    faults = sub.add_parser(
+        "faults", help="latency under an injected fault plan, with repair"
+    )
+    faults.add_argument("--model", choices=sorted(MODEL_BUILDERS), default="inception_v3")
+    faults.add_argument("--size", type=int, default=None)
+    faults.add_argument("--gpus", type=int, default=4)
+    faults.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["sequential", "ios", "hios-mr", "hios-lp"],
+        choices=sorted(ALGORITHMS),
+    )
+    faults.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="repeatable: fail:G@T | slow:G@TxF | link:S->D@TxF | loss:P",
+    )
+    faults.add_argument("--seed", type=int, default=0, help="fault plan seed")
+    faults.add_argument(
+        "--no-repair", action="store_true", help="report the failure, do not repair"
+    )
+    faults.add_argument(
+        "--watchdog", type=float, default=0.0,
+        help="engine watchdog horizon in ms (0 = disabled)",
     )
 
     validate = sub.add_parser(
@@ -176,6 +210,68 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .core.repair import run_with_repair
+    from .experiments.reporting import format_table
+    from .substrate.engine import EngineError, MultiGpuEngine
+    from .substrate.faults import FaultError, FaultPlan
+
+    try:
+        plan = FaultPlan.from_strings(args.fault, seed=args.seed)
+    except FaultError as exc:
+        print(f"error: {exc}")
+        return 2
+    builder = MODEL_BUILDERS[args.model]
+    size = args.size if args.size is not None else (299 if args.model == "inception_v3" else 331)
+    profiler = default_profiler(num_gpus=args.gpus)
+    profile = profiler.profile(builder(size))
+    clean_engine = profiler.engine()
+    faulted_cfg = replace(
+        clean_engine.config, faults=plan, watchdog_horizon_ms=args.watchdog
+    )
+
+    rows = []
+    for alg in sorted(set(args.algorithms), key=args.algorithms.index):
+        res = schedule_graph(profile, alg)
+        clean = clean_engine.run(profile.graph, res.schedule)
+        faulted = repaired = slowdown = "—"
+        try:
+            if args.no_repair:
+                trace, repair = MultiGpuEngine(faulted_cfg).run(
+                    profile.graph, res.schedule
+                ), None
+            else:
+                trace, repair = run_with_repair(
+                    profile, res.schedule, config=faulted_cfg, algorithm=alg
+                )
+            if trace.failure is None:
+                faulted = f"{trace.latency:.3f}"
+                slowdown = f"{trace.latency / clean.latency:.2f}x"
+            else:
+                faulted = f"fail@{trace.failure.time:.3f}"
+                if repair is not None:
+                    repaired = f"{trace.latency:.3f}"
+                    slowdown = f"{trace.latency / clean.latency:.2f}x"
+        except (EngineError, FaultError) as exc:
+            faulted = f"error: {exc}"
+        rows.append([alg, f"{clean.latency:.3f}", faulted, repaired, slowdown])
+
+    plan_desc = ", ".join(args.fault) if args.fault else "none (fault-free)"
+    print(
+        f"{args.model}@{size} on {args.gpus} GPU(s); faults: {plan_desc}; "
+        f"seed {args.seed}\n"
+    )
+    print(
+        format_table(
+            ["algorithm", "fault-free ms", "faulted", "repaired ms", "vs clean"],
+            rows,
+        )
+    )
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     import json
 
@@ -222,6 +318,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "compare":
         return _cmd_compare(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -27,6 +27,13 @@ from .priority import (
     priority_order,
 )
 from .refine import local_search_assignment, schedule_hios_lp_ls
+from .repair import (
+    RepairError,
+    RepairResult,
+    repair_schedule,
+    run_with_repair,
+    splice_traces,
+)
 from .result import ScheduleResult
 from .schedule import Schedule, ScheduleError, Stage
 from .sequential import schedule_sequential
@@ -44,6 +51,8 @@ __all__ = [
     "latency_lower_bound",
     "optimality_gap",
     "work_bound",
+    "RepairError",
+    "RepairResult",
     "Schedule",
     "ScheduleError",
     "ScheduleMetrics",
@@ -68,6 +77,8 @@ __all__ = [
     "parallelize",
     "priority_indicators",
     "priority_order",
+    "repair_schedule",
+    "run_with_repair",
     "schedule_brute_force",
     "schedule_graph",
     "schedule_hios_lp",
@@ -76,4 +87,5 @@ __all__ = [
     "schedule_inter_gpu_mr",
     "schedule_ios",
     "schedule_sequential",
+    "splice_traces",
 ]

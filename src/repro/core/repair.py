@@ -1,0 +1,209 @@
+"""Degraded-mode schedule repair after a GPU failure.
+
+When the engine fail-stops on an injected
+:class:`~repro.substrate.faults.GpuFailure`, the run hands back a
+:class:`~repro.substrate.faults.FailureEvent`: which operators finished
+(their outputs survive on the host) and which were in flight (their
+progress is lost).  :func:`repair_schedule` re-schedules the unfinished
+subgraph onto the surviving GPUs with any registered algorithm — by
+default HIOS-LP, i.e. the full list-scheduling + ``parallelize()``
+machinery running in degraded mode — and :func:`splice_traces` glues
+the partial pre-failure trace and the repaired tail into one combined
+:class:`~repro.substrate.engine.ExecutionTrace`.
+
+Model assumptions (kept deliberately simple, see DESIGN.md):
+
+* fail-stop with host checkpointing — finished operators never
+  re-execute, their outputs are re-staged to the survivors for free
+  during failover;
+* in-flight operators on *any* GPU restart from scratch (the global
+  cut keeps the hand-off state consistent);
+* the repaired tail runs fault-free (single-failure model).
+
+The substrate imports :mod:`repro.core`, so everything engine-facing
+here is imported lazily inside the functions that need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any
+
+from ..costmodel.profile import CostProfile
+from .graph import OpGraph
+from .result import ScheduleResult
+from .schedule import Schedule, Stage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..substrate.engine import EngineConfig, ExecutionTrace
+    from ..substrate.faults import FailureEvent
+
+__all__ = ["RepairError", "RepairResult", "repair_schedule", "run_with_repair", "splice_traces"]
+
+
+class RepairError(RuntimeError):
+    """Raised when a failed run cannot be repaired (no survivors, ...)."""
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """Outcome of re-scheduling the unfinished subgraph.
+
+    ``schedule`` uses the *original* GPU indices (the failed GPU hosts
+    nothing); ``result`` is the raw scheduler output on the compacted
+    survivor indices, kept for its latency prediction and stats.
+    """
+
+    failure: "FailureEvent"
+    survivors: tuple[int, ...]
+    subgraph: OpGraph
+    schedule: Schedule
+    result: ScheduleResult
+
+    @property
+    def algorithm(self) -> str:
+        return self.result.algorithm
+
+    @property
+    def predicted_tail_latency(self) -> float:
+        return self.result.latency
+
+
+def _surviving_gpus(num_gpus: int, failure: "FailureEvent") -> tuple[int, ...]:
+    if not (0 <= failure.gpu < num_gpus):
+        raise RepairError(
+            f"failure names GPU {failure.gpu} but the profile has "
+            f"{num_gpus} GPU(s)"
+        )
+    survivors = tuple(g for g in range(num_gpus) if g != failure.gpu)
+    if not survivors:
+        raise RepairError("no surviving GPU to repair onto")
+    return survivors
+
+
+def repair_schedule(
+    profile: CostProfile,
+    failure: "FailureEvent",
+    algorithm: str = "hios-lp",
+    **kwargs: Any,
+) -> RepairResult:
+    """Re-schedule the unfinished subgraph onto the surviving GPUs.
+
+    ``algorithm`` accepts any :data:`repro.core.api.ALGORITHMS` name and
+    ``kwargs`` are forwarded to it, mirroring ``schedule_graph``; the
+    default runs HIOS-LP in degraded mode.  Edges from finished
+    producers are dropped (their tensors are host-checkpointed and
+    re-staged during failover), making their consumers sources of the
+    repair subgraph.
+    """
+    from .api import schedule_graph  # local import avoids a cycle
+
+    remaining = failure.unfinished(profile.graph.names)
+    if not remaining:
+        raise RepairError("nothing to repair: every operator already finished")
+    survivors = _surviving_gpus(profile.num_gpus, failure)
+
+    subgraph = profile.graph.subgraph(remaining)
+    speeds = None
+    if profile.gpu_speeds is not None:
+        speeds = tuple(profile.gpu_speeds[g] for g in survivors)
+    subprofile = CostProfile(
+        graph=subgraph,
+        concurrency=profile.concurrency,
+        num_gpus=len(survivors),
+        max_streams=profile.max_streams,
+        send_blocking=profile.send_blocking,
+        gpu_speeds=speeds,
+    )
+    result = schedule_graph(subprofile, algorithm, **kwargs)
+
+    # map the compacted survivor indices back to the original GPU ids
+    repaired = Schedule(profile.num_gpus)
+    for idx, gpu in enumerate(survivors):
+        for st in result.schedule.stages_on(idx):
+            repaired.append_stage(Stage(gpu, st.ops))
+    return RepairResult(
+        failure=failure,
+        survivors=survivors,
+        subgraph=subgraph,
+        schedule=repaired,
+        result=result,
+    )
+
+
+def splice_traces(head: "ExecutionTrace", tail: "ExecutionTrace") -> "ExecutionTrace":
+    """Combine a failed partial trace with its repaired tail.
+
+    The tail's clock starts at zero; every tail timestamp is shifted by
+    the failure time.  Finished operators keep their pre-failure times,
+    everything else takes the tail's.  The combined trace keeps the
+    ``failure`` marker so callers can tell a repaired run from a clean
+    one.
+    """
+    from ..substrate.engine import ExecutionTrace  # local import avoids a cycle
+
+    if head.failure is None:
+        raise RepairError("head trace did not fail; nothing to splice")
+    if tail.failure is not None:
+        raise RepairError("tail trace failed too; cannot splice a partial tail")
+    at = head.failure.time
+    done = head.failure.finished
+
+    op_launch = {op: t for op, t in head.op_launch.items() if op in done}
+    op_start = {op: t for op, t in head.op_start.items() if op in done}
+    op_finish = {op: t for op, t in head.op_finish.items() if op in done}
+    for op, t in tail.op_launch.items():
+        op_launch[op] = t + at
+    for op, t in tail.op_start.items():
+        op_start[op] = t + at
+    for op, t in tail.op_finish.items():
+        op_finish[op] = t + at
+
+    transfers = list(head.transfers) + [
+        replace(
+            rec,
+            post_time=rec.post_time + at,
+            start_time=rec.start_time + at,
+            finish_time=rec.finish_time + at,
+        )
+        for rec in tail.transfers
+    ]
+    gpu_busy = dict(head.gpu_busy)
+    for g, busy in tail.gpu_busy.items():
+        gpu_busy[g] = gpu_busy.get(g, 0.0) + busy
+    return ExecutionTrace(
+        latency=at + tail.latency,
+        op_launch=op_launch,
+        op_start=op_start,
+        op_finish=op_finish,
+        transfers=transfers,
+        gpu_busy=gpu_busy,
+        failure=head.failure,
+    )
+
+
+def run_with_repair(
+    profile: CostProfile,
+    schedule: Schedule,
+    config: "EngineConfig | None" = None,
+    algorithm: str = "hios-lp",
+    **kwargs: Any,
+) -> "tuple[ExecutionTrace, RepairResult | None]":
+    """Execute ``schedule`` under ``config``; on a GPU failure, repair
+    and finish on the survivors.
+
+    Returns ``(trace, repair)``: a clean run returns its trace and
+    ``None``; a failed run returns the spliced head+tail trace and the
+    :class:`RepairResult` that produced the tail.  The tail executes
+    with the faults stripped from the config (single-failure model).
+    """
+    from ..substrate.engine import MultiGpuEngine  # local import avoids a cycle
+
+    engine = MultiGpuEngine(config)
+    head = engine.run(profile.graph, schedule)
+    if head.failure is None:
+        return head, None
+    repair = repair_schedule(profile, head.failure, algorithm=algorithm, **kwargs)
+    tail_engine = MultiGpuEngine(replace(engine.config, faults=None))
+    tail = tail_engine.run(repair.subgraph, repair.schedule)
+    return splice_traces(head, tail), repair

@@ -5,6 +5,16 @@ turns model graphs into scheduler-ready cost profiles."""
 from .device import A40, DEVICE_PRESETS, RTX_A5500, V100S, GpuDeviceModel, KernelWork
 from .engine import EngineConfig, EngineError, ExecutionTrace, MultiGpuEngine
 from .events import Event, EventQueue
+from .faults import (
+    FailureEvent,
+    FaultError,
+    FaultPlan,
+    GpuFailure,
+    GpuSlowdown,
+    LinkDegradation,
+    TransferLoss,
+    parse_fault,
+)
 from .link import LINK_PRESETS, NVLINK_BRIDGE, NVSWITCH, PCIE_GEN3_X16, LinkModel
 from .mpi import SimFabric, TransferRecord
 from .platform import (
@@ -24,8 +34,16 @@ __all__ = [
     "Event",
     "EventQueue",
     "ExecutionTrace",
+    "FailureEvent",
+    "FaultError",
+    "FaultPlan",
     "GpuDeviceModel",
+    "GpuFailure",
+    "GpuSlowdown",
     "KernelWork",
+    "LinkDegradation",
+    "TransferLoss",
+    "parse_fault",
     "LINK_PRESETS",
     "LinkModel",
     "MultiGpuEngine",

@@ -39,6 +39,7 @@ from typing import Sequence
 from ..core.graph import OpGraph
 from ..core.schedule import Schedule
 from .events import EventQueue
+from .faults import FailureEvent, FaultPlan
 from .link import LinkModel, NVLINK_BRIDGE
 from .mpi import SimFabric, TransferRecord
 
@@ -64,6 +65,17 @@ class EngineConfig:
     mode.  ``transfer_from_edges`` prices messages with graph edge
     weights instead of the link model (used by the synthetic Section V
     workloads whose edges carry transfer times directly).
+
+    ``faults`` injects a :class:`~repro.substrate.faults.FaultPlan`:
+    per-GPU speeds and link bandwidths become time-varying, transfers
+    may be lost and retried, and a ``GpuFailure`` fail-stops the run
+    (the trace then carries a ``failure`` event for the repair path).
+    An empty plan is equivalent to ``None`` — traces stay bit-identical
+    to the fault-free engine.  ``watchdog_horizon_ms`` (0 = disabled)
+    bounds how long the simulated clock may sit without any launch,
+    delivery or kernel completion while no kernel is running; beyond it
+    the engine raises a diagnostic :class:`EngineError` instead of
+    jumping ahead.
     """
 
     launch_overhead_ms: float = 0.007
@@ -77,6 +89,8 @@ class EngineConfig:
     fabric_serializes: bool = True
     gpu_speeds: Sequence[float] | None = None
     link: LinkModel = NVLINK_BRIDGE
+    faults: FaultPlan | None = None
+    watchdog_horizon_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.launch_overhead_ms < 0:
@@ -89,11 +103,21 @@ class EngineConfig:
             raise ValueError("max_streams must be >= 0 (0 = unbounded)")
         if self.gpu_speeds is not None and any(sp <= 0 for sp in self.gpu_speeds):
             raise ValueError("GPU speed factors must be positive")
+        if self.watchdog_horizon_ms < 0:
+            raise ValueError("negative watchdog horizon")
 
 
 @dataclass
 class ExecutionTrace:
-    """Measured outcome of one engine run."""
+    """Measured outcome of one engine run.
+
+    ``failure`` is ``None`` for a completed run.  When a
+    :class:`~repro.substrate.faults.GpuFailure` fired mid-run, the
+    trace is *partial*: it covers execution up to the failure instant
+    (``latency`` equals the failure time, in-flight operators have a
+    start but no finish) and ``failure`` records the hand-off state for
+    :func:`repro.core.repair.repair_schedule`.
+    """
 
     latency: float
     op_launch: dict[str, float]
@@ -101,6 +125,11 @@ class ExecutionTrace:
     op_finish: dict[str, float]
     transfers: list[TransferRecord]
     gpu_busy: dict[int, float]
+    failure: FailureEvent | None = None
+
+    @property
+    def completed(self) -> bool:
+        return self.failure is None
 
     @property
     def num_transfers(self) -> int:
@@ -129,7 +158,19 @@ class MultiGpuEngine:
             schedule.validate(graph)
         cfg = self.config
         M = schedule.num_gpus
-        fabric = SimFabric(max(M, 1), cfg.link, serialize=cfg.fabric_serializes)
+        if cfg.gpu_speeds is not None and len(cfg.gpu_speeds) < M:
+            raise EngineError(
+                f"EngineConfig.gpu_speeds has {len(cfg.gpu_speeds)} entries but "
+                f"the schedule uses {M} GPUs; provide one speed factor per GPU"
+            )
+        # an empty plan is falsy — treat it exactly like "no faults" so
+        # fault-free traces stay bit-identical to the pre-fault engine
+        plan = cfg.faults if cfg.faults else None
+        if plan is not None:
+            plan.validate_for(M)
+        fabric = SimFabric(
+            max(M, 1), cfg.link, serialize=cfg.fabric_serializes, faults=plan
+        )
         events = EventQueue()
 
         stage_lists = [schedule.stages_on(g) for g in range(M)]
@@ -150,6 +191,7 @@ class MultiGpuEngine:
 
         running: list[dict[str, float]] = [dict() for _ in range(M)]  # op -> remaining
         slowdown = [1.0] * M
+        fault_speed = [1.0] * M  # time-varying speed factor from injected faults
         last_update = [0.0] * M
         awaiting_data: set[str] = set()  # launched, waiting for remote input (overlap)
         finished: set[str] = set()
@@ -186,6 +228,8 @@ class MultiGpuEngine:
         gpu_busy = dict.fromkeys(range(M), 0.0)
         unfinished = len(graph)
         now = 0.0
+        last_progress = 0.0  # last launch / delivery / kernel completion
+        failure: FailureEvent | None = None
 
         # -------------------------------- helpers
         def recompute_slowdown(g: int) -> None:
@@ -195,7 +239,10 @@ class MultiGpuEngine:
             else:
                 base = total * (1.0 + cfg.contention_penalty * (total - 1.0))
             streams = 1.0 + cfg.stream_overhead * max(0, len(running[g]) - 1)
-            slowdown[g] = base * streams
+            rate = base * streams
+            if fault_speed[g] != 1.0:
+                rate /= fault_speed[g]
+            slowdown[g] = rate
 
         def settle(g: int, t: float) -> None:
             """Account execution progress of GPU g up to time t."""
@@ -251,8 +298,32 @@ class MultiGpuEngine:
                 host_free[g] = t_done
                 events.push(t_done, "launch_done", (g, head))
 
+        def stall_diagnostic() -> str:
+            """Name who is stuck on what (deadlock / watchdog reports)."""
+            parts: list[str] = []
+            for g in range(M):
+                if pending[g]:
+                    head = pending[g][0]
+                    need = remote_pending.get(head, 0)
+                    msg = f"GPU {g} host blocked on {head!r}"
+                    if need > 0:
+                        msg += f" ({need} remote input(s) outstanding)"
+                    parts.append(msg)
+            waiting = sorted(
+                op
+                for op in graph.names
+                if op not in finished and remote_pending.get(op, 0) > 0
+            )
+            if waiting:
+                shown = ", ".join(repr(op) for op in waiting[:8])
+                if len(waiting) > 8:
+                    shown += f", ... ({len(waiting) - 8} more)"
+                parts.append(f"operators awaiting remote data: {shown}")
+            return "; ".join(parts) if parts else "no host is blocked"
+
         def finish_kernel(g: int, op: str, t: float) -> None:
-            nonlocal unfinished
+            nonlocal unfinished, last_progress
+            last_progress = t
             del running[g][op]
             recompute_slowdown(g)
             op_finish[op] = t
@@ -300,6 +371,14 @@ class MultiGpuEngine:
                     pending[g].extend(nxt.ops)
                     advance_host(g, t)
 
+        # -------------------------------- schedule injected faults
+        if plan is not None:
+            for slow in plan.slowdowns():
+                events.push(slow.at, "gpu_slowdown", slow)
+            first_failure = plan.first_failure()
+            if first_failure is not None:
+                events.push(first_failure.at, "gpu_failure", first_failure)
+
         # -------------------------------- prime the hosts
         for g in range(M):
             advance_host(g, 0.0)
@@ -316,7 +395,18 @@ class MultiGpuEngine:
             if t_next is None:
                 raise EngineError(
                     "engine deadlock: no pending events but "
-                    f"{unfinished} operators unfinished"
+                    f"{unfinished} operators unfinished; {stall_diagnostic()}"
+                )
+            if (
+                cfg.watchdog_horizon_ms > 0
+                and not any(running)
+                and t_next - last_progress > cfg.watchdog_horizon_ms
+            ):
+                raise EngineError(
+                    "engine watchdog: no launch, delivery or kernel completion "
+                    f"since t={last_progress:.3f} ms, no kernel running, and "
+                    f"the next event is only at t={t_next:.3f} ms (horizon "
+                    f"{cfg.watchdog_horizon_ms:g} ms); {stall_diagnostic()}"
                 )
             t_next = max(t_next, now)
             now = t_next
@@ -334,6 +424,7 @@ class MultiGpuEngine:
                     g, op = ev.payload
                     op_launch[op] = ev.time
                     launched.add(op)
+                    last_progress = now
                     if cfg.overlap_launch and remote_pending[op] > 0:
                         awaiting_data.add(op)
                     else:
@@ -341,6 +432,7 @@ class MultiGpuEngine:
                 elif ev.kind == "data_arrival":
                     consumer, _producer = ev.payload
                     remote_pending[consumer] -= 1
+                    last_progress = now
                     if remote_pending[consumer] == 0:
                         g = gpu_of[consumer]
                         if consumer in awaiting_data:
@@ -348,9 +440,38 @@ class MultiGpuEngine:
                             try_start(g, consumer, now)
                         elif host_blocked[g]:
                             advance_host(g, now)
+                elif ev.kind == "gpu_slowdown":
+                    slow = ev.payload
+                    fault_speed[slow.gpu] *= slow.factor
+                    recompute_slowdown(slow.gpu)
+                elif ev.kind == "gpu_failure":
+                    spec = ev.payload
+                    failure = FailureEvent(
+                        gpu=spec.gpu,
+                        time=now,
+                        finished=frozenset(finished),
+                        in_flight=frozenset(
+                            op for per_gpu in running for op in per_gpu
+                        ),
+                    )
+                    break  # fail-stop: discard the rest of this tick
                 else:  # pragma: no cover - defensive
                     raise EngineError(f"unknown event kind {ev.kind!r}")
+            if failure is not None:
+                break
 
+        if failure is not None:
+            # partial trace, cut at the failure instant; in-flight
+            # operators keep their start time but have no finish
+            return ExecutionTrace(
+                latency=failure.time,
+                op_launch=op_launch,
+                op_start=op_start,
+                op_finish=op_finish,
+                transfers=fabric.records,
+                gpu_busy=gpu_busy,
+                failure=failure,
+            )
         latency = max(op_finish.values(), default=0.0)
         return ExecutionTrace(
             latency=latency,

@@ -1,0 +1,299 @@
+"""Declarative fault injection for the simulated multi-GPU substrate.
+
+A production serving stack must keep meeting latency targets when the
+machine misbehaves: a GPU throttles, a device drops off the bus, an
+NVLink lane degrades, or a CUDA-aware-MPI message times out and must be
+retried.  This module gives the engine and the fabric a *declarative*
+fault model:
+
+* :class:`GpuSlowdown` — from time ``at``, GPU ``gpu`` runs at
+  ``factor`` times its profiled speed (``factor < 1`` is a straggler).
+* :class:`GpuFailure` — at time ``at``, GPU ``gpu`` fail-stops.  The
+  engine halts the run and reports a :class:`FailureEvent`; the repair
+  path (:mod:`repro.core.repair`) re-schedules the unfinished subgraph
+  onto the survivors.
+* :class:`LinkDegradation` — from time ``at``, messages on the directed
+  link ``src -> dst`` see ``bw_factor`` of the nominal bandwidth.
+* :class:`TransferLoss` — messages are lost and retried with timeout +
+  exponential backoff (``timeout_ms``, then ``backoff_ms * 2**k``).
+  Losses are either deterministic (``tags`` — the named messages lose
+  their first attempt) or probabilistic (``prob`` — each attempt is
+  lost with probability ``prob``, drawn from a per-message hash of the
+  plan seed so a plan replays identically regardless of event order).
+
+A :class:`FaultPlan` bundles specs with a seed and is immutable: the
+same plan run twice produces bit-identical traces.  An *empty* plan is
+falsy and the engine/fabric skip every fault code path, keeping
+fault-free runs bit-identical to the pre-fault engine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+__all__ = [
+    "FaultError",
+    "FaultSpec",
+    "FaultPlan",
+    "FailureEvent",
+    "GpuSlowdown",
+    "GpuFailure",
+    "LinkDegradation",
+    "TransferLoss",
+    "parse_fault",
+]
+
+
+class FaultError(RuntimeError):
+    """Raised when a fault spec is malformed or a fault is unrecoverable
+    (e.g. a transfer exhausted its retry budget)."""
+
+
+@dataclass(frozen=True)
+class GpuSlowdown:
+    """From ``at`` on, GPU ``gpu`` runs at ``factor`` × profiled speed."""
+
+    gpu: int
+    at: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.gpu < 0:
+            raise FaultError(f"negative GPU index {self.gpu}")
+        if self.at < 0:
+            raise FaultError(f"negative fault time {self.at}")
+        if self.factor <= 0:
+            raise FaultError(f"slowdown factor must be positive, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class GpuFailure:
+    """At ``at``, GPU ``gpu`` fail-stops (device lost)."""
+
+    gpu: int
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.gpu < 0:
+            raise FaultError(f"negative GPU index {self.gpu}")
+        if self.at < 0:
+            raise FaultError(f"negative fault time {self.at}")
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """From ``at`` on, the directed link ``src -> dst`` delivers
+    ``bw_factor`` of its nominal bandwidth (messages take ``1/bw_factor``
+    times longer).  Multiple degradations on one link compound."""
+
+    src: int
+    dst: int
+    at: float
+    bw_factor: float
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise FaultError(f"negative GPU index in link ({self.src}, {self.dst})")
+        if self.src == self.dst:
+            raise FaultError("link degradation needs two distinct GPUs")
+        if self.at < 0:
+            raise FaultError(f"negative fault time {self.at}")
+        if self.bw_factor <= 0:
+            raise FaultError(f"bandwidth factor must be positive, got {self.bw_factor}")
+
+
+@dataclass(frozen=True)
+class TransferLoss:
+    """Message-loss model with retry/timeout/exponential backoff.
+
+    A lost attempt occupies its channel until the sender detects the
+    loss (``timeout_ms`` after the attempt started), then the message is
+    re-posted after ``backoff_ms * 2**(attempt-1)``.  ``tags`` lose
+    their first attempt deterministically; ``prob`` loses any attempt
+    with the given probability (seeded per message by the plan).  A
+    message that loses more than ``max_retries`` attempts raises
+    :class:`FaultError` — the watchdog/diagnostic path, not a hang.
+    """
+
+    prob: float = 0.0
+    tags: tuple[str, ...] = ()
+    max_retries: int = 8
+    timeout_ms: float = 0.5
+    backoff_ms: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.prob < 1.0):
+            raise FaultError(f"loss probability {self.prob} not in [0, 1)")
+        if self.prob == 0.0 and not self.tags:
+            raise FaultError("TransferLoss needs a probability or explicit tags")
+        if self.max_retries < 1:
+            raise FaultError("need at least one retry")
+        if self.timeout_ms < 0 or self.backoff_ms < 0:
+            raise FaultError("negative timeout/backoff")
+
+
+FaultSpec = Union[GpuSlowdown, GpuFailure, LinkDegradation, TransferLoss]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """State of a run at the moment a :class:`GpuFailure` fired.
+
+    The engine models fail-stop with host-side checkpointing: outputs of
+    *finished* operators survive the failure (they were staged to host
+    memory), while *in-flight* operators — on any GPU — lose their
+    progress and must re-execute.  ``finished`` and ``in_flight`` are
+    therefore the exact hand-off the repair scheduler needs.
+    """
+
+    gpu: int
+    time: float
+    finished: frozenset[str]
+    in_flight: frozenset[str]
+
+    def unfinished(self, names: Iterable[str]) -> list[str]:
+        """The operators of ``names`` still needing execution, in order."""
+        return [v for v in names if v not in self.finished]
+
+
+class FaultPlan:
+    """An immutable, seeded set of fault specs replayed deterministically.
+
+    Empty plans are falsy; the engine and fabric treat them exactly like
+    "no faults" (bit-identical traces).
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), seed: int = 0) -> None:
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        for sp in self.specs:
+            if not isinstance(sp, (GpuSlowdown, GpuFailure, LinkDegradation, TransferLoss)):
+                raise FaultError(f"unknown fault spec {sp!r}")
+
+    # ------------------------------------------------------------------
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self.specs == other.specs and self.seed == other.seed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultPlan(specs={list(self.specs)!r}, seed={self.seed})"
+
+    # ------------------------------------------------------------------
+    # typed accessors
+    # ------------------------------------------------------------------
+    def slowdowns(self) -> list[GpuSlowdown]:
+        return [sp for sp in self.specs if isinstance(sp, GpuSlowdown)]
+
+    def failures(self) -> list[GpuFailure]:
+        return sorted(
+            (sp for sp in self.specs if isinstance(sp, GpuFailure)),
+            key=lambda sp: sp.at,
+        )
+
+    def first_failure(self) -> GpuFailure | None:
+        failures = self.failures()
+        return failures[0] if failures else None
+
+    def degradations(self) -> list[LinkDegradation]:
+        return [sp for sp in self.specs if isinstance(sp, LinkDegradation)]
+
+    def losses(self) -> list[TransferLoss]:
+        return [sp for sp in self.specs if isinstance(sp, TransferLoss)]
+
+    def validate_for(self, num_gpus: int) -> None:
+        """Check every spec references GPUs within ``[0, num_gpus)``."""
+        for sp in self.specs:
+            if isinstance(sp, (GpuSlowdown, GpuFailure)) and sp.gpu >= num_gpus:
+                raise FaultError(
+                    f"{type(sp).__name__} targets GPU {sp.gpu} but the run "
+                    f"uses {num_gpus} GPU(s)"
+                )
+            if isinstance(sp, LinkDegradation) and (
+                sp.src >= num_gpus or sp.dst >= num_gpus
+            ):
+                raise FaultError(
+                    f"LinkDegradation targets link {sp.src}->{sp.dst} but the "
+                    f"run uses {num_gpus} GPU(s)"
+                )
+
+    # ------------------------------------------------------------------
+    # queries used by the fabric
+    # ------------------------------------------------------------------
+    def bw_factor(self, src: int, dst: int, time: float) -> float:
+        """Compound bandwidth factor of the directed link at ``time``."""
+        factor = 1.0
+        for sp in self.degradations():
+            if sp.src == src and sp.dst == dst and time >= sp.at:
+                factor *= sp.bw_factor
+        return factor
+
+    def lost(self, tag: str, attempt: int) -> TransferLoss | None:
+        """Is attempt #``attempt`` (1-based) of message ``tag`` lost?
+
+        Returns the responsible :class:`TransferLoss` (for its retry
+        parameters) or ``None``.  Probabilistic draws hash the plan
+        seed, the tag and the attempt number, so the verdict does not
+        depend on the order the fabric asks in — a plan replays
+        identically run after run.
+        """
+        for sp in self.losses():
+            if sp.tags and tag in sp.tags and attempt == 1:
+                return sp
+            if sp.prob > 0.0:
+                draw = random.Random(f"{self.seed}:{tag}:{attempt}").random()
+                if draw < sp.prob:
+                    return sp
+        return None
+
+    # ------------------------------------------------------------------
+    # parsing (CLI / config files)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_strings(cls, texts: Iterable[str], seed: int = 0) -> "FaultPlan":
+        """Build a plan from compact spec strings (see :func:`parse_fault`)."""
+        return cls((parse_fault(t) for t in texts), seed=seed)
+
+
+def parse_fault(text: str) -> FaultSpec:
+    """Parse one compact fault spec string.
+
+    Formats (times in ms, factors as fractions of nominal):
+
+    * ``fail:G@T`` — :class:`GpuFailure` of GPU ``G`` at ``T``
+    * ``slow:G@TxF`` — :class:`GpuSlowdown` of GPU ``G`` at ``T`` to factor ``F``
+    * ``link:S->D@TxF`` — :class:`LinkDegradation` of ``S -> D`` at ``T`` to ``F``
+    * ``loss:P`` — :class:`TransferLoss` with probability ``P``
+    """
+    kind, _, rest = text.partition(":")
+    try:
+        if kind == "fail":
+            gpu, _, at = rest.partition("@")
+            return GpuFailure(gpu=int(gpu), at=float(at))
+        if kind == "slow":
+            gpu, _, when = rest.partition("@")
+            at, _, factor = when.partition("x")
+            return GpuSlowdown(gpu=int(gpu), at=float(at), factor=float(factor))
+        if kind == "link":
+            pair, _, when = rest.partition("@")
+            src, _, dst = pair.partition("->")
+            at, _, factor = when.partition("x")
+            return LinkDegradation(
+                src=int(src), dst=int(dst), at=float(at), bw_factor=float(factor)
+            )
+        if kind == "loss":
+            return TransferLoss(prob=float(rest))
+    except (ValueError, TypeError) as exc:
+        raise FaultError(f"malformed fault spec {text!r}: {exc}") from exc
+    raise FaultError(
+        f"unknown fault kind {kind!r} in {text!r}; "
+        "expected fail:G@T, slow:G@TxF, link:S->D@TxF or loss:P"
+    )

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .faults import FaultError, FaultPlan
 from .link import LinkModel
 
 __all__ = ["TransferRecord", "SimFabric"]
@@ -21,7 +22,14 @@ __all__ = ["TransferRecord", "SimFabric"]
 
 @dataclass(frozen=True)
 class TransferRecord:
-    """One completed (simulated) message."""
+    """One completed (simulated) message.
+
+    ``attempts`` counts the posts it took to deliver the message
+    (1 = first try; more under an injected :class:`~repro.substrate.
+    faults.TransferLoss`).  ``start_time`` is when the *successful*
+    attempt started; lost attempts and their backoff windows sit
+    between ``post_time`` and ``start_time``.
+    """
 
     src: int
     dst: int
@@ -30,6 +38,7 @@ class TransferRecord:
     start_time: float
     finish_time: float
     num_bytes: int
+    attempts: int = 1
 
     @property
     def duration(self) -> float:
@@ -53,15 +62,25 @@ class SimFabric:
     channel contention).
     """
 
-    def __init__(self, num_gpus: int, link: LinkModel, serialize: bool = True) -> None:
+    def __init__(
+        self,
+        num_gpus: int,
+        link: LinkModel,
+        serialize: bool = True,
+        faults: FaultPlan | None = None,
+    ) -> None:
         if num_gpus < 1:
             raise ValueError("fabric needs at least one GPU")
         self.num_gpus = num_gpus
         self.link = link
         self.serialize = serialize
+        # an empty plan is falsy: treat it exactly like "no faults" so
+        # fault-free runs stay bit-identical to the pre-fault fabric
+        self.faults = faults if faults else None
         self._busy_until: dict[tuple[int, int], float] = {}
         self._last_post = 0.0  # latest post time seen, for introspection
         self.records: list[TransferRecord] = []
+        self.lost_attempts = 0  # total failed posts across all messages
 
     def _channel(self, src: int, dst: int) -> tuple[int, int]:
         if not (0 <= src < self.num_gpus and 0 <= dst < self.num_gpus):
@@ -86,6 +105,14 @@ class SimFabric:
 
         ``duration`` overrides the link-model pricing when given (used
         by workloads that carry transfer times on graph edges).
+
+        Under an injected :class:`~repro.substrate.faults.TransferLoss`,
+        a lost attempt occupies the channel until its timeout, then the
+        message is re-posted after an exponentially growing backoff;
+        exhausting the retry budget raises :class:`FaultError`.  A
+        :class:`~repro.substrate.faults.LinkDegradation` active when the
+        successful attempt starts stretches the transfer by the inverse
+        of the compound bandwidth factor.
         """
         self._last_post = max(self._last_post, time)
         chan = self._channel(src, dst)
@@ -93,9 +120,39 @@ class SimFabric:
             start = max(time, self._busy_until.get(chan, 0.0))
         else:
             start = time  # idealized fabric: unlimited channel capacity
-        cost = self.link.transfer_time(num_bytes) if duration is None else duration
-        if cost < 0:
-            raise ValueError("negative transfer duration")
+        attempt = 1
+        if self.faults is not None:
+            while True:
+                loss = self.faults.lost(tag, attempt)
+                if loss is None:
+                    break
+                if attempt > loss.max_retries:
+                    raise FaultError(
+                        f"transfer {tag!r} ({src}->{dst}) lost {attempt} "
+                        f"attempts, exceeding max_retries={loss.max_retries}"
+                    )
+                self.lost_attempts += 1
+                detect = start + loss.timeout_ms
+                if self.serialize:
+                    # the failed attempt held the channel until detection
+                    self._busy_until[chan] = max(
+                        self._busy_until.get(chan, 0.0), detect
+                    )
+                start = detect + loss.backoff_ms * (2 ** (attempt - 1))
+                attempt += 1
+        if duration is None:
+            bw = 1.0 if self.faults is None else self.faults.bw_factor(src, dst, start)
+            cost = self.link.transfer_time(num_bytes, bw_factor=bw)
+        else:
+            cost = duration
+            if cost < 0:
+                raise ValueError("negative transfer duration")
+            if self.faults is not None:
+                # duration-priced workloads: degradation stretches the
+                # whole message (no separable latency term to spare)
+                bw = self.faults.bw_factor(src, dst, start)
+                if bw != 1.0:
+                    cost /= bw
         finish = start + cost
         self._busy_until[chan] = finish
         self.records.append(
@@ -107,6 +164,7 @@ class SimFabric:
                 start_time=start,
                 finish_time=finish,
                 num_bytes=num_bytes,
+                attempts=attempt,
             )
         )
         return finish

@@ -1,0 +1,167 @@
+"""Degraded-mode schedule repair: the fail-stop acceptance scenario,
+trace splicing, and repair-input validation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import schedule_graph
+from repro.core.repair import (
+    RepairError,
+    repair_schedule,
+    run_with_repair,
+    splice_traces,
+)
+from repro.models import random_dag_profile
+from repro.substrate import (
+    EngineConfig,
+    FailureEvent,
+    FaultPlan,
+    GpuFailure,
+    MultiGpuEngine,
+)
+
+
+def _config(**kwargs) -> EngineConfig:
+    return EngineConfig(
+        launch_overhead_ms=0.0,
+        launch_included_in_cost=False,
+        contention_penalty=0.06,
+        transfer_from_edges=True,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """4-GPU hios-lp schedule of an 80-op random DAG plus its
+    fault-free latency — the acceptance-criterion workload."""
+    profile = random_dag_profile(seed=7, num_ops=80, num_layers=8, num_gpus=4)
+    res = schedule_graph(profile, "hios-lp")
+    clean = MultiGpuEngine(_config()).run(profile.graph, res.schedule)
+    return profile, res.schedule, clean
+
+
+class TestAcceptance:
+    """A GpuFailure mid-run on a 4-GPU hios-lp schedule completes via
+    repair on 3 GPUs, beats the sequential-on-one-GPU fallback, and the
+    seeded plan reproduces the identical trace twice."""
+
+    def test_repair_completes_and_beats_sequential_fallback(self, scenario):
+        profile, schedule, clean = scenario
+        plan = FaultPlan([GpuFailure(gpu=1, at=clean.latency * 0.4)], seed=7)
+        cfg = _config(faults=plan)
+
+        repaired, repair = run_with_repair(profile, schedule, config=cfg)
+        assert repair is not None
+        assert repaired.failure is not None
+        assert repair.survivors == (0, 2, 3)
+        assert repair.algorithm == "hios-lp"
+        assert 1 not in repair.schedule.used_gpus()
+        # every operator is accounted for exactly once
+        assert set(repaired.op_finish) == set(profile.graph.names)
+        # finished ops keep their pre-failure times
+        for op in repaired.failure.finished:
+            assert repaired.op_finish[op] == clean.op_finish[op] or op in clean.op_finish
+
+        fallback, fb_repair = run_with_repair(
+            profile, schedule, config=cfg, algorithm="sequential"
+        )
+        assert fb_repair is not None
+        assert len(fb_repair.schedule.used_gpus()) == 1
+        assert repaired.latency < fallback.latency
+
+    def test_seeded_plan_reproduces_identical_trace(self, scenario):
+        profile, schedule, clean = scenario
+        plan = FaultPlan([GpuFailure(gpu=1, at=clean.latency * 0.4)], seed=7)
+        cfg = _config(faults=plan)
+        t1, r1 = run_with_repair(profile, schedule, config=cfg)
+        t2, r2 = run_with_repair(profile, schedule, config=cfg)
+        assert t1 == t2  # dataclass equality: every timestamp and record
+        assert r1.schedule == r2.schedule
+
+    def test_clean_run_returns_no_repair(self, scenario):
+        profile, schedule, clean = scenario
+        trace, repair = run_with_repair(profile, schedule, config=_config())
+        assert repair is None
+        assert trace == clean
+
+
+class TestRepairSchedule:
+    def test_repair_only_schedules_unfinished(self, scenario):
+        profile, schedule, clean = scenario
+        plan = FaultPlan([GpuFailure(gpu=1, at=clean.latency * 0.4)])
+        head = MultiGpuEngine(_config(faults=plan)).run(profile.graph, schedule)
+        repair = repair_schedule(profile, head.failure)
+        expected = head.failure.unfinished(profile.graph.names)
+        assert set(repair.subgraph.names) == set(expected)
+        assert set(repair.schedule.operators()) == set(expected)
+        assert repair.predicted_tail_latency > 0
+
+    def test_nothing_to_repair(self):
+        profile = random_dag_profile(seed=0, num_ops=8, num_layers=2, num_gpus=2)
+        done = FailureEvent(
+            gpu=0,
+            time=1.0,
+            finished=frozenset(profile.graph.names),
+            in_flight=frozenset(),
+        )
+        with pytest.raises(RepairError, match="nothing to repair"):
+            repair_schedule(profile, done)
+
+    def test_no_survivors(self):
+        profile = random_dag_profile(seed=0, num_ops=8, num_layers=2, num_gpus=1)
+        failure = FailureEvent(
+            gpu=0, time=0.1, finished=frozenset(), in_flight=frozenset()
+        )
+        with pytest.raises(RepairError, match="no surviving"):
+            repair_schedule(profile, failure)
+
+    def test_out_of_range_failure_gpu(self):
+        profile = random_dag_profile(seed=0, num_ops=8, num_layers=2, num_gpus=2)
+        failure = FailureEvent(
+            gpu=9, time=0.1, finished=frozenset(), in_flight=frozenset()
+        )
+        with pytest.raises(RepairError, match="GPU 9"):
+            repair_schedule(profile, failure)
+
+    def test_heterogeneous_speeds_remapped_to_survivors(self):
+        base = random_dag_profile(seed=3, num_ops=24, num_layers=4, num_gpus=3)
+        profile = replace(base, gpu_speeds=(1.0, 0.5, 2.0))
+        failure = FailureEvent(
+            gpu=1,
+            time=0.0,
+            finished=frozenset(),
+            in_flight=frozenset(),
+        )
+        repair = repair_schedule(profile, failure)
+        assert repair.survivors == (0, 2)
+        # slow GPU 1 gone: the compacted profile keeps speeds (1.0, 2.0)
+        assert repair.result.schedule.num_gpus == 2
+
+
+class TestSplice:
+    def test_splice_requires_failed_head(self, scenario):
+        profile, schedule, clean = scenario
+        with pytest.raises(RepairError, match="did not fail"):
+            splice_traces(clean, clean)
+
+    def test_splice_rejects_failed_tail(self, scenario):
+        profile, schedule, clean = scenario
+        plan = FaultPlan([GpuFailure(gpu=1, at=clean.latency * 0.4)])
+        head = MultiGpuEngine(_config(faults=plan)).run(profile.graph, schedule)
+        with pytest.raises(RepairError, match="tail trace failed"):
+            splice_traces(head, head)
+
+    def test_spliced_timestamps_are_shifted(self, scenario):
+        profile, schedule, clean = scenario
+        at = clean.latency * 0.4
+        plan = FaultPlan([GpuFailure(gpu=1, at=at)])
+        combined, repair = run_with_repair(
+            profile, schedule, config=_config(faults=plan)
+        )
+        assert combined.latency >= at
+        for op in repair.subgraph.names:
+            assert combined.op_start[op] >= at - 1e-9
+        for op in combined.failure.finished:
+            assert combined.op_finish[op] <= at + 1e-9

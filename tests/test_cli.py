@@ -22,6 +22,21 @@ class TestParser:
         assert args.algorithm == "hios-lp"
         assert args.gpus == 2
 
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.model == "inception_v3"
+        assert args.gpus == 4
+        assert args.fault == []
+        assert args.seed == 0
+        assert args.watchdog == 0.0
+        assert not args.no_repair
+
+    def test_faults_repeatable_spec(self):
+        args = build_parser().parse_args(
+            ["faults", "--fault", "fail:1@2.0", "--fault", "loss:0.1"]
+        )
+        assert args.fault == ["fail:1@2.0", "loss:0.1"]
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -118,6 +133,44 @@ class TestValidateCommand:
     def test_gpu_mismatch(self, artifacts, capsys):
         gpath, spath, _ = artifacts
         assert main(["validate", gpath, spath, "--gpus", "4"]) == 2
+
+
+class TestFaultsCommand:
+    ARGS = ["faults", "--model", "inception_v3", "--size", "299", "--gpus", "4"]
+
+    def test_failure_is_repaired(self, capsys):
+        assert (
+            main(
+                self.ARGS
+                + ["--algorithms", "sequential", "hios-lp", "--fault", "fail:1@1.0"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fail@1.000" in out
+        assert "repaired ms" in out
+        assert "fail:1@1.0" in out
+
+    def test_fault_free_when_no_spec(self, capsys):
+        assert main(self.ARGS + ["--algorithms", "sequential"]) == 0
+        out = capsys.readouterr().out
+        assert "none (fault-free)" in out
+        assert "fail@" not in out
+
+    def test_no_repair_reports_failure_only(self, capsys):
+        assert (
+            main(
+                self.ARGS
+                + ["--algorithms", "sequential", "--fault", "fail:1@1.0", "--no-repair"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fail@1.000" in out
+
+    def test_bad_spec_exits_2(self, capsys):
+        assert main(["faults", "--fault", "bogus:1@2"]) == 2
+        assert "error" in capsys.readouterr().out
 
 
 class TestCompareCommand:
