@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Regenerate the checked-in lint artifacts.
+
+Writes a priced Inception-v3 graph, two schedules and one execution
+trace under ``benchmarks/results/lint/`` — the documents CI feeds to
+``repro lint`` so the JSON contracts (``repro.opgraph/v1``, the
+schedule document, ``repro.trace/v1``) stay lint-clean as the code
+evolves.  Run from the repository root:
+
+    PYTHONPATH=src python scripts/make_lint_artifacts.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.api import schedule_graph  # noqa: E402
+from repro.core.graphio import graph_to_dict  # noqa: E402
+from repro.experiments.realmodels import MODEL_BUILDERS, default_profiler  # noqa: E402
+
+MODEL = "inception_v3"
+SIZE = 299
+NUM_GPUS = 2
+WINDOW = 3
+ALGORITHMS = ("hios-lp", "hios-mr")
+TRACED = "hios-lp"
+
+
+def main() -> int:
+    out = pathlib.Path("benchmarks/results/lint")
+    out.mkdir(parents=True, exist_ok=True)
+
+    profiler = default_profiler(num_gpus=NUM_GPUS)
+    profile = profiler.profile(MODEL_BUILDERS[MODEL](SIZE))
+    stem = f"{MODEL.removesuffix('_v3')}_{SIZE}"
+
+    graph_path = out / f"graph_{stem}.json"
+    graph_path.write_text(json.dumps(graph_to_dict(profile.graph), indent=2) + "\n")
+    print(f"wrote {graph_path} ({len(profile.graph)} operators)")
+
+    for alg in ALGORITHMS:
+        result = schedule_graph(profile, alg, window=WINDOW)
+        sched_path = out / f"schedule_{stem}_{alg}.json"
+        sched_path.write_text(result.schedule.to_json(indent=2) + "\n")
+        print(
+            f"wrote {sched_path} ({result.schedule.num_stages} stages, "
+            f"predicted {result.latency:.3f} ms)"
+        )
+        if alg == TRACED:
+            trace = profiler.engine().run(profile.graph, result.schedule)
+            trace_path = out / f"trace_{stem}_{alg}.json"
+            trace_path.write_text(json.dumps(trace.to_dict(), indent=2) + "\n")
+            print(f"wrote {trace_path} (measured {trace.latency:.3f} ms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,11 @@ Commands
     degradation, transfer loss) and tabulate fault-free, faulted and
     repaired latency.  Fault specs: ``fail:G@T``, ``slow:G@TxF``,
     ``link:S->D@TxF``, ``loss:P``.
+``lint [FILES...] [--fault SPEC ...] [--json] [--rules]``
+    Run the :mod:`repro.lint` rule packs over any mix of JSON artifacts
+    (graphs, schedules, traces — auto-detected) and fault specs, and
+    report *every* finding with its rule ID and severity instead of
+    stopping at the first.  Exit 1 when an error-severity rule fires.
 """
 
 from __future__ import annotations
@@ -120,6 +125,43 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("schedule", help="schedule document from Schedule.to_json()")
     validate.add_argument(
         "--gpus", type=int, default=None, help="override the schedule's GPU count"
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static-analyze graph/schedule/trace JSON documents and fault specs",
+        description="Run the repro.lint rule packs over any mix of JSON "
+        "artifacts (graph, schedule, trace — auto-detected by their "
+        "'format' field / shape) plus optional --fault specs, and report "
+        "every finding. Exit 1 when any error-severity rule fires.",
+    )
+    lint.add_argument(
+        "files",
+        nargs="*",
+        metavar="FILE",
+        help="JSON documents: repro.opgraph/v1, schedule, repro.trace/v1",
+    )
+    lint.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="repeatable: fail:G@T | slow:G@TxF | link:S->D@TxF | loss:P",
+    )
+    lint.add_argument("--seed", type=int, default=0, help="fault plan seed")
+    lint.add_argument(
+        "--gpus", type=int, default=None, help="GPU count for fault-target checks"
+    )
+    lint.add_argument(
+        "--window", type=int, default=None, help="Alg. 2 window bound to enforce"
+    )
+    lint.add_argument(
+        "--horizon", type=float, default=None,
+        help="run horizon in ms for fault-timing checks",
+    )
+    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument(
+        "--rules", action="store_true", help="print the rule catalog and exit"
     )
     return parser
 
@@ -303,6 +345,107 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _detect_document(data: object) -> str | None:
+    """Classify a loaded JSON document by its format tag / shape."""
+    if not isinstance(data, dict):
+        return None
+    fmt = data.get("format")
+    if fmt == "repro.opgraph/v1":
+        return "graph"
+    if fmt == "repro.trace/v1":
+        return "trace"
+    if "num_gpus" in data and "gpus" in data:
+        return "schedule"
+    return None
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.graph import GraphError
+    from .core.graphio import graph_from_dict
+    from .core.schedule import Schedule, ScheduleError
+    from .lint import LintContext, Linter, rule_catalog
+    from .substrate.engine import EngineError, ExecutionTrace
+    from .substrate.faults import FaultError, FaultPlan
+
+    if args.rules:
+        catalog = rule_catalog()
+        if args.json:
+            print(json.dumps({"rules": catalog}, indent=2))
+        else:
+            for entry in catalog:
+                print(
+                    f"{entry['id']} [{entry['severity']}] "
+                    f"({entry['pack']}): {entry['title']}"
+                )
+        return 0
+    if not args.files and not args.fault:
+        print("error: nothing to lint (pass JSON files and/or --fault specs)")
+        return 2
+
+    graph = schedule = schedule_doc = trace = None
+    for path in args.files:
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {path}: {exc}")
+            return 2
+        kind = _detect_document(data)
+        if kind == "graph":
+            try:
+                graph = graph_from_dict(data)
+            except (GraphError, ValueError) as exc:
+                print(f"error: malformed graph document {path}: {exc}")
+                return 2
+        elif kind == "schedule":
+            schedule_doc = data
+            try:
+                schedule = Schedule.from_dict(data)
+            except ScheduleError:
+                schedule = None  # the document rules report the details
+        elif kind == "trace":
+            try:
+                trace = ExecutionTrace.from_dict(data)
+            except EngineError as exc:
+                print(f"error: malformed trace document {path}: {exc}")
+                return 2
+        else:
+            print(
+                f"error: cannot classify {path}: expected a repro.opgraph/v1, "
+                "repro.trace/v1 or schedule (num_gpus/gpus) document"
+            )
+            return 2
+
+    plan = None
+    if args.fault:
+        try:
+            plan = FaultPlan.from_strings(args.fault, seed=args.seed)
+        except FaultError as exc:
+            print(f"error: {exc}")
+            return 2
+
+    ctx = LintContext(
+        graph=graph,
+        schedule=schedule,
+        schedule_doc=schedule_doc,
+        trace=trace,
+        plan=plan,
+        window=args.window,
+        num_gpus=args.gpus,
+        horizon=args.horizon,
+    )
+    report = Linter().run(ctx)
+    if args.json:
+        doc = report.to_dict()
+        doc["rules"] = rule_catalog()
+        print(json.dumps(doc, indent=2))
+    else:
+        print(report.to_text())
+    return 0 if not report.errors else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -318,6 +461,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "faults":
         return _cmd_faults(args)
     if args.command == "compare":

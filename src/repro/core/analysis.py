@@ -15,7 +15,7 @@ measurable on any schedule:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..costmodel.profile import CostProfile
 from .evaluator import evaluate_schedule

@@ -54,8 +54,14 @@ def make_profile(
 ) -> CostProfile:
     """Build a :class:`CostProfile` with sensible defaults (saturation
     concurrency model, unbounded streams)."""
-    kwargs = {} if concurrency is None else {"concurrency": concurrency}
-    return CostProfile(graph=graph, num_gpus=num_gpus, max_streams=max_streams, **kwargs)
+    if concurrency is None:
+        return CostProfile(graph=graph, num_gpus=num_gpus, max_streams=max_streams)
+    return CostProfile(
+        graph=graph,
+        num_gpus=num_gpus,
+        max_streams=max_streams,
+        concurrency=concurrency,
+    )
 
 
 def schedule_graph(

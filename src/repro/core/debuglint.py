@@ -1,0 +1,50 @@
+"""Opt-in self-checking of freshly emitted schedules.
+
+Set ``HIOS_DEBUG_LINT=1`` (any value other than ``0``/``""``/``false``/
+``off``) and every scheduler — ``sequential``, ``ios``, ``hios_lp``,
+``hios_mr``, the refinement pass and the degraded-mode repair path —
+lints each schedule it is about to return and raises
+:class:`~repro.core.schedule.ScheduleError` if any error-severity rule
+fires.  The test suite enables it globally (``tests/conftest.py``), so
+every schedule any test produces is verified for free; production runs
+pay nothing beyond one environment lookup.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .graph import OpGraph
+from .schedule import Schedule, ScheduleError
+
+__all__ = ["debug_lint_enabled", "debug_lint_schedule"]
+
+_ENV_VAR = "HIOS_DEBUG_LINT"
+_FALSY = {"", "0", "false", "off", "no"}
+
+
+def debug_lint_enabled() -> bool:
+    """True when ``HIOS_DEBUG_LINT`` is set to a truthy value."""
+    return os.environ.get(_ENV_VAR, "").strip().lower() not in _FALSY
+
+
+def debug_lint_schedule(
+    graph: OpGraph,
+    schedule: Schedule,
+    *,
+    algorithm: str = "",
+    window: int | None = None,
+) -> None:
+    """Lint ``schedule`` against ``graph`` if the debug hook is enabled.
+
+    Raises :class:`ScheduleError` naming the emitting algorithm and
+    every error-severity finding.  A no-op (one ``os.environ`` lookup)
+    when ``HIOS_DEBUG_LINT`` is unset.
+    """
+    if not debug_lint_enabled():
+        return
+    from ..lint.api import lint_schedule  # runtime import: lint imports core
+
+    report = lint_schedule(graph, schedule, window=window, errors_only=True)
+    who = algorithm or "scheduler"
+    report.raise_errors(ScheduleError, prefix=f"debug lint [{who}]: ")

@@ -219,12 +219,20 @@ class OpGraph:
         return order
 
     def validate(self) -> None:
-        """Check acyclicity (and implicitly edge/vertex consistency)."""
-        self.topological_order()
+        """Raise :class:`GraphError` on any error-severity lint finding.
+
+        A thin wrapper over the ``repro.lint`` graph rules: acyclicity
+        (G001) plus finite weights (G007).  Use
+        :func:`repro.lint.lint_graph` directly to also collect the
+        warning/info findings instead of failing on the first error.
+        """
+        from ..lint.api import lint_graph  # runtime import: lint imports us
+
+        lint_graph(self, errors_only=True).raise_errors(GraphError)
 
     def is_dag(self) -> bool:
         try:
-            self.validate()
+            self.topological_order()
         except GraphError:
             return False
         return True

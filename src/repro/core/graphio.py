@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Mapping
+from typing import Any, Mapping
 
 from .graph import GraphError, Operator, OpGraph
 
@@ -20,7 +20,7 @@ __all__ = ["graph_to_dict", "graph_from_dict", "save_graph", "load_graph"]
 _FORMAT = "repro.opgraph/v1"
 
 
-def graph_to_dict(graph: OpGraph) -> dict:
+def graph_to_dict(graph: OpGraph) -> dict[str, object]:
     """Serializable document for a (typically cost-annotated) graph."""
     return {
         "format": _FORMAT,
@@ -41,7 +41,7 @@ def graph_to_dict(graph: OpGraph) -> dict:
     }
 
 
-def graph_from_dict(data: Mapping) -> OpGraph:
+def graph_from_dict(data: Mapping[str, Any]) -> OpGraph:
     """Inverse of :func:`graph_to_dict`; validates structure and DAG-ness."""
     if data.get("format") != _FORMAT:
         raise GraphError(f"unsupported graph document format {data.get('format')!r}")

@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 
 from ..costmodel.profile import CostProfile
+from .debuglint import debug_lint_schedule
 from .evaluator import evaluate_latency
 from .intra_gpu import parallelize
 from .list_schedule import build_singleton_schedule, list_schedule_latency
@@ -98,8 +99,15 @@ def schedule_hios_lp(
         )
         stats["intra_gpu"] = intra_stats
 
+    algorithm = "hios-lp" if intra_gpu else "inter-lp"
+    debug_lint_schedule(
+        profile.graph,
+        schedule,
+        algorithm=algorithm,
+        window=window if intra_gpu else None,
+    )
     return ScheduleResult(
-        algorithm="hios-lp" if intra_gpu else "inter-lp",
+        algorithm=algorithm,
         schedule=schedule,
         latency=latency,
         scheduling_time=time.perf_counter() - t0,

@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 
 from ..costmodel.profile import CostProfile
+from .debuglint import debug_lint_schedule
 from .evaluator import evaluate_latency
 from .intra_gpu import parallelize
 from .list_schedule import build_singleton_schedule
@@ -121,8 +122,15 @@ def schedule_hios_mr(
         )
         stats["intra_gpu"] = intra_stats
 
+    algorithm = "hios-mr" if intra_gpu else "inter-mr"
+    debug_lint_schedule(
+        profile.graph,
+        schedule,
+        algorithm=algorithm,
+        window=window if intra_gpu else None,
+    )
     return ScheduleResult(
-        algorithm="hios-mr" if intra_gpu else "inter-mr",
+        algorithm=algorithm,
         schedule=schedule,
         latency=latency,
         scheduling_time=time.perf_counter() - t0,

@@ -33,6 +33,7 @@ import time
 from itertools import combinations
 
 from ..costmodel.profile import CostProfile
+from .debuglint import debug_lint_schedule
 from .evaluator import evaluate_latency
 from .priority import priority_indicators
 from .result import ScheduleResult
@@ -149,6 +150,7 @@ def schedule_ios(
     for stage_ops in reversed(stages_rev):
         schedule.append_stage(Stage(gpu, stage_ops))
     latency = evaluate_latency(profile, schedule, validate=True)
+    debug_lint_schedule(profile.graph, schedule, algorithm="ios", window=width_cap)
     return ScheduleResult(
         algorithm="ios",
         schedule=schedule,

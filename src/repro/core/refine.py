@@ -19,6 +19,7 @@ import time
 from typing import Mapping
 
 from ..costmodel.profile import CostProfile
+from .debuglint import debug_lint_schedule
 from .evaluator import evaluate_latency
 from .hios_lp import _lp_spatial_mapping
 from .intra_gpu import parallelize
@@ -108,6 +109,12 @@ def schedule_hios_lp_ls(
             profile, schedule, window=window, priority=order
         )
         stats["intra_gpu"] = intra_stats
+    debug_lint_schedule(
+        profile.graph,
+        schedule,
+        algorithm="hios-lp-ls",
+        window=window if intra_gpu else None,
+    )
     return ScheduleResult(
         algorithm="hios-lp-ls",
         schedule=schedule,

@@ -30,6 +30,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any
 
 from ..costmodel.profile import CostProfile
+from .debuglint import debug_lint_schedule
 from .graph import OpGraph
 from .result import ScheduleResult
 from .schedule import Schedule, Stage
@@ -122,6 +123,7 @@ def repair_schedule(
     for idx, gpu in enumerate(survivors):
         for st in result.schedule.stages_on(idx):
             repaired.append_stage(Stage(gpu, st.ops))
+    debug_lint_schedule(subgraph, repaired, algorithm=f"repair/{algorithm}")
     return RepairResult(
         failure=failure,
         survivors=survivors,

@@ -12,10 +12,10 @@ execute any schedule produced here.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
-from .graph import GraphError, OpGraph
+from .graph import OpGraph
 
 __all__ = ["ScheduleError", "Stage", "Schedule"]
 
@@ -144,58 +144,23 @@ class Schedule:
 
         * every graph operator appears exactly once;
         * operators within a stage are pairwise independent;
+        * intra-GPU stage order respects operator dependencies;
         * the *stage graph* (stages as vertices, dependencies induced by
           operator edges plus per-GPU sequencing) is acyclic, i.e. a
           legal execution order exists.
-        """
-        missing = [v for v in graph.names if v not in self._placement]
-        if missing:
-            raise ScheduleError(f"operators not scheduled: {missing[:5]}...")
-        extra = [v for v in self._placement if v not in graph]
-        if extra:
-            raise ScheduleError(f"schedule references unknown operators: {extra[:5]}")
-        for st in self.all_stages():
-            if len(st) > 1 and not graph.independent(st.ops):
-                raise ScheduleError(
-                    f"stage {st.ops} on GPU {st.gpu} contains dependent operators"
-                )
-        if self._stage_graph_has_cycle(graph):
-            raise ScheduleError("stage graph contains a cycle (deadlocked schedule)")
 
-    def _stage_graph_has_cycle(self, graph: OpGraph) -> bool:
-        stages = self.all_stages()
-        index = {id(st): i for i, st in enumerate(stages)}
-        op_stage: dict[str, int] = {}
-        for st in stages:
-            for op in st.ops:
-                op_stage[op] = index[id(st)]
-        succ: list[set[int]] = [set() for _ in stages]
-        # per-GPU sequencing edges
-        for gpu in range(self.num_gpus):
-            q = self._per_gpu[gpu]
-            for a, b in zip(q, q[1:]):
-                succ[index[id(a)]].add(index[id(b)])
-        # operator-dependency edges
-        for u, v, _ in graph.edges():
-            su, sv = op_stage[u], op_stage[v]
-            if su == sv:
-                return True  # dependent ops in one stage: also a cycle
-            succ[su].add(sv)
-        # Kahn
-        indeg = [0] * len(stages)
-        for s in range(len(stages)):
-            for t in succ[s]:
-                indeg[t] += 1
-        ready = [i for i, d in enumerate(indeg) if d == 0]
-        seen = 0
-        while ready:
-            x = ready.pop()
-            seen += 1
-            for t in succ[x]:
-                indeg[t] -= 1
-                if indeg[t] == 0:
-                    ready.append(t)
-        return seen != len(stages)
+        A thin wrapper over the error-severity ``repro.lint`` schedule
+        rules (S001/S002/S006/S007/S008) that raises
+        :class:`ScheduleError` listing *every* violation.  Use
+        :func:`repro.lint.lint_schedule` directly to also collect the
+        warning/info findings.
+        """
+        from ..lint.framework import LintContext, Linter
+
+        ctx = LintContext(graph=graph, schedule=self)
+        Linter.errors_only().for_packs("schedule").run(ctx).raise_errors(
+            ScheduleError
+        )
 
     # ------------------------------------------------------------------
     # transforms
@@ -219,7 +184,7 @@ class Schedule:
     # ------------------------------------------------------------------
     # JSON contract (matches the paper's scheduler -> engine hand-off)
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "num_gpus": self.num_gpus,
             "gpus": [
@@ -232,14 +197,28 @@ class Schedule:
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "Schedule":
+    def from_dict(cls, data: Mapping[str, Any]) -> "Schedule":
+        """Build a schedule from its JSON document form.
+
+        The document is linted first (rules S003/S004/S005): duplicate
+        or overlapping placements, invalid GPU counts/indices and
+        malformed stage lists raise :class:`ScheduleError` naming every
+        problem, instead of whichever ``KeyError`` construction happens
+        to hit first.
+        """
+        from ..lint.framework import LintContext, Linter
+
+        ctx = LintContext(schedule_doc=data)
+        Linter.errors_only().run(ctx).raise_errors(
+            ScheduleError, prefix="malformed schedule document: "
+        )
         try:
             sched = cls(int(data["num_gpus"]))
             for entry in data["gpus"]:
                 gpu = int(entry["gpu"])
                 for ops in entry["stages"]:
                     sched.append_stage(Stage(gpu, tuple(ops)))
-        except (KeyError, TypeError) as exc:
+        except (KeyError, TypeError) as exc:  # pragma: no cover - lint catches
             raise ScheduleError(f"malformed schedule document: {exc}") from exc
         return sched
 

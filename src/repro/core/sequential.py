@@ -10,6 +10,7 @@ from __future__ import annotations
 import time
 
 from ..costmodel.profile import CostProfile
+from .debuglint import debug_lint_schedule
 from .evaluator import evaluate_latency
 from .priority import priority_order
 from .result import ScheduleResult
@@ -28,6 +29,7 @@ def schedule_sequential(profile: CostProfile, gpu: int = 0) -> ScheduleResult:
     for v in priority_order(profile.graph):
         schedule.append_stage(Stage(gpu, (v,)))
     latency = evaluate_latency(profile, schedule, validate=True)
+    debug_lint_schedule(profile.graph, schedule, algorithm="sequential")
     return ScheduleResult(
         algorithm="sequential",
         schedule=schedule,

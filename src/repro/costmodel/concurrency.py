@@ -18,7 +18,7 @@ All models satisfy the invariants ``t({v}) = t(v)`` and
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Protocol, Sequence
+from typing import Iterable, Mapping, Protocol, Sequence
 
 from ..core.graph import Operator
 

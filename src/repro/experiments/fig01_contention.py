@@ -15,7 +15,7 @@ from ..core.graph import Operator
 from ..costmodel.concurrency import SaturationConcurrencyModel
 from ..models.ops import Conv2d, TensorShape
 from ..substrate.device import A40, GpuDeviceModel, KernelWork
-from .config import ExperimentConfig, default_config
+from .config import ExperimentConfig
 from .reporting import SeriesResult
 
 __all__ = ["run", "conv_operator", "INPUT_SIZES"]

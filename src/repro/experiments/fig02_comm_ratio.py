@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from ..models.ops import DTYPE_BYTES, TensorShape
 from ..substrate.platform import MultiGpuPlatform, dual_a40, dual_a5500, dual_v100s
-from .config import ExperimentConfig, default_config
+from .config import ExperimentConfig
 from .fig01_contention import CHANNELS, INPUT_SIZES, conv_operator
 from .reporting import SeriesResult
 

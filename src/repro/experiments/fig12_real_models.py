@@ -10,7 +10,6 @@ HIOS-MR at every size.
 
 from __future__ import annotations
 
-from ..models.builder import ModelGraph
 from .config import ExperimentConfig, default_config
 from .realmodels import MODEL_BUILDERS, default_profiler, model_sizes, run_model
 from .reporting import SeriesResult

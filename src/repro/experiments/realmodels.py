@@ -10,7 +10,7 @@ the paper's testbed runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable
 
 from ..core.api import schedule_graph
 from ..core.result import ScheduleResult
@@ -21,7 +21,7 @@ from ..models.nasnet import nasnet
 from ..models.randwire import randwire
 from ..models.resnet import resnet50
 from ..substrate.engine import ExecutionTrace
-from ..substrate.platform import MultiGpuPlatform, dual_a40
+from ..substrate.platform import dual_a40
 from ..substrate.profiler import PlatformProfiler
 from .config import ExperimentConfig
 

@@ -8,7 +8,7 @@ the benchmarks print (and EXPERIMENTS.md records).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Sequence
 
 __all__ = ["SeriesResult", "format_table"]
 

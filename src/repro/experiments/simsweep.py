@@ -8,13 +8,12 @@ helper recomputes them only when the underlying graphs change.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from ..core.api import schedule_graph
 from ..costmodel.profile import CostProfile
-from ..models.randomdag import random_dag_profile
 from .config import ALGORITHM_ORDER, ExperimentConfig, default_config
 from .reporting import SeriesResult
 

@@ -1,0 +1,70 @@
+"""``repro.lint`` — rule-based static verification of HIOS artifacts.
+
+The subsystem behind ``repro lint``: a small diagnostic framework
+(:class:`Rule`, :class:`Diagnostic`, :class:`Linter`) plus four rule
+packs covering every artifact the scheduler pipeline produces or
+consumes:
+
+========  ==================================================================
+pack      subject
+========  ==================================================================
+graph     computation DAGs (``G0xx``: cycles, isolated ops, weights, fan-out)
+schedule  schedules and their JSON documents (``S0xx``: placement
+          completeness, GPU indices, stage independence/order/acyclicity,
+          window bound, idle GPUs, critical-path crossings)
+trace     execution traces (``T0xx``: finite timestamps, causality with
+          transfer times, stage barriers, trace-schedule agreement)
+faults    declarative fault plans (``F0xx``: target indices, horizon,
+          contradictions, retry budgets)
+========  ==================================================================
+
+Unlike ``Schedule.validate()`` — now a thin wrapper over the
+error-severity rules — a lint run returns *all* findings as a
+:class:`LintReport` instead of raising on the first.  Set
+``HIOS_DEBUG_LINT=1`` to make every scheduler self-check each schedule
+it emits.
+"""
+
+from .api import (
+    lint_fault_plan,
+    lint_graph,
+    lint_schedule,
+    lint_schedule_document,
+    lint_trace,
+)
+from .diagnostics import Diagnostic, LintReport, Severity
+from .framework import (
+    Finding,
+    LintContext,
+    Linter,
+    Rule,
+    all_rules,
+    get_rule,
+    rule,
+    rule_catalog,
+)
+
+# importing the packs registers their rules with the framework
+from . import fault_rules as _fault_rules  # noqa: F401
+from . import graph_rules as _graph_rules  # noqa: F401
+from . import schedule_rules as _schedule_rules  # noqa: F401
+from . import trace_rules as _trace_rules  # noqa: F401
+
+__all__ = [
+    "Diagnostic",
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "Linter",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_fault_plan",
+    "lint_graph",
+    "lint_schedule",
+    "lint_schedule_document",
+    "lint_trace",
+    "rule",
+    "rule_catalog",
+]

@@ -1,0 +1,202 @@
+"""Graph rules (``G0xx``): structural sanity of the computation DAG.
+
+These go beyond :meth:`OpGraph.validate`'s acyclicity check: isolated
+vertices, unusual source/sink counts, degenerate weights and suspicious
+fan-out all signal a mis-built or mis-profiled model before any
+scheduler touches it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from ..core.graph import OpGraph
+from .diagnostics import Severity
+from .framework import Finding, LintContext, rule
+
+__all__: list[str] = []
+
+
+def _cycle_vertices(graph: OpGraph) -> list[str]:
+    """Vertices that never become ready under Kahn's algorithm."""
+    indeg = {v: graph.in_degree(v) for v in graph}
+    ready = [v for v, d in indeg.items() if d == 0]
+    seen = 0
+    while ready:
+        v = ready.pop()
+        seen += 1
+        for s in graph.successors(v):
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                ready.append(s)
+    if seen == len(graph):
+        return []
+    return sorted(v for v, d in indeg.items() if d > 0)
+
+
+@rule(
+    "G001",
+    severity=Severity.ERROR,
+    pack="graph",
+    title="computation graph must be acyclic",
+    requires=("graph",),
+    hint="break the dependency cycle; a DAG is required by every scheduler",
+)
+def check_acyclic(ctx: LintContext) -> Iterator[Finding]:
+    assert ctx.graph is not None
+    stuck = _cycle_vertices(ctx.graph)
+    if stuck:
+        shown = ", ".join(repr(v) for v in stuck[:5])
+        if len(stuck) > 5:
+            shown += f", ... ({len(stuck) - 5} more)"
+        yield Finding(
+            f"computation graph contains a cycle through {len(stuck)} "
+            f"operator(s): {shown}",
+            location=f"op:{stuck[0]}",
+        )
+
+
+@rule(
+    "G002",
+    severity=Severity.WARNING,
+    pack="graph",
+    title="no unreachable/isolated operators",
+    requires=("graph",),
+    hint="connect the operator to the dataflow or drop it from the graph",
+)
+def check_unreachable(ctx: LintContext) -> Iterator[Finding]:
+    graph = ctx.graph
+    assert graph is not None
+    if len(graph) <= 1:
+        return
+    for v in graph:
+        if graph.in_degree(v) == 0 and graph.out_degree(v) == 0:
+            yield Finding(
+                f"operator {v!r} is isolated: unreachable from the rest of "
+                "the dataflow (no predecessors, no successors)",
+                location=f"op:{v}",
+            )
+
+
+@rule(
+    "G003",
+    severity=Severity.INFO,
+    pack="graph",
+    title="single model input expected",
+    requires=("graph",),
+    hint="multiple sources are legal but unusual for one inference DAG",
+)
+def check_sources(ctx: LintContext) -> Iterator[Finding]:
+    assert ctx.graph is not None
+    sources = ctx.graph.sources()
+    if len(sources) > 1:
+        yield Finding(
+            f"graph has {len(sources)} source operators: "
+            + ", ".join(repr(s) for s in sorted(sources)[:5]),
+            location=f"op:{sorted(sources)[0]}",
+        )
+
+
+@rule(
+    "G004",
+    severity=Severity.INFO,
+    pack="graph",
+    title="single model output expected",
+    requires=("graph",),
+    hint="multiple sinks are legal but unusual for one inference DAG",
+)
+def check_sinks(ctx: LintContext) -> Iterator[Finding]:
+    assert ctx.graph is not None
+    sinks = ctx.graph.sinks()
+    if len(sinks) > 1:
+        yield Finding(
+            f"graph has {len(sinks)} sink operators: "
+            + ", ".join(repr(s) for s in sorted(sinks)[:5]),
+            location=f"op:{sorted(sinks)[0]}",
+        )
+
+
+@rule(
+    "G005",
+    severity=Severity.WARNING,
+    pack="graph",
+    title="operator weights must be positive",
+    requires=("graph",),
+    hint="zero-cost operators distort priorities; fold them into a "
+    "neighbor or give them their measured cost",
+)
+def check_weights(ctx: LintContext) -> Iterator[Finding]:
+    graph = ctx.graph
+    assert graph is not None
+    for op in graph.operators():
+        if op.cost == 0.0:
+            yield Finding(
+                f"operator {op.name!r} has zero cost t(v)",
+                location=f"op:{op.name}",
+            )
+        elif op.cost < 0.0:  # defensive: Operator rejects this at build time
+            yield Finding(
+                f"operator {op.name!r} has negative cost {op.cost}",
+                location=f"op:{op.name}",
+            )
+    for u, v, w in graph.edges():
+        if w < 0.0:
+            yield Finding(
+                f"edge ({u!r}, {v!r}) has negative transfer time {w}",
+                location=f"edge:{u}->{v}",
+            )
+
+
+@rule(
+    "G006",
+    severity=Severity.WARNING,
+    pack="graph",
+    title="suspicious fan-out",
+    requires=("graph",),
+    hint="a very wide broadcast usually means a missing split/copy "
+    "operator or a profiling artifact",
+)
+def check_fanout(ctx: LintContext) -> Iterator[Finding]:
+    graph = ctx.graph
+    assert graph is not None
+    limit = ctx.fanout_threshold
+    for v in graph:
+        deg = graph.out_degree(v)
+        if deg > limit:
+            yield Finding(
+                f"operator {v!r} feeds {deg} consumers "
+                f"(fan-out threshold {limit})",
+                location=f"op:{v}",
+            )
+
+
+@rule(
+    "G007",
+    severity=Severity.ERROR,
+    pack="graph",
+    title="weights must be finite numbers",
+    requires=("graph",),
+    hint="NaN/inf weights silently poison every latency computation; "
+    "re-profile the operator",
+)
+def check_finite(ctx: LintContext) -> Iterator[Finding]:
+    graph = ctx.graph
+    assert graph is not None
+    for op in graph.operators():
+        if not math.isfinite(op.cost):
+            yield Finding(
+                f"operator {op.name!r} has non-finite cost {op.cost}",
+                location=f"op:{op.name}",
+            )
+        if not math.isfinite(op.occupancy):
+            yield Finding(
+                f"operator {op.name!r} has non-finite occupancy {op.occupancy}",
+                location=f"op:{op.name}",
+            )
+    for u, v, w in graph.edges():
+        if not math.isfinite(w):
+            yield Finding(
+                f"edge ({u!r}, {v!r}) has non-finite transfer time {w}",
+                location=f"edge:{u}->{v}",
+            )

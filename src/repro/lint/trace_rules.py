@@ -1,0 +1,249 @@
+"""Trace rules (``T0xx``): causality and consistency of execution traces.
+
+An :class:`~repro.substrate.engine.ExecutionTrace` claims when every
+operator launched, started and finished.  Whatever produced it — the
+discrete-event engine, a fault-injected run, a spliced repair — physics
+must hold: timestamps are finite and ordered, no operator starts before
+its producers' outputs exist (plus the transfer time when the producer
+lives on another GPU), per-GPU stages do not overlap, and the trace
+agrees with the schedule it claims to have executed.
+
+Traces are duck-typed here (``op_launch`` / ``op_start`` / ``op_finish``
+dicts, ``latency``, optional ``failure``) so the lint pack never has to
+import the substrate — partial failure traces lint fine: operators cut
+off mid-flight are exempt from finish-side checks and producers that
+finished *before* the failure are treated as host-checkpointed (their
+outputs re-stage for free, the repair model of ``repro.core.repair``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from .diagnostics import Severity
+from .framework import Finding, LintContext, rule
+
+__all__: list[str] = []
+
+
+def _failure_finished(ctx: LintContext) -> frozenset[str]:
+    failure = getattr(ctx.trace, "failure", None)
+    if failure is None:
+        return frozenset()
+    return frozenset(failure.finished)
+
+
+@rule(
+    "T001",
+    severity=Severity.ERROR,
+    pack="trace",
+    title="timestamps must be finite and non-negative",
+    requires=("trace",),
+    hint="negative/NaN times mean clock arithmetic went wrong in "
+    "whatever emitted the trace",
+)
+def check_timestamps(ctx: LintContext) -> Iterator[Finding]:
+    trace = ctx.trace
+    assert trace is not None
+    for kind in ("op_launch", "op_start", "op_finish"):
+        for op, t in sorted(getattr(trace, kind).items()):
+            if not math.isfinite(t) or t < 0.0:
+                yield Finding(
+                    f"{kind}[{op!r}] is {t}", location=f"op:{op}"
+                )
+    if not math.isfinite(trace.latency) or trace.latency < 0.0:
+        yield Finding(f"trace latency is {trace.latency}")
+    for g, busy in sorted(trace.gpu_busy.items()):
+        if not math.isfinite(busy) or busy < 0.0:
+            yield Finding(f"gpu_busy[{g}] is {busy}", location=f"gpu:{g}")
+
+
+@rule(
+    "T002",
+    severity=Severity.ERROR,
+    pack="trace",
+    title="operators must finish after they start",
+    requires=("trace",),
+)
+def check_start_before_finish(ctx: LintContext) -> Iterator[Finding]:
+    trace = ctx.trace
+    assert trace is not None
+    for op, fin in sorted(trace.op_finish.items()):
+        start = trace.op_start.get(op)
+        if start is None:
+            yield Finding(
+                f"operator {op!r} has a finish time but no start time",
+                location=f"op:{op}",
+            )
+        elif fin < start - ctx.eps:
+            yield Finding(
+                f"operator {op!r} finishes at {fin} before its start {start}",
+                location=f"op:{op}",
+            )
+
+
+@rule(
+    "T003",
+    severity=Severity.ERROR,
+    pack="trace",
+    title="launch precedes start",
+    requires=("trace",),
+    hint="a kernel cannot start before its host process launched it",
+)
+def check_launch_before_start(ctx: LintContext) -> Iterator[Finding]:
+    trace = ctx.trace
+    assert trace is not None
+    for op, start in sorted(trace.op_start.items()):
+        launch = trace.op_launch.get(op)
+        if launch is not None and start < launch - ctx.eps:
+            yield Finding(
+                f"operator {op!r} starts at {start} before its launch {launch}",
+                location=f"op:{op}",
+            )
+
+
+@rule(
+    "T004",
+    severity=Severity.ERROR,
+    pack="trace",
+    title="causality: producers finish before consumers start",
+    requires=("graph", "trace"),
+    hint="an operator consumed a tensor that did not exist yet; the "
+    "emitting engine broke dependency ordering",
+)
+def check_causality(ctx: LintContext) -> Iterator[Finding]:
+    graph, trace = ctx.graph, ctx.trace
+    assert graph is not None and trace is not None
+    for u, v, _w in graph.edges():
+        start_v = trace.op_start.get(v)
+        if start_v is None:
+            continue
+        fin_u = trace.op_finish.get(u)
+        if fin_u is None:
+            yield Finding(
+                f"operator {v!r} starts at {start_v} but its producer {u!r} "
+                "never finished",
+                location=f"edge:{u}->{v}",
+            )
+        elif start_v < fin_u - ctx.eps:
+            yield Finding(
+                f"operator {v!r} starts at {start_v} before its producer "
+                f"{u!r} finishes at {fin_u}",
+                location=f"edge:{u}->{v}",
+            )
+
+
+@rule(
+    "T005",
+    severity=Severity.ERROR,
+    pack="trace",
+    title="causality: cross-GPU consumers wait for the transfer",
+    requires=("graph", "schedule", "trace"),
+    hint="start(v) must be at least finish(u) + t(u,v) when u and v "
+    "are mapped to different GPUs",
+)
+def check_transfer_causality(ctx: LintContext) -> Iterator[Finding]:
+    graph, schedule, trace = ctx.graph, ctx.schedule, ctx.trace
+    assert graph is not None and schedule is not None and trace is not None
+    checkpointed = _failure_finished(ctx)
+    for u, v, w in graph.edges():
+        if w <= 0.0 or u in checkpointed:
+            continue  # checkpointed outputs re-stage for free after repair
+        if u not in schedule or v not in schedule:
+            continue
+        if schedule.gpu_of(u) == schedule.gpu_of(v):
+            continue
+        start_v, fin_u = trace.op_start.get(v), trace.op_finish.get(u)
+        if start_v is None or fin_u is None:
+            continue  # T004 reports missing producers
+        if start_v < fin_u + w - ctx.eps:
+            yield Finding(
+                f"operator {v!r} starts at {start_v} but the transfer from "
+                f"{u!r} (finish {fin_u} + t(u,v) {w}) only completes at "
+                f"{fin_u + w}",
+                location=f"edge:{u}->{v}",
+            )
+
+
+@rule(
+    "T006",
+    severity=Severity.ERROR,
+    pack="trace",
+    title="trace and schedule must agree on the operator set",
+    requires=("schedule", "trace"),
+    hint="the trace was produced by a different schedule, or the run "
+    "dropped operators without recording a failure",
+)
+def check_schedule_agreement(ctx: LintContext) -> Iterator[Finding]:
+    schedule, trace = ctx.schedule, ctx.trace
+    assert schedule is not None and trace is not None
+    scheduled = set(schedule.operators())
+    for kind in ("op_launch", "op_start", "op_finish"):
+        for op in sorted(set(getattr(trace, kind)) - scheduled):
+            yield Finding(
+                f"trace records {kind.removeprefix('op_')} of {op!r} which "
+                "the schedule never places",
+                location=f"op:{op}",
+            )
+    if getattr(trace, "failure", None) is None:
+        missing = sorted(scheduled - set(trace.op_finish))
+        if missing:
+            shown = ", ".join(repr(op) for op in missing[:5])
+            if len(missing) > 5:
+                shown += f", ... ({len(missing) - 5} more)"
+            yield Finding(
+                f"trace completed without a failure but {len(missing)} "
+                f"scheduled operator(s) never finished: {shown}",
+                location=f"op:{missing[0]}",
+            )
+
+
+@rule(
+    "T007",
+    severity=Severity.ERROR,
+    pack="trace",
+    title="stages on one GPU must not overlap",
+    requires=("schedule", "trace"),
+    hint="stage j+1 may only start after every operator of stage j "
+    "finished on that GPU (the stage-barrier execution model)",
+)
+def check_stage_overlap(ctx: LintContext) -> Iterator[Finding]:
+    schedule, trace = ctx.schedule, ctx.trace
+    assert schedule is not None and trace is not None
+    for gpu in range(schedule.num_gpus):
+        chain = schedule.stages_on(gpu)
+        for si, (a, b) in enumerate(zip(chain, chain[1:])):
+            fins = [trace.op_finish[op] for op in a.ops if op in trace.op_finish]
+            starts = [trace.op_start[op] for op in b.ops if op in trace.op_start]
+            if not fins or not starts:
+                continue  # partial trace: the barrier never engaged
+            barrier, nxt = max(fins), min(starts)
+            if nxt < barrier - ctx.eps:
+                yield Finding(
+                    f"stage {si + 1} on GPU {gpu} starts at {nxt} while "
+                    f"stage {si} only finishes at {barrier} (stages overlap)",
+                    location=f"gpu:{gpu}/stage:{si + 1}",
+                )
+
+
+@rule(
+    "T008",
+    severity=Severity.WARNING,
+    pack="trace",
+    title="latency covers the last finish",
+    requires=("trace",),
+    hint="a trace's latency should equal the last operator finish (or "
+    "the failure instant for partial traces)",
+)
+def check_latency_consistency(ctx: LintContext) -> Iterator[Finding]:
+    trace = ctx.trace
+    assert trace is not None
+    if getattr(trace, "failure", None) is not None:
+        return  # partial traces cut the clock at the failure instant
+    last = max(trace.op_finish.values(), default=0.0)
+    if trace.latency < last - ctx.eps:
+        yield Finding(
+            f"trace latency {trace.latency} is earlier than the last "
+            f"operator finish {last}"
+        )

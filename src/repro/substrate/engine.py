@@ -33,8 +33,8 @@ that GPU.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import asdict, dataclass
+from typing import Mapping, Sequence
 
 from ..core.graph import OpGraph
 from ..core.schedule import Schedule
@@ -144,6 +144,57 @@ class ExecutionTrace:
         if self.latency <= 0:
             return 0.0
         return self.gpu_busy.get(gpu, 0.0) / self.latency
+
+    # ------------------------------------------------------------------
+    # JSON contract (``repro.trace/v1``) — lets ``repro lint`` verify
+    # traces persisted by experiment runs, not just in-process objects.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        doc: dict[str, object] = {
+            "format": "repro.trace/v1",
+            "latency": self.latency,
+            "op_launch": dict(self.op_launch),
+            "op_start": dict(self.op_start),
+            "op_finish": dict(self.op_finish),
+            "transfers": [asdict(t) for t in self.transfers],
+            "gpu_busy": {str(g): busy for g, busy in self.gpu_busy.items()},
+        }
+        if self.failure is not None:
+            doc["failure"] = {
+                "gpu": self.failure.gpu,
+                "time": self.failure.time,
+                "finished": sorted(self.failure.finished),
+                "in_flight": sorted(self.failure.in_flight),
+            }
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ExecutionTrace":
+        fmt = data.get("format", "repro.trace/v1")
+        if fmt != "repro.trace/v1":
+            raise EngineError(f"unsupported trace format {fmt!r}")
+        try:
+            raw_failure = data.get("failure")
+            failure = None
+            if raw_failure is not None:
+                assert isinstance(raw_failure, Mapping)
+                failure = FailureEvent(
+                    gpu=int(raw_failure["gpu"]),  # type: ignore[arg-type]
+                    time=float(raw_failure["time"]),  # type: ignore[arg-type]
+                    finished=frozenset(raw_failure["finished"]),  # type: ignore[arg-type]
+                    in_flight=frozenset(raw_failure["in_flight"]),  # type: ignore[arg-type]
+                )
+            return cls(
+                latency=float(data["latency"]),  # type: ignore[arg-type]
+                op_launch={str(k): float(v) for k, v in dict(data.get("op_launch", {})).items()},  # type: ignore[arg-type]
+                op_start={str(k): float(v) for k, v in dict(data.get("op_start", {})).items()},  # type: ignore[arg-type]
+                op_finish={str(k): float(v) for k, v in dict(data.get("op_finish", {})).items()},  # type: ignore[arg-type]
+                transfers=[TransferRecord(**t) for t in data.get("transfers", [])],  # type: ignore[arg-type, union-attr]
+                gpu_busy={int(k): float(v) for k, v in dict(data.get("gpu_busy", {})).items()},  # type: ignore[arg-type]
+                failure=failure,
+            )
+        except (KeyError, TypeError, ValueError, AssertionError) as exc:
+            raise EngineError(f"malformed trace document: {exc}") from exc
 
 
 class MultiGpuEngine:

@@ -7,7 +7,7 @@ broken by insertion order so simulations are deterministic.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 __all__ = ["Event", "EventQueue"]

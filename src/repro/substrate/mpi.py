@@ -12,7 +12,7 @@ transfer times directly on graph edges).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .faults import FaultError, FaultPlan
 from .link import LinkModel

@@ -1,0 +1,13 @@
+"""Global test configuration.
+
+Turns on the ``HIOS_DEBUG_LINT`` post-emit hook for the whole suite:
+every schedule any scheduler emits during the tests is checked against
+the error-severity lint rules, so a regression in any algorithm's
+output feasibility fails loudly at the point of emission.  Tests that
+need the hook off (e.g. to assert the opt-out) override the variable
+locally with ``monkeypatch``.
+"""
+
+import os
+
+os.environ.setdefault("HIOS_DEBUG_LINT", "1")

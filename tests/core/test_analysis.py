@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.core import analyze_schedule, make_profile, schedule_graph
+from repro.core import analyze_schedule, schedule_graph
 from repro.models import random_dag_profile
-from repro.models.worked_examples import fig4_graph, fig4_profile
+from repro.models.worked_examples import fig4_profile
 
 
 class TestFig4Metrics:

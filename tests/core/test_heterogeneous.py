@@ -11,7 +11,6 @@ import pytest
 from repro.core import (
     OpGraph,
     Schedule,
-    Stage,
     evaluate_latency,
     schedule_graph,
     schedule_hios_lp,

@@ -6,7 +6,6 @@ from repro.core import (
     OpGraph,
     Schedule,
     ScheduleError,
-    Stage,
     evaluate_latency,
     parallelize,
 )

@@ -1,6 +1,5 @@
 """Unit tests for priority indicators and critical-path utilities."""
 
-import pytest
 
 from repro.core import (
     OpGraph,

@@ -22,7 +22,6 @@ from repro.core import (
     OpGraph,
     critical_path_length,
     evaluate_latency,
-    make_profile,
     parallelize,
     priority_indicators,
     priority_order,

@@ -15,7 +15,7 @@ from repro.core import (
     schedule_ios,
     schedule_sequential,
 )
-from repro.costmodel import CostProfile, MaxConcurrencyModel, TableConcurrencyModel
+from repro.costmodel import CostProfile, MaxConcurrencyModel
 
 
 def diamond(transfer=0.5) -> OpGraph:

@@ -12,7 +12,6 @@ from repro.experiments import (
     fig01_contention,
     fig02_comm_ratio,
     fig12_real_models,
-    fig13_gain_analysis,
     fig14_scheduling_cost,
 )
 from repro.experiments.simsweep import sweep_random_dags

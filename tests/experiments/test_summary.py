@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.experiments.summary import CLAIMS, build_report, load_result, load_results
 

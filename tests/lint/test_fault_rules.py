@@ -1,0 +1,136 @@
+"""F0xx rules: each has one triggering and one passing case."""
+
+from repro.lint import lint_fault_plan
+from repro.substrate.faults import (
+    FaultPlan,
+    GpuFailure,
+    GpuSlowdown,
+    LinkDegradation,
+    TransferLoss,
+)
+
+
+def fired(plan, **kwargs):
+    return set(lint_fault_plan(plan, **kwargs).rule_ids())
+
+
+def test_empty_plan_is_clean():
+    assert fired(FaultPlan(), num_gpus=2, horizon=10.0) == set()
+
+
+def test_sane_plan_is_clean():
+    plan = FaultPlan(
+        [
+            GpuSlowdown(gpu=1, at=2.0, factor=0.5),
+            LinkDegradation(src=0, dst=1, at=3.0, bw_factor=0.5),
+            TransferLoss(prob=0.05, max_retries=5),
+        ]
+    )
+    assert fired(plan, num_gpus=2, horizon=10.0) == set()
+
+
+class TestF001TargetsExist:
+    def test_trigger_gpu_out_of_range(self):
+        plan = FaultPlan([GpuFailure(gpu=7, at=1.0)])
+        report = lint_fault_plan(plan, num_gpus=2)
+        [d] = [d for d in report.errors if d.rule == "F001"]
+        assert "GPU 7" in d.message
+
+    def test_trigger_link_endpoint(self):
+        plan = FaultPlan([LinkDegradation(src=0, dst=9, at=1.0, bw_factor=0.5)])
+        assert "F001" in fired(plan, num_gpus=2)
+
+    def test_pass_without_gpu_count(self):
+        # no num_gpus context: the rule cannot judge, stays quiet
+        plan = FaultPlan([GpuFailure(gpu=7, at=1.0)])
+        assert "F001" not in fired(plan)
+
+    def test_pass(self):
+        plan = FaultPlan([GpuFailure(gpu=1, at=1.0)])
+        assert "F001" not in fired(plan, num_gpus=2)
+
+
+class TestF002Horizon:
+    def test_trigger(self):
+        plan = FaultPlan([GpuSlowdown(gpu=0, at=50.0, factor=0.5)])
+        report = lint_fault_plan(plan, num_gpus=2, horizon=10.0)
+        [d] = [d for d in report.warnings if d.rule == "F002"]
+        assert "horizon" in d.message
+
+    def test_pass_without_horizon(self):
+        plan = FaultPlan([GpuSlowdown(gpu=0, at=50.0, factor=0.5)])
+        assert "F002" not in fired(plan, num_gpus=2)
+
+    def test_pass(self):
+        plan = FaultPlan([GpuSlowdown(gpu=0, at=5.0, factor=0.5)])
+        assert "F002" not in fired(plan, num_gpus=2, horizon=10.0)
+
+
+class TestF003Contradictions:
+    def test_trigger_slowdown_after_failstop(self):
+        plan = FaultPlan(
+            [GpuFailure(gpu=0, at=2.0), GpuSlowdown(gpu=0, at=5.0, factor=0.5)]
+        )
+        report = lint_fault_plan(plan, num_gpus=2)
+        [d] = [d for d in report.warnings if d.rule == "F003"]
+        assert "unreachable" in d.message
+
+    def test_trigger_second_failure_unreachable(self):
+        plan = FaultPlan([GpuFailure(gpu=0, at=2.0), GpuFailure(gpu=1, at=5.0)])
+        assert "F003" in fired(plan, num_gpus=2)
+
+    def test_trigger_link_through_dead_gpu(self):
+        plan = FaultPlan(
+            [
+                GpuFailure(gpu=1, at=2.0),
+                LinkDegradation(src=0, dst=1, at=3.0, bw_factor=0.5),
+            ]
+        )
+        assert "F003" in fired(plan, num_gpus=2)
+
+    def test_pass_slowdown_before_failure(self):
+        plan = FaultPlan(
+            [GpuSlowdown(gpu=0, at=1.0, factor=0.5), GpuFailure(gpu=0, at=5.0)]
+        )
+        assert "F003" not in fired(plan, num_gpus=2)
+
+
+class TestF004FiniteParams:
+    def test_trigger_nan_time(self):
+        # NaN passes the `at < 0` construction check — same trap as G007
+        plan = FaultPlan([GpuFailure(gpu=0, at=float("nan"))])
+        report = lint_fault_plan(plan, num_gpus=2)
+        [d] = [d for d in report.errors if d.rule == "F004"]
+        assert "nan" in d.message
+
+    def test_pass(self):
+        plan = FaultPlan([GpuFailure(gpu=0, at=2.0)])
+        assert "F004" not in fired(plan, num_gpus=2)
+
+
+class TestF005LossBudget:
+    def test_trigger(self):
+        plan = FaultPlan([TransferLoss(prob=0.9, max_retries=2)])
+        report = lint_fault_plan(plan)
+        [d] = [d for d in report.warnings if d.rule == "F005"]
+        assert "retry" in d.message
+
+    def test_pass(self):
+        plan = FaultPlan([TransferLoss(prob=0.05, max_retries=5)])
+        assert "F005" not in fired(plan)
+
+
+class TestF006NoopSpecs:
+    def test_trigger_slowdown(self):
+        plan = FaultPlan([GpuSlowdown(gpu=0, at=1.0, factor=1.0)])
+        report = lint_fault_plan(plan)
+        [d] = [d for d in report.infos if d.rule == "F006"]
+        assert "no effect" in d.message
+
+    def test_trigger_link(self):
+        plan = FaultPlan([LinkDegradation(src=0, dst=1, at=1.0, bw_factor=1.0)])
+        assert "F006" in fired(plan)
+
+    def test_pass(self):
+        plan = FaultPlan([GpuSlowdown(gpu=0, at=1.0, factor=0.5)])
+        assert "F006" not in fired(plan)

@@ -1,0 +1,156 @@
+"""G0xx rules: each has one triggering and one passing case."""
+
+from repro.core.graph import OpGraph
+from repro.lint import LintContext, Linter, lint_graph
+
+
+def clean_chain():
+    g = OpGraph()
+    for name in "abc":
+        g.add_operator(name, cost=1.0)
+    g.add_edge("a", "b", transfer=0.5)
+    g.add_edge("b", "c", transfer=0.5)
+    return g
+
+
+def rules_fired(graph, **ctx_kwargs):
+    report = Linter().run(LintContext(graph=graph, **ctx_kwargs))
+    return set(report.rule_ids())
+
+
+def test_clean_graph_has_no_findings():
+    assert rules_fired(clean_chain()) == set()
+
+
+class TestG001Acyclic:
+    def test_trigger(self):
+        g = OpGraph()
+        for name in "abc":
+            g.add_operator(name, cost=1.0)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        report = lint_graph(g)
+        [d] = [d for d in report.errors if d.rule == "G001"]
+        assert "cycle" in d.message
+
+    def test_pass(self):
+        assert "G001" not in rules_fired(clean_chain())
+
+
+class TestG002Isolated:
+    def test_trigger(self):
+        g = clean_chain()
+        g.add_operator("floating", cost=1.0)
+        report = lint_graph(g)
+        [d] = [d for d in report.diagnostics if d.rule == "G002"]
+        assert "floating" in d.message
+        assert d.location == "op:floating"
+
+    def test_pass_single_op_graph(self):
+        g = OpGraph()
+        g.add_operator("only", cost=1.0)
+        assert "G002" not in rules_fired(g)
+
+
+class TestG003Sources:
+    def test_trigger(self):
+        g = clean_chain()
+        g.add_operator("extra_in", cost=1.0)
+        g.add_edge("extra_in", "c")
+        assert "G003" in rules_fired(g)
+
+    def test_pass(self):
+        assert "G003" not in rules_fired(clean_chain())
+
+
+class TestG004Sinks:
+    def test_trigger(self):
+        g = clean_chain()
+        g.add_operator("extra_out", cost=1.0)
+        g.add_edge("a", "extra_out")
+        assert "G004" in rules_fired(g)
+
+    def test_pass(self):
+        assert "G004" not in rules_fired(clean_chain())
+
+
+class TestG005Weights:
+    def test_trigger_zero_cost(self):
+        g = clean_chain()
+        g.add_operator("free", cost=0.0)
+        g.add_edge("c", "free")
+        [d] = [d for d in lint_graph(g).warnings if d.rule == "G005"]
+        assert "zero cost" in d.message
+
+    def test_pass(self):
+        assert "G005" not in rules_fired(clean_chain())
+
+
+class TestG006FanOut:
+    def test_trigger(self):
+        g = OpGraph()
+        g.add_operator("hub", cost=1.0)
+        for i in range(5):
+            g.add_operator(f"c{i}", cost=1.0)
+            g.add_edge("hub", f"c{i}")
+        report = Linter().run(LintContext(graph=g, fanout_threshold=4))
+        [d] = [d for d in report.diagnostics if d.rule == "G006"]
+        assert "hub" in d.message
+
+    def test_pass_below_threshold(self):
+        g = OpGraph()
+        g.add_operator("hub", cost=1.0)
+        for i in range(5):
+            g.add_operator(f"c{i}", cost=1.0)
+            g.add_edge("hub", f"c{i}")
+        assert "G006" not in rules_fired(g)  # default threshold is 16
+
+
+class TestG007Finite:
+    def test_trigger_nan_cost(self):
+        g = clean_chain()
+        # NaN passes Operator's `cost < 0` construction check: the
+        # comparison is False for NaN, which is exactly why this rule exists
+        g.add_operator("poisoned", cost=float("nan"))
+        g.add_edge("c", "poisoned")
+        [d] = [d for d in lint_graph(g).errors if d.rule == "G007"]
+        assert "non-finite" in d.message
+
+    def test_trigger_inf_transfer(self):
+        g = clean_chain()
+        g.add_operator("far", cost=1.0)
+        g.add_edge("c", "far", transfer=float("inf"))
+        assert any(d.rule == "G007" for d in lint_graph(g).errors)
+
+    def test_pass(self):
+        assert "G007" not in rules_fired(clean_chain())
+
+
+class TestGraphValidateWrapper:
+    def test_validate_raises_on_nan(self):
+        import pytest
+
+        from repro.core.graph import GraphError
+
+        g = clean_chain()
+        g.add_operator("poisoned", cost=float("nan"))
+        g.add_edge("c", "poisoned")
+        with pytest.raises(GraphError, match="non-finite"):
+            g.validate()
+
+    def test_validate_message_keeps_cycle_contract(self):
+        import pytest
+
+        from repro.core.graph import GraphError
+
+        g = OpGraph()
+        g.add_operator("a", cost=1.0)
+        g.add_operator("b", cost=1.0)
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(GraphError, match="cycle"):
+            g.validate()
+
+    def test_validate_ok(self):
+        clean_chain().validate()

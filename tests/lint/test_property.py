@@ -1,0 +1,75 @@
+"""Property-based lint checks (hypothesis).
+
+Random small DAGs are scheduled by every algorithm and the result is
+required to pass the error-severity lint rules — the linter and the
+schedulers must agree on what a legal schedule is.  Engine traces for
+those schedules must likewise satisfy the trace causality rules, both
+with no fault plan at all and with an *empty* :class:`FaultPlan`
+(which must behave identically to no plan).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import OpGraph, schedule_graph
+from repro.lint import lint_schedule, lint_trace
+from repro.substrate.engine import EngineConfig, MultiGpuEngine
+from repro.substrate.faults import FaultPlan
+
+ALGORITHMS = ("sequential", "ios", "hios-lp", "hios-mr")
+
+
+@st.composite
+def small_dags(draw, max_ops: int = 10) -> OpGraph:
+    """Random DAG with index-ordered edges (guaranteed acyclic)."""
+    n = draw(st.integers(2, max_ops))
+    costs = draw(
+        st.lists(
+            st.floats(0.1, 5.0, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    g = OpGraph()
+    for i in range(n):
+        g.add_operator(f"v{i}", cost=costs[i])
+    for v in range(1, n):
+        for u in range(v):
+            if draw(st.booleans()) and draw(st.integers(0, 2)) == 0:
+                g.add_edge(f"v{u}", f"v{v}", draw(st.floats(0.0, 3.0)))
+    return g
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=small_dags(), num_gpus=st.integers(1, 3), window=st.integers(2, 4))
+def test_all_algorithms_lint_clean(graph, num_gpus, window):
+    for algorithm in ALGORITHMS:
+        kwargs = {"window": window} if algorithm.startswith("hios") else {}
+        result = schedule_graph(graph, algorithm, num_gpus=num_gpus, **kwargs)
+        report = lint_schedule(
+            graph,
+            result.schedule,
+            window=window if algorithm.startswith("hios") else None,
+        )
+        assert not report.errors, (
+            f"{algorithm} produced a schedule with lint errors: "
+            + "; ".join(d.format() for d in report.errors)
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(graph=small_dags(max_ops=8), num_gpus=st.integers(1, 3))
+def test_engine_traces_pass_causality_rules(graph, num_gpus):
+    schedule = schedule_graph(graph, "hios-lp", num_gpus=num_gpus, window=3).schedule
+
+    bare = MultiGpuEngine().run(graph, schedule)
+    report = lint_trace(graph, schedule, bare)
+    assert not report.errors, "; ".join(d.format() for d in report.errors)
+
+    # an empty fault plan must be indistinguishable from no plan
+    empty = MultiGpuEngine(EngineConfig(faults=FaultPlan())).run(graph, schedule)
+    report = lint_trace(graph, schedule, empty)
+    assert not report.errors, "; ".join(d.format() for d in report.errors)
+    assert empty.latency == bare.latency
+    assert empty.op_finish == bare.op_finish

@@ -1,0 +1,299 @@
+"""S0xx rules: each has one triggering and one passing case."""
+
+import pytest
+
+from repro.core.graph import OpGraph
+from repro.core.schedule import Schedule, ScheduleError, Stage
+from repro.lint import LintContext, Linter, lint_schedule, lint_schedule_document
+
+
+def diamond():
+    g = OpGraph()
+    for name in "abcd":
+        g.add_operator(name, cost=1.0)
+    g.add_edge("a", "b", transfer=0.2)
+    g.add_edge("a", "c", transfer=0.2)
+    g.add_edge("b", "d", transfer=0.2)
+    g.add_edge("c", "d", transfer=0.2)
+    return g
+
+
+def good_schedule():
+    return Schedule(
+        2,
+        [
+            Stage(0, ("a",)),
+            Stage(0, ("b",)),
+            Stage(1, ("c",)),
+            Stage(0, ("d",)),
+        ],
+    )
+
+
+def object_rules_fired(graph, schedule, **kwargs):
+    report = Linter().run(LintContext(graph=graph, schedule=schedule, **kwargs))
+    return set(report.rule_ids())
+
+
+def doc_rules_fired(doc):
+    return set(lint_schedule_document(doc).rule_ids())
+
+
+GOOD_DOC = {
+    "num_gpus": 2,
+    "gpus": [
+        {"gpu": 0, "stages": [["a"], ["b"], ["d"]]},
+        {"gpu": 1, "stages": [["c"]]},
+    ],
+}
+
+
+class TestS001AllPlaced:
+    def test_trigger(self):
+        sched = Schedule(2, [Stage(0, ("a",)), Stage(0, ("b",)), Stage(1, ("c",))])
+        report = lint_schedule(diamond(), sched)
+        [d] = [d for d in report.errors if d.rule == "S001"]
+        assert "not scheduled" in d.message and "'d'" in d.message
+
+    def test_pass(self):
+        assert "S001" not in object_rules_fired(diamond(), good_schedule())
+
+
+class TestS002KnownOps:
+    def test_trigger(self):
+        sched = good_schedule()
+        sched.append_stage(Stage(1, ("ghost",)))
+        report = lint_schedule(diamond(), sched)
+        [d] = [d for d in report.errors if d.rule == "S002"]
+        assert "unknown operator" in d.message
+
+    def test_pass(self):
+        assert "S002" not in object_rules_fired(diamond(), good_schedule())
+
+
+class TestS003DocDuplicates:
+    def test_trigger(self):
+        doc = {
+            "num_gpus": 2,
+            "gpus": [
+                {"gpu": 0, "stages": [["a"], ["b"]]},
+                {"gpu": 1, "stages": [["a"]]},
+            ],
+        }
+        report = lint_schedule_document(doc)
+        [d] = [d for d in report.errors if d.rule == "S003"]
+        assert "placed twice" in d.message
+
+    def test_pass(self):
+        assert "S003" not in doc_rules_fired(GOOD_DOC)
+
+
+class TestS004DocGpus:
+    def test_trigger_missing_num_gpus(self):
+        assert "S004" in doc_rules_fired({"gpus": []})
+
+    def test_trigger_out_of_range_index(self):
+        doc = {"num_gpus": 1, "gpus": [{"gpu": 3, "stages": [["a"]]}]}
+        assert "S004" in doc_rules_fired(doc)
+
+    def test_trigger_duplicate_gpu_entry(self):
+        doc = {
+            "num_gpus": 2,
+            "gpus": [
+                {"gpu": 0, "stages": [["a"]]},
+                {"gpu": 0, "stages": [["b"]]},
+            ],
+        }
+        report = lint_schedule_document(doc)
+        assert any("duplicate entry" in d.message for d in report.errors)
+
+    def test_pass(self):
+        assert "S004" not in doc_rules_fired(GOOD_DOC)
+
+
+class TestS005DocStages:
+    def test_trigger_missing_gpu_key(self):
+        doc = {"num_gpus": 1, "gpus": [{"stages": [["a"]]}]}
+        assert "S005" in doc_rules_fired(doc)
+
+    def test_trigger_empty_stage(self):
+        doc = {"num_gpus": 1, "gpus": [{"gpu": 0, "stages": [[]]}]}
+        assert "S005" in doc_rules_fired(doc)
+
+    def test_trigger_non_string_op(self):
+        doc = {"num_gpus": 1, "gpus": [{"gpu": 0, "stages": [[42]]}]}
+        assert "S005" in doc_rules_fired(doc)
+
+    def test_pass(self):
+        assert "S005" not in doc_rules_fired(GOOD_DOC)
+
+
+class TestS006StageIndependence:
+    def test_trigger(self):
+        sched = Schedule(1, [Stage(0, ("a", "b")), Stage(0, ("c",)), Stage(0, ("d",))])
+        report = lint_schedule(diamond(), sched)
+        [d] = [d for d in report.errors if d.rule == "S006"]
+        assert "dependent" in d.message
+
+    def test_pass_independent_pair(self):
+        sched = Schedule(1, [Stage(0, ("a",)), Stage(0, ("b", "c")), Stage(0, ("d",))])
+        assert "S006" not in object_rules_fired(diamond(), sched)
+
+
+class TestS007IntraGpuOrder:
+    def test_trigger(self):
+        sched = Schedule(1, [Stage(0, ("d",)), Stage(0, ("c",)), Stage(0, ("b",)), Stage(0, ("a",))])
+        report = lint_schedule(diamond(), sched)
+        assert any(d.rule == "S007" for d in report.errors)
+
+    def test_pass(self):
+        assert "S007" not in object_rules_fired(diamond(), good_schedule())
+
+
+class TestS008StageGraphAcyclic:
+    def test_trigger_cross_gpu_deadlock(self):
+        # a->b and c->d, with GPU0 running (b then c) and GPU1 (d then a):
+        # GPU0's c needs nothing, but a (GPU1) runs after d, d needs c...
+        g = OpGraph()
+        for name in "abcd":
+            g.add_operator(name, cost=1.0)
+        g.add_edge("a", "b")
+        g.add_edge("c", "d")
+        sched = Schedule(
+            2,
+            [
+                Stage(0, ("b",)),
+                Stage(0, ("c",)),
+                Stage(1, ("d",)),
+                Stage(1, ("a",)),
+            ],
+        )
+        report = lint_schedule(g, sched)
+        [d] = [d for d in report.errors if d.rule == "S008"]
+        assert "cycle" in d.message and "deadlock" in d.message
+
+    def test_pass(self):
+        assert "S008" not in object_rules_fired(diamond(), good_schedule())
+
+
+class TestS009Window:
+    def test_trigger(self):
+        g = OpGraph()
+        for i in range(4):
+            g.add_operator(f"p{i}", cost=1.0)
+        sched = Schedule(1, [Stage(0, ("p0", "p1", "p2", "p3"))])
+        report = Linter().run(LintContext(graph=g, schedule=sched, window=2))
+        [d] = [d for d in report.warnings if d.rule == "S009"]
+        assert "w=2" in d.message
+
+    def test_pass_without_window(self):
+        g = OpGraph()
+        for i in range(4):
+            g.add_operator(f"p{i}", cost=1.0)
+        sched = Schedule(1, [Stage(0, ("p0", "p1", "p2", "p3"))])
+        assert "S009" not in object_rules_fired(g, sched)  # window unset
+
+    def test_pass_within_window(self):
+        assert "S009" not in object_rules_fired(
+            diamond(), good_schedule(), window=3
+        )
+
+
+class TestS010IdleGpus:
+    def test_trigger(self):
+        sched = Schedule(
+            3,
+            [Stage(0, ("a",)), Stage(0, ("b",)), Stage(0, ("c",)), Stage(0, ("d",))],
+        )
+        report = lint_schedule(diamond(), sched)
+        idle = [d for d in report.warnings if d.rule == "S010"]
+        assert len(idle) == 2  # GPUs 1 and 2
+
+    def test_pass_single_gpu(self):
+        sched = Schedule(
+            1,
+            [Stage(0, ("a",)), Stage(0, ("b", "c")), Stage(0, ("d",))],
+        )
+        assert "S010" not in object_rules_fired(diamond(), sched)
+
+
+class TestS011SingletonStages:
+    def test_trigger(self):
+        # b and c are independent but run in consecutive singleton stages
+        sched = Schedule(
+            1,
+            [Stage(0, ("a",)), Stage(0, ("b",)), Stage(0, ("c",)), Stage(0, ("d",))],
+        )
+        report = lint_schedule(diamond(), sched)
+        [d] = [d for d in report.infos if d.rule == "S011"]
+        assert "singleton" in d.message
+
+    def test_pass(self):
+        sched = Schedule(
+            1,
+            [Stage(0, ("a",)), Stage(0, ("b", "c")), Stage(0, ("d",))],
+        )
+        assert "S011" not in object_rules_fired(diamond(), sched)
+
+
+class TestS012CriticalPath:
+    def test_trigger(self):
+        # chain a->b->c with heavy transfers, split across GPUs
+        g = OpGraph()
+        for name in "abc":
+            g.add_operator(name, cost=1.0)
+        g.add_edge("a", "b", transfer=5.0)
+        g.add_edge("b", "c", transfer=5.0)
+        sched = Schedule(2, [Stage(0, ("a",)), Stage(1, ("b",)), Stage(0, ("c",))])
+        report = lint_schedule(g, sched)
+        [d] = [d for d in report.warnings if d.rule == "S012"]
+        assert "critical-path" in d.message
+
+    def test_pass_colocated(self):
+        g = OpGraph()
+        for name in "abc":
+            g.add_operator(name, cost=1.0)
+        g.add_edge("a", "b", transfer=5.0)
+        g.add_edge("b", "c", transfer=5.0)
+        sched = Schedule(2, [Stage(0, ("a",)), Stage(0, ("b",)), Stage(0, ("c",))])
+        assert "S012" not in object_rules_fired(g, sched)
+
+
+class TestScheduleValidateWrapper:
+    def test_reports_every_violation_at_once(self):
+        sched = Schedule(1, [Stage(0, ("a", "b"))])  # dependent AND missing c, d
+        with pytest.raises(ScheduleError) as exc:
+            sched.validate(diamond())
+        msg = str(exc.value)
+        assert "not scheduled" in msg and "dependent" in msg
+
+    def test_ok(self):
+        good_schedule().validate(diamond())
+
+
+class TestFromDictHardening:
+    def test_rejects_duplicate_placement_across_gpus(self):
+        doc = {
+            "num_gpus": 2,
+            "gpus": [
+                {"gpu": 0, "stages": [["a"]]},
+                {"gpu": 1, "stages": [["a"]]},
+            ],
+        }
+        with pytest.raises(ScheduleError, match="placed twice"):
+            Schedule.from_dict(doc)
+
+    def test_rejects_bad_gpu_index(self):
+        doc = {"num_gpus": 1, "gpus": [{"gpu": 5, "stages": [["a"]]}]}
+        with pytest.raises(ScheduleError, match="malformed schedule document"):
+            Schedule.from_dict(doc)
+
+    def test_rejects_missing_gpu_key(self):
+        doc = {"num_gpus": 1, "gpus": [{"stages": [["a"]]}]}
+        with pytest.raises(ScheduleError):
+            Schedule.from_dict(doc)
+
+    def test_accepts_good_doc(self):
+        sched = Schedule.from_dict(GOOD_DOC)
+        assert sched.num_gpus == 2
+        assert sched.gpu_of("c") == 1

@@ -1,0 +1,231 @@
+"""T0xx rules: each has one triggering and one passing case.
+
+Triggering traces are hand-built (the engine never emits them — that is
+the point); the passing cases use real engine output.
+"""
+
+from repro.core.graph import OpGraph
+from repro.core.schedule import Schedule, Stage
+from repro.lint import LintContext, Linter, lint_trace
+from repro.substrate.engine import ExecutionTrace, MultiGpuEngine
+
+
+def chain():
+    g = OpGraph()
+    for name in "ab":
+        g.add_operator(name, cost=1.0)
+    g.add_edge("a", "b", transfer=0.5)
+    return g
+
+
+def split_schedule():
+    return Schedule(2, [Stage(0, ("a",)), Stage(1, ("b",))])
+
+
+def make_trace(**overrides):
+    """A physically consistent baseline trace for chain()+split_schedule()."""
+    base = dict(
+        latency=2.6,
+        op_launch={"a": 0.0, "b": 0.1},
+        op_start={"a": 0.0, "b": 1.6},
+        op_finish={"a": 1.0, "b": 2.6},
+        transfers=[],
+        gpu_busy={0: 1.0, 1: 1.0},
+    )
+    base.update(overrides)
+    return ExecutionTrace(**base)
+
+
+def fired(trace, graph=None, schedule=None):
+    ctx = LintContext(graph=graph, schedule=schedule, trace=trace)
+    return set(Linter().for_packs("trace").run(ctx).rule_ids())
+
+
+def test_baseline_trace_is_clean():
+    assert fired(make_trace(), chain(), split_schedule()) == set()
+
+
+def test_engine_trace_is_clean():
+    g, s = chain(), split_schedule()
+    trace = MultiGpuEngine().run(g, s)
+    assert lint_trace(g, s, trace).ok
+
+
+class TestT001Timestamps:
+    def test_trigger_negative(self):
+        t = make_trace(op_start={"a": -1.0, "b": 1.6})
+        assert "T001" in fired(t)
+
+    def test_trigger_nan_latency(self):
+        t = make_trace(latency=float("nan"))
+        assert "T001" in fired(t)
+
+    def test_trigger_negative_busy(self):
+        t = make_trace(gpu_busy={0: -0.5})
+        assert "T001" in fired(t)
+
+    def test_pass(self):
+        assert "T001" not in fired(make_trace())
+
+
+class TestT002FinishAfterStart:
+    def test_trigger_reversed(self):
+        t = make_trace(op_finish={"a": 1.0, "b": 1.0})  # b: start 1.6 > finish 1.0
+        assert "T002" in fired(t)
+
+    def test_trigger_finish_without_start(self):
+        t = make_trace(op_start={"a": 0.0})
+        assert "T002" in fired(t)
+
+    def test_pass(self):
+        assert "T002" not in fired(make_trace())
+
+
+class TestT003LaunchBeforeStart:
+    def test_trigger(self):
+        t = make_trace(op_launch={"a": 0.0, "b": 2.0})  # b starts at 1.6 < launch
+        assert "T003" in fired(t)
+
+    def test_pass(self):
+        assert "T003" not in fired(make_trace())
+
+
+class TestT004Causality:
+    def test_trigger_start_before_producer_finish(self):
+        t = make_trace(op_start={"a": 0.0, "b": 0.5})  # a finishes at 1.0
+        assert "T004" in fired(t, graph=chain())
+
+    def test_trigger_producer_never_finished(self):
+        t = make_trace(op_finish={"b": 2.6})
+        assert "T004" in fired(t, graph=chain())
+
+    def test_pass(self):
+        assert "T004" not in fired(make_trace(), graph=chain())
+
+
+class TestT005TransferCausality:
+    def test_trigger_ignores_transfer_time(self):
+        # b starts at 1.2: after a's finish (1.0) but before 1.0 + t(a,b)=0.5
+        t = make_trace(op_start={"a": 0.0, "b": 1.2})
+        assert "T005" in fired(t, graph=chain(), schedule=split_schedule())
+        # and T004 stays quiet: plain causality holds
+        assert "T004" not in fired(t, graph=chain(), schedule=split_schedule())
+
+    def test_pass_same_gpu_needs_no_transfer(self):
+        sched = Schedule(1, [Stage(0, ("a",)), Stage(0, ("b",))])
+        t = make_trace(op_start={"a": 0.0, "b": 1.0}, op_finish={"a": 1.0, "b": 2.0},
+                       latency=2.0, gpu_busy={0: 2.0})
+        assert "T005" not in fired(t, graph=chain(), schedule=sched)
+
+    def test_pass_checkpointed_producer_exempt(self):
+        from repro.substrate.faults import FailureEvent
+
+        failure = FailureEvent(
+            gpu=0, time=1.1, finished=frozenset({"a"}), in_flight=frozenset()
+        )
+        # post-repair splice: b re-staged from the host checkpoint, so it
+        # may start before finish(a) + transfer
+        t = make_trace(op_start={"a": 0.0, "b": 1.2}, failure=failure)
+        assert "T005" not in fired(t, graph=chain(), schedule=split_schedule())
+
+
+class TestT006ScheduleAgreement:
+    def test_trigger_unscheduled_op_in_trace(self):
+        t = make_trace(op_finish={"a": 1.0, "b": 2.6, "ghost": 1.0})
+        assert "T006" in fired(t, schedule=split_schedule())
+
+    def test_trigger_scheduled_op_missing(self):
+        t = make_trace(op_launch={"a": 0.0}, op_start={"a": 0.0},
+                       op_finish={"a": 1.0}, latency=1.0)
+        assert "T006" in fired(t, schedule=split_schedule())
+
+    def test_pass_partial_failure_trace(self):
+        from repro.substrate.faults import FailureEvent
+
+        failure = FailureEvent(
+            gpu=1, time=1.1, finished=frozenset({"a"}), in_flight=frozenset({"b"})
+        )
+        t = make_trace(op_finish={"a": 1.0}, latency=1.1, failure=failure)
+        assert "T006" not in fired(t, schedule=split_schedule())
+
+    def test_pass(self):
+        assert "T006" not in fired(make_trace(), schedule=split_schedule())
+
+
+class TestT007StageOverlap:
+    def test_trigger(self):
+        g = OpGraph()
+        for name in "ab":
+            g.add_operator(name, cost=1.0)  # independent: no edge
+        sched = Schedule(1, [Stage(0, ("a",)), Stage(0, ("b",))])
+        t = ExecutionTrace(
+            latency=1.5,
+            op_launch={"a": 0.0, "b": 0.0},
+            op_start={"a": 0.0, "b": 0.5},  # b starts while a still runs
+            op_finish={"a": 1.0, "b": 1.5},
+            transfers=[],
+            gpu_busy={0: 1.5},
+        )
+        assert "T007" in fired(t, graph=g, schedule=sched)
+
+    def test_pass(self):
+        sched = Schedule(1, [Stage(0, ("a",)), Stage(0, ("b",))])
+        t = make_trace(op_start={"a": 0.0, "b": 1.0},
+                       op_finish={"a": 1.0, "b": 2.0},
+                       latency=2.0, gpu_busy={0: 2.0})
+        assert "T007" not in fired(t, graph=chain(), schedule=sched)
+
+
+class TestT008Latency:
+    def test_trigger(self):
+        t = make_trace(latency=1.0)  # last finish is 2.6
+        assert "T008" in fired(t)
+
+    def test_pass_failure_trace_exempt(self):
+        from repro.substrate.faults import FailureEvent
+
+        failure = FailureEvent(
+            gpu=0, time=1.0, finished=frozenset({"a"}), in_flight=frozenset()
+        )
+        t = make_trace(latency=1.0, op_finish={"a": 1.0}, failure=failure)
+        assert "T008" not in fired(t)
+
+    def test_pass(self):
+        assert "T008" not in fired(make_trace())
+
+
+class TestTraceSerialization:
+    def test_round_trip(self):
+        import json
+
+        g, s = chain(), split_schedule()
+        trace = MultiGpuEngine().run(g, s)
+        doc = json.loads(json.dumps(trace.to_dict()))
+        assert doc["format"] == "repro.trace/v1"
+        back = ExecutionTrace.from_dict(doc)
+        assert back.latency == trace.latency
+        assert back.op_finish == trace.op_finish
+        assert back.gpu_busy == trace.gpu_busy
+        assert back.transfers == trace.transfers
+
+    def test_round_trip_with_failure(self):
+        import dataclasses
+        import json
+
+        from repro.substrate.engine import EngineConfig
+        from repro.substrate.faults import FaultPlan, parse_fault
+
+        g, s = chain(), split_schedule()
+        cfg = EngineConfig(faults=FaultPlan([parse_fault("fail:1@0.5")]))
+        trace = MultiGpuEngine(cfg).run(g, s)
+        assert trace.failure is not None
+        back = ExecutionTrace.from_dict(json.loads(json.dumps(trace.to_dict())))
+        assert dataclasses.asdict(back.failure) == dataclasses.asdict(trace.failure)
+
+    def test_rejects_unknown_format(self):
+        import pytest
+
+        from repro.substrate.engine import EngineError
+
+        with pytest.raises(EngineError, match="unsupported trace format"):
+            ExecutionTrace.from_dict({"format": "repro.trace/v99", "latency": 1.0})

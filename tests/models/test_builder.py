@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import GraphError
-from repro.models import Conv2d, Concat, GraphBuilder, MaxPool2d, TensorShape
+from repro.models import Conv2d, Concat, GraphBuilder, TensorShape
 from repro.models.builder import INPUT
 
 

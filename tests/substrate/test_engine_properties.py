@@ -15,7 +15,6 @@ stages and hold it to invariants no configuration may violate:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import Schedule, Stage, critical_path_length, priority_order

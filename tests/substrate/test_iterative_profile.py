@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Schedule, Stage, schedule_graph
+from repro.core import Schedule, schedule_graph
 from repro.models import inception_v3
 from repro.substrate import PlatformProfiler, dual_a40
 

@@ -194,3 +194,99 @@ class TestCompareCommand:
         assert "lower bound" in out
         assert "sequential" in out and "hios-lp" in out
         assert "gap" in out
+
+
+class TestLintCommand:
+    @pytest.fixture
+    def artifacts(self, tmp_path):
+        import json
+
+        from repro.core import OpGraph, Schedule, save_graph
+
+        g = OpGraph.from_edges({"a": 1.0, "b": 2.0}, [("a", "b", 0.5)])
+        gpath = tmp_path / "g.json"
+        save_graph(g, gpath)
+        s = Schedule(2)
+        s.append_op(0, "a")
+        s.append_op(1, "b")
+        spath = tmp_path / "s.json"
+        spath.write_text(s.to_json())
+        bad = {
+            "num_gpus": 2,
+            "gpus": [
+                {"gpu": 0, "stages": [["a"]]},
+                {"gpu": 1, "stages": [["a"]]},
+            ],
+        }
+        bpath = tmp_path / "bad.json"
+        bpath.write_text(json.dumps(bad))
+        return str(gpath), str(spath), str(bpath), tmp_path
+
+    def test_clean_pair_exits_0(self, artifacts, capsys):
+        gpath, spath, _, _ = artifacts
+        assert main(["lint", gpath, spath]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_duplicate_placement_exits_1(self, artifacts, capsys):
+        gpath, _, bpath, _ = artifacts
+        assert main(["lint", gpath, bpath]) == 1
+        out = capsys.readouterr().out
+        assert "S003" in out and "placed twice" in out
+
+    def test_json_output_carries_catalog(self, artifacts, capsys):
+        import json
+
+        gpath, spath, _, _ = artifacts
+        assert main(["lint", gpath, spath, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert len(doc["rules"]) >= 18
+
+    def test_rules_catalog(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "G001" in out and "S001" in out and "T001" in out and "F001" in out
+
+    def test_fault_specs_only(self, capsys):
+        assert (
+            main(
+                [
+                    "lint",
+                    "--fault",
+                    "fail:7@1",
+                    "--gpus",
+                    "2",
+                ]
+            )
+            == 1
+        )
+        assert "F001" in capsys.readouterr().out
+
+    def test_trace_lints_clean(self, artifacts, capsys):
+        import json
+
+        from repro.core import Schedule, load_graph
+        from repro.substrate.engine import MultiGpuEngine
+
+        gpath, spath, _, tmp = artifacts
+        g = load_graph(gpath)
+        s = Schedule.from_json((tmp / "s.json").read_text())
+        trace = MultiGpuEngine().run(g, s)
+        tpath = tmp / "t.json"
+        tpath.write_text(json.dumps(trace.to_dict()))
+        assert main(["lint", gpath, spath, str(tpath)]) == 0
+
+    def test_nothing_to_lint_exits_2(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().out
+
+    def test_unreadable_file_exits_2(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "missing.json")]) == 2
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_unclassifiable_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "odd.json"
+        path.write_text('{"hello": "world"}')
+        assert main(["lint", str(path)]) == 2
+        assert "cannot classify" in capsys.readouterr().out

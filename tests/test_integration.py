@@ -89,3 +89,42 @@ class TestSimulationIntegration:
         lat = {a: schedule_graph(profile, a).latency for a in
                ("sequential", "ios", "hios-mr", "hios-lp")}
         assert lat["hios-lp"] < lat["hios-mr"] < lat["ios"] < lat["sequential"]
+
+
+class TestLintRoundTrip:
+    """Every schedule the pipeline produces must lint clean, and the
+    JSON documents the CLI writes must survive a document-level lint."""
+
+    @pytest.mark.parametrize("alg", ["sequential", "ios", "hios-mr", "hios-lp"])
+    def test_every_schedule_lints_without_errors(self, alg):
+        from repro.lint import lint_schedule
+
+        profiler = PlatformProfiler(dual_a40())
+        profile = profiler.profile(inception_v3(299))
+        res = schedule_graph(profile, alg)
+        report = lint_schedule(profile.graph, res.schedule)
+        assert not report.errors, "; ".join(d.format() for d in report.errors)
+
+    def test_serialized_schedule_document_lints_clean(self):
+        import json
+
+        from repro.lint import lint_schedule_document
+
+        profiler = PlatformProfiler(dual_a40())
+        profile = profiler.profile(inception_v3(299))
+        res = schedule_graph(profile, "hios-lp")
+        doc = json.loads(res.schedule.to_json())
+        report = lint_schedule_document(doc)
+        assert report.ok, report.to_text()
+
+    def test_engine_trace_round_trip_lints_clean(self):
+        from repro.lint import lint_trace
+        from repro.substrate.engine import ExecutionTrace
+
+        profiler = PlatformProfiler(dual_a40())
+        profile = profiler.profile(inception_v3(299))
+        res = schedule_graph(profile, "hios-lp")
+        trace = profiler.engine().run(profile.graph, res.schedule)
+        restored = ExecutionTrace.from_dict(trace.to_dict())
+        report = lint_trace(profile.graph, res.schedule, restored)
+        assert not report.errors, "; ".join(d.format() for d in report.errors)

@@ -9,6 +9,7 @@ PACKAGES = [
     "repro",
     "repro.core",
     "repro.costmodel",
+    "repro.lint",
     "repro.substrate",
     "repro.models",
     "repro.experiments",
