@@ -1,0 +1,99 @@
+"""CI gate for scheduler performance (Fig. 14 path).
+
+Measures the median pure-algorithm scheduling time of ``hios-lp`` on
+the largest inception/nasnet workloads (see
+``repro.experiments.sched_cost_bench``) and compares against the
+committed baseline ``benchmarks/results/BENCH_scheduling_cost.json``:
+
+* FAIL if the fast-path median, normalized by the machine-speed
+  calibration ratio, regresses more than ``--threshold`` (default 25 %)
+  over the baseline;
+* FAIL if the fast/reference speedup on any workload drops below
+  ``--min-speedup`` (default 2x) — this check needs no normalization,
+  both modes run on the measuring machine.
+
+Refresh the baseline after intentional performance changes with::
+
+    PYTHONPATH=src python scripts/check_sched_regression.py --write-baseline
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.experiments.sched_cost_bench import measure
+
+BASELINE = pathlib.Path("benchmarks/results/BENCH_scheduling_cost.json")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", type=pathlib.Path, default=BASELINE)
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="measure and (over)write the baseline file instead of gating")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional regression of the normalized fast median")
+    ap.add_argument("--min-speedup", type=float, default=2.0,
+                    help="required fast-vs-reference median speedup per workload")
+    ap.add_argument("--repeats", type=int, default=5)
+    args = ap.parse_args(argv)
+
+    current = measure(repeats=args.repeats)
+    if args.write_baseline:
+        args.baseline.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline written to {args.baseline}")
+        _report(current, current, args)
+        return 0
+
+    if not args.baseline.exists():
+        print(f"ERROR: baseline {args.baseline} missing "
+              "(generate with --write-baseline)", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    return _report(baseline, current, args)
+
+
+def _report(baseline: dict, current: dict, args: argparse.Namespace) -> int:
+    # normalize the baseline's absolute times to this machine's speed:
+    # a machine 2x slower on the calibration workload is allowed 2x
+    # slower scheduling times
+    scale = current["calibration_s"] / baseline["calibration_s"]
+    print(f"calibration: baseline={baseline['calibration_s']:.3f}s "
+          f"current={current['calibration_s']:.3f}s scale={scale:.2f}")
+    failures = []
+    for name, cur in current["workloads"].items():
+        base = baseline["workloads"].get(name)
+        if base is None:
+            print(f"  {name}: no baseline entry, skipping")
+            continue
+        allowed = base["fast_median_s"] * scale * (1.0 + args.threshold)
+        speedup = cur["reference_median_s"] / cur["fast_median_s"]
+        status = "ok"
+        if cur["fast_median_s"] > allowed:
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: fast median {cur['fast_median_s']:.3f}s exceeds "
+                f"allowed {allowed:.3f}s "
+                f"(baseline {base['fast_median_s']:.3f}s, scale {scale:.2f})"
+            )
+        if speedup < args.min_speedup:
+            status = "TOO SLOW vs reference"
+            failures.append(
+                f"{name}: fast/reference speedup {speedup:.2f}x "
+                f"below required {args.min_speedup:.2f}x"
+            )
+        print(f"  {name}: fast={cur['fast_median_s']:.3f}s "
+              f"reference={cur['reference_median_s']:.3f}s "
+              f"speedup={speedup:.2f}x allowed<={allowed:.3f}s [{status}]")
+    if failures:
+        print("\nscheduling-time regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("scheduling-time regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

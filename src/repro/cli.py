@@ -69,6 +69,18 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--window", type=int, default=3, help="Alg. 2 max window size")
     sched.add_argument("--json", action="store_true", help="print schedule JSON")
     sched.add_argument("--stages", action="store_true", help="print stage layout")
+    sched.add_argument(
+        "--profile-sched",
+        action="store_true",
+        help="print the per-phase scheduling time breakdown and the "
+        "incremental-engine evaluation counters",
+    )
+    sched.add_argument(
+        "--reference-eval",
+        action="store_true",
+        help="run the retained from-scratch evaluation loops instead of "
+        "the incremental engine (same schedule, for A/B timing)",
+    )
 
     report = sub.add_parser(
         "report", help="paper-vs-measured report from benchmark artifacts"
@@ -198,7 +210,11 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     size = args.size if args.size is not None else (299 if args.model == "inception_v3" else 331)
     profiler = default_profiler(num_gpus=args.gpus)
     profile = profiler.profile(builder(size))
-    kwargs = {"window": args.window} if args.algorithm in ("hios-lp", "hios-mr") else {}
+    kwargs: dict[str, object] = (
+        {"window": args.window} if args.algorithm in ("hios-lp", "hios-mr") else {}
+    )
+    if args.reference_eval and args.algorithm != "sequential":
+        kwargs["fast"] = False  # sequential has no evaluation loop to swap
     result = schedule_graph(profile, args.algorithm, **kwargs)
     trace = profiler.engine().run(profile.graph, result.schedule)
     print(
@@ -207,6 +223,25 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         f"{trace.num_transfers} transfers, scheduling took "
         f"{result.scheduling_time:.2f} s"
     )
+    if args.profile_sched:
+        phases = result.stats.get("phase_times", {})
+        if isinstance(phases, dict) and phases:
+            total = result.scheduling_time
+            print("scheduling time breakdown:")
+            for phase, secs in phases.items():
+                share = 100.0 * secs / total if total > 0 else 0.0
+                print(f"  {phase:<16} {secs * 1000:9.2f} ms  ({share:5.1f}%)")
+            other = total - sum(phases.values())
+            print(f"  {'other':<16} {other * 1000:9.2f} ms")
+        counters = {
+            k: result.stats[k]
+            for k in ("evals", "suffix_replays", "window_delta_evals", "cache_hits")
+            if k in result.stats
+        }
+        if counters:
+            print("evaluation counters:")
+            for key, value in counters.items():
+                print(f"  {key:<18} {value}")
     if args.stages:
         print(render_schedule_table(result.schedule))
     if args.json:

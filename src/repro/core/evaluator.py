@@ -17,6 +17,15 @@ finishes and, under sender blocking, trailing sends).  This evaluator
 is the analytic objective the schedulers optimize; the discrete-event
 engine in :mod:`repro.substrate.engine` provides the "real system"
 measurement with launch overheads and eager starts.
+
+:func:`evaluate_schedule` is the *reference* (full-reconstruction)
+implementation; Alg. 2's window sweep defaults to the bit-identical
+delta version in :class:`repro.core.fasteval.StageGraphEvaluator`,
+which builds the stage graph once per schedule and contracts merged
+stages onto a representative node per candidate.  The differential
+tests in ``tests/core/test_fasteval.py`` hold the two to exact float
+equality — any change to the timing semantics here must be mirrored
+there.
 """
 
 from __future__ import annotations

@@ -1,0 +1,513 @@
+"""Incremental evaluation engine for the scheduler inner loops.
+
+The HIOS schedulers are *evaluation-bound*: almost all of their time is
+spent pricing candidate schedules that differ from an already-priced
+schedule in one small, known way.  The reference implementations
+(:func:`repro.core.list_schedule.list_schedule_latency` and
+:func:`repro.core.evaluator.evaluate_schedule`) re-simulate the entire
+schedule from scratch for every candidate; this module exploits the
+known delta instead — the engineering discipline IOS (Ding et al.,
+MLSys'21) applies to its DP states, applied to our three inner loops:
+
+:class:`PrefixReplayer`
+    Incremental list scheduling.  Across the ``M`` GPU candidates for
+    one HIOS-LP path — and across the moves of one operator in the
+    local-search pass — only the assignment of a known set of
+    *varying* operators changes.  List scheduling processes operators
+    in a fixed priority order and operator ``v``'s placement reads only
+    (a) the assignment of ``v`` and its predecessors and, under the
+    sender-blocking model, (b) the assignments of the successors of
+    every operator processed so far.  Hence the simulated prefix up to
+    the first operator that reads a varying assignment is *identical
+    for every candidate*: :meth:`PrefixReplayer.snapshot` simulates it
+    once and checkpoints ``(finish, arrival, gpu_free, latency)``;
+    :meth:`PrefixReplayer.replay` re-simulates only the suffix.
+
+:class:`StageGraphEvaluator`
+    Reusable stage-graph evaluation for Alg. 2.  A ``parallelize``
+    window candidate merges ``p+1`` consecutive singleton stages of one
+    GPU into one stage; every other stage, every edge classification
+    (chain / local / remote) and every sorted send order is unchanged.
+    The evaluator builds those structures once per schedule and prices
+    each candidate by running the forward stage DP with a small
+    *window-merge delta* (a representative-node remap of the merged
+    stages) instead of reconstructing the stage graph per candidate as
+    ``evaluate_schedule`` does.
+
+Both paths are differentially tested bit-identical — latencies *and*
+schedules — against the retained reference implementations
+(``tests/core/test_fasteval.py``); the schedulers expose
+``fast=False`` to fall back to the references at runtime.
+:class:`EvalCounters` makes the win observable through
+``ScheduleResult.stats``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from ..costmodel.profile import CostProfile
+from .graph import OpGraph
+from .schedule import Schedule, ScheduleError, Stage
+
+__all__ = ["EvalCounters", "PrefixReplayer", "StageGraphEvaluator"]
+
+
+@dataclass
+class EvalCounters:
+    """Observable counters for the incremental engine.
+
+    Attributes
+    ----------
+    evals:
+        Full from-scratch evaluations: prefix simulations of the list
+        scheduler plus stage-graph (re)builds and full DP runs.
+    suffix_replays:
+        List-schedule queries answered by replaying only the suffix
+        after a :meth:`PrefixReplayer.snapshot` checkpoint.
+    window_delta_evals:
+        Alg. 2 window candidates priced via a stage-graph merge delta
+        instead of a full reconstruction.
+    cache_hits:
+        ``CostProfile.stage_time`` memo hits observed during the run
+        (filled in by the schedulers from the profile's counter).
+    """
+
+    evals: int = 0
+    suffix_replays: int = 0
+    window_delta_evals: int = 0
+    cache_hits: int = 0
+
+    def to_stats(self) -> dict[str, int]:
+        return {
+            "evals": self.evals,
+            "suffix_replays": self.suffix_replays,
+            "window_delta_evals": self.window_delta_evals,
+            "cache_hits": self.cache_hits,
+        }
+
+
+class PrefixReplayer:
+    """Prefix-state snapshotting for the temporal list scheduler.
+
+    Semantically equivalent to calling
+    :func:`~repro.core.list_schedule.list_schedule_latency` per
+    candidate; bit-identical because the simulation below performs the
+    exact float operations of the reference, in the same order.
+
+    Usage::
+
+        rp = PrefixReplayer(graph, num_gpus, send_blocking, gpu_speeds)
+        rp.snapshot(order, assignment, varying=path_vertices)
+        for gpu in range(num_gpus):
+            ...mutate assignment of the varying operators...
+            latency = rp.replay(assignment)
+
+    **Snapshot-reuse invariant.**  A checkpoint taken at boundary ``k``
+    is valid for any assignment that differs from the snapshot-time one
+    only on ``varying``: processing ``order[i]`` reads the assignments
+    of ``order[i]`` itself, of its predecessors, and — sender-blocking
+    only — the successors of ``order[i]``; the boundary is the first
+    position whose processing reads a varying operator (the varying
+    operator's own position, or under sender blocking the position of
+    any of its predecessors, whichever comes first).
+    """
+
+    def __init__(
+        self,
+        graph: OpGraph,
+        num_gpus: int,
+        send_blocking: bool = True,
+        gpu_speeds: Sequence[float] | None = None,
+        counters: EvalCounters | None = None,
+    ) -> None:
+        self._num_gpus = num_gpus
+        self._blocking = send_blocking
+        self._speeds: list[float] | None = (
+            list(gpu_speeds) if gpu_speeds is not None else None
+        )
+        self.counters = counters if counters is not None else EvalCounters()
+        names = graph.names
+        self._preds: dict[str, tuple[str, ...]] = {
+            v: tuple(graph.predecessors(v)) for v in names
+        }
+        self._succs: dict[str, tuple[str, ...]] = {
+            v: tuple(sorted(graph.successors(v))) for v in names
+        }
+        self._cost: dict[str, float] = {v: graph.cost(v) for v in names}
+        self._transfer: dict[tuple[str, str], float] = {
+            (u, v): w for u, v, w in graph.edges()
+        }
+        self._order: list[str] = []
+        self._k = 0
+        self._finish: dict[str, float] = {}
+        self._arrival: dict[tuple[str, str], float] = {}
+        self._gpu_free: list[float] = [0.0] * num_gpus
+        self._latency = 0.0
+
+    # ------------------------------------------------------------------
+    def _simulate(
+        self,
+        assignment: Mapping[str, int],
+        order: Sequence[str],
+        start: int,
+        stop: int,
+        finish: dict[str, float],
+        arrival: dict[tuple[str, str], float],
+        gpu_free: list[float],
+        latency: float,
+        added_finish: list[str] | None = None,
+        added_arrival: list[tuple[str, str]] | None = None,
+    ) -> float:
+        """Exact mirror of ``list_schedule_latency``'s inner loop over
+        ``order[start:stop]``, mutating the carried state in place."""
+        blocking = self._blocking
+        speeds = self._speeds
+        preds = self._preds
+        succs = self._succs
+        cost = self._cost
+        transfer = self._transfer
+        get = assignment.get
+        for i in range(start, stop):
+            v = order[i]
+            g = assignment[v]
+            t = gpu_free[g]
+            for u in preds[v]:
+                gu = get(u)
+                if gu is None:
+                    continue  # still unscheduled in this iteration
+                if gu == g:
+                    ready = finish[u]
+                elif blocking:
+                    ready = arrival[(u, v)]
+                else:
+                    ready = finish[u] + transfer[(u, v)]
+                if ready > t:
+                    t = ready
+            speed = 1.0 if speeds is None else speeds[g]
+            end = t + cost[v] / speed
+            finish[v] = end
+            if added_finish is not None:
+                added_finish.append(v)
+            if blocking:
+                cursor = end
+                for s in succs[v]:
+                    gs = get(s)
+                    if gs is None or gs == g:
+                        continue
+                    cursor += transfer[(v, s)]
+                    arrival[(v, s)] = cursor
+                    if added_arrival is not None:
+                        added_arrival.append((v, s))
+                gpu_free[g] = cursor
+                if cursor > latency:
+                    latency = cursor
+            else:
+                gpu_free[g] = end
+            if end > latency:
+                latency = end
+        return latency
+
+    def prefix_boundary(self, order: Sequence[str], varying: Iterable[str]) -> int:
+        """First position of ``order`` whose processing reads the
+        assignment of any operator in ``varying``."""
+        positions = {v: i for i, v in enumerate(order)}
+        k = len(order)
+        for v in varying:
+            pos = positions.get(v)
+            if pos is None:
+                continue
+            if pos < k:
+                k = pos
+            if self._blocking:
+                # a predecessor issues (or skips) a blocking send to v
+                # depending on v's assignment
+                for u in self._preds[v]:
+                    pu = positions.get(u)
+                    if pu is not None and pu < k:
+                        k = pu
+        return k
+
+    def snapshot(
+        self,
+        order: Sequence[str],
+        assignment: Mapping[str, int],
+        varying: Iterable[str],
+    ) -> int:
+        """Simulate the candidate-invariant prefix once and checkpoint
+        the state; returns the boundary index."""
+        k = self.prefix_boundary(order, varying)
+        self._order = list(order)
+        self._k = k
+        self._finish = {}
+        self._arrival = {}
+        self._gpu_free = [0.0] * self._num_gpus
+        self.counters.evals += 1
+        self._latency = self._simulate(
+            assignment, self._order, 0, k, self._finish, self._arrival,
+            self._gpu_free, 0.0,
+        )
+        return k
+
+    def replay(self, assignment: Mapping[str, int]) -> float:
+        """Latency of list-scheduling the full order under
+        ``assignment``, re-simulating only the suffix after the last
+        :meth:`snapshot`; the checkpoint is restored afterwards."""
+        self.counters.suffix_replays += 1
+        gpu_free = list(self._gpu_free)
+        finish = self._finish
+        arrival = self._arrival
+        added_finish: list[str] = []
+        added_arrival: list[tuple[str, str]] = []
+        try:
+            return self._simulate(
+                assignment, self._order, self._k, len(self._order),
+                finish, arrival, gpu_free, self._latency,
+                added_finish, added_arrival,
+            )
+        finally:
+            for v in added_finish:
+                del finish[v]
+            for key in added_arrival:
+                del arrival[key]
+
+
+class StageGraphEvaluator:
+    """Reusable stage-graph evaluation for the Alg. 2 window sweep.
+
+    Builds the stage graph — operator-to-stage map, per-stage chain /
+    local / remote edge lists with the deterministic ``(producer,
+    consumer)`` send order, and stage durations — once per schedule,
+    then prices each window candidate with :meth:`try_merge` by running
+    the forward DP under a merge delta.  Produces exactly the floats of
+    :func:`repro.core.evaluator.evaluate_schedule` (same max/accumulate
+    operations in the same per-stage order).
+    """
+
+    def __init__(
+        self,
+        profile: CostProfile,
+        schedule: Schedule,
+        counters: EvalCounters | None = None,
+    ) -> None:
+        self.counters = counters if counters is not None else EvalCounters()
+        self._profile = profile
+        self._blocking = profile.send_blocking
+        graph: OpGraph = profile.graph
+        stages = schedule.all_stages()
+        self._stages = stages
+        n = len(stages)
+        self._n = n
+
+        op_stage: dict[str, int] = {}
+        for idx, st in enumerate(stages):
+            for op in st.ops:
+                op_stage[op] = idx
+
+        by_gpu: dict[int, list[int]] = {}
+        for idx, st in enumerate(stages):
+            by_gpu.setdefault(st.gpu, []).append(idx)
+        self._by_gpu = by_gpu
+        chain_next: list[int | None] = [None] * n
+        for chain in by_gpu.values():
+            for a, b in zip(chain, chain[1:]):
+                chain_next[a] = b
+        self._chain_next = chain_next
+
+        local_sets: list[set[int]] = [set() for _ in range(n)]
+        remote_lists: list[list[tuple[float, int, str, str]]] = [[] for _ in range(n)]
+        for u, v, w in graph.edges():
+            su, sv = op_stage[u], op_stage[v]
+            if su == sv:
+                raise ScheduleError(
+                    f"dependent operators {u!r} -> {v!r} share a stage"
+                )
+            if stages[su].gpu == stages[sv].gpu:
+                local_sets[su].add(sv)
+            else:
+                remote_lists[su].append((w, sv, u, v))
+        for lst in remote_lists:
+            # deterministic send order: producer then consumer name
+            lst.sort(key=lambda e: (e[2], e[3]))
+        self._local: list[tuple[int, ...]] = [tuple(s) for s in local_sets]
+        self._remote: list[tuple[tuple[float, int, str, str], ...]] = [
+            tuple(lst) for lst in remote_lists
+        ]
+
+        # per-source dedup'd target list (all constraint kinds) and the
+        # reverse map used to find sources with an edge into a window
+        succ_unique: list[tuple[int, ...]] = []
+        rev_sources: list[set[int]] = [set() for _ in range(n)]
+        for s in range(n):
+            targets = set(local_sets[s])
+            targets.update(sv for _w, sv, _u, _v in remote_lists[s])
+            nxt = chain_next[s]
+            if nxt is not None:
+                targets.add(nxt)
+            succ_unique.append(tuple(targets))
+            for t in targets:
+                rev_sources[t].add(s)
+        self._succ_unique = succ_unique
+        self._rev_sources: list[tuple[int, ...]] = [tuple(s) for s in rev_sources]
+
+        self._duration: list[float] = [
+            profile.stage_time(st.ops, gpu=st.gpu) for st in stages
+        ]
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> float:
+        """Latency of the committed schedule (full DP, no delta).
+
+        Raises :class:`ScheduleError` when the stage graph is cyclic.
+        """
+        self.counters.evals += 1
+        latency = self._run_dp(None)
+        if latency is None:
+            raise ScheduleError("stage graph contains a cycle")
+        return latency
+
+    def try_merge(self, gpu: int, pos: int, p: int, group: tuple[str, ...]) -> float | None:
+        """Latency of the candidate merging the ``p + 1`` consecutive
+        singleton stages at positions ``pos .. pos + p`` of ``gpu``'s
+        stage list into one stage executing ``group``.
+
+        Returns ``None`` when the merged stage graph is cyclic (the
+        candidate Alg. 2 must reject).  The committed structures are
+        not modified.
+        """
+        members = self._by_gpu[gpu][pos : pos + p + 1]
+        self.counters.window_delta_evals += 1
+        return self._run_dp((members, group, gpu))
+
+    # ------------------------------------------------------------------
+    def _run_dp(
+        self, merge: tuple[list[int], tuple[str, ...], int] | None
+    ) -> float | None:
+        """Forward stage DP, optionally under a window-merge delta.
+
+        The merged stages are contracted onto a representative node
+        (the first member); edges into any member are remapped onto the
+        representative at use, which is exactly the stage graph
+        ``evaluate_schedule`` would rebuild for the candidate.
+        """
+        n = self._n
+        blocking = self._blocking
+        chain_next = self._chain_next
+        durations = self._duration
+        locals_ = self._local
+        remotes = self._remote
+        succ_unique = self._succ_unique
+
+        rep = -1
+        rep_map: dict[int, int] = {}
+        skip: set[int] = set()
+        affected: set[int] = set()
+        merged_duration = 0.0
+        merged_local: tuple[int, ...] = ()
+        merged_remote: tuple[tuple[float, int, str, str], ...] = ()
+        merged_chain: int | None = None
+        active = n
+        if merge is not None:
+            members, group, gpu = merge
+            rep = members[0]
+            member_set = set(members)
+            skip = member_set - {rep}
+            active = n - len(skip)
+            rep_map = {m: rep for m in members}
+            merged_duration = self._profile.stage_time(group, gpu=gpu)
+            loc: set[int] = set()
+            rem: list[tuple[float, int, str, str]] = []
+            for m in members:
+                loc.update(locals_[m])
+                rem.extend(remotes[m])
+            rem.sort(key=lambda e: (e[2], e[3]))
+            merged_local = tuple(loc)
+            merged_remote = tuple(rem)
+            merged_chain = chain_next[members[-1]]
+            for m in members:
+                affected.update(self._rev_sources[m])
+            affected -= member_set
+
+        indeg = [0] * n
+        for s in range(n):
+            if s in skip:
+                continue
+            if s == rep and merge is not None:
+                targets: Iterable[int] = (
+                    set(merged_local)
+                    | {sv for _w, sv, _u, _v in merged_remote}
+                    | ({merged_chain} if merged_chain is not None else set())
+                )
+            elif s in affected:
+                targets = {rep_map.get(t, t) for t in succ_unique[s]}
+            else:
+                targets = succ_unique[s]
+            for t in targets:
+                indeg[t] += 1
+
+        start = [0.0] * n
+        ready = [s for s in range(n) if s not in skip and indeg[s] == 0]
+        done = 0
+        latency = 0.0
+        remap = rep_map.get
+        merging = merge is not None
+        while ready:
+            s = ready.pop()
+            done += 1
+            if merging and s == rep:
+                dur = merged_duration
+                remote = merged_remote
+                local = merged_local
+                chain = merged_chain
+            else:
+                dur = durations[s]
+                remote = remotes[s]
+                local = locals_[s]
+                chain = chain_next[s]
+            fin = start[s] + dur
+            relax: dict[int, float] = {}
+            if blocking:
+                cursor = fin
+                for w, sv, _u, _v in remote:
+                    cursor += w
+                    t = remap(sv, sv) if merging else sv
+                    prev = relax.get(t, 0.0)
+                    if cursor > prev:
+                        relax[t] = cursor
+                    else:
+                        relax[t] = prev
+                comm_done = cursor
+            else:
+                for w, sv, _u, _v in remote:
+                    t = remap(sv, sv) if merging else sv
+                    cand = fin + w
+                    prev = relax.get(t, 0.0)
+                    relax[t] = cand if cand > prev else prev
+                comm_done = fin
+            for sv in local:
+                t = remap(sv, sv) if merging else sv
+                prev = relax.get(t, 0.0)
+                relax[t] = fin if fin > prev else prev
+            if chain is not None:
+                t = remap(chain, chain) if merging else chain
+                prev = relax.get(t, 0.0)
+                relax[t] = comm_done if comm_done > prev else prev
+            if fin > latency:
+                latency = fin
+            if comm_done > latency:
+                latency = comm_done
+            for t, gap in relax.items():
+                if gap > start[t]:
+                    start[t] = gap
+                indeg[t] -= 1
+                if indeg[t] == 0:
+                    ready.append(t)
+        if done != active:
+            return None  # cyclic stage graph
+        return latency
+
+    # ------------------------------------------------------------------
+    def stages_on(self, gpu: int) -> list[Stage]:
+        """Committed stage list of one GPU (parallelize's sweep view)."""
+        return [self._stages[i] for i in self._by_gpu.get(gpu, [])]

@@ -80,6 +80,12 @@ class OpGraph:
         self._ops: dict[str, Operator] = {}
         self._succ: dict[str, dict[str, float]] = {}
         self._pred: dict[str, dict[str, float]] = {}
+        # bumped on every mutation; caches (the bitset transitive
+        # closure below, CostProfile's stage-time memo) key on it
+        self._version = 0
+        self._closure: list[int] | None = None
+        self._closure_index: dict[str, int] = {}
+        self._closure_version = -1
 
     # ------------------------------------------------------------------
     # construction
@@ -96,6 +102,7 @@ class OpGraph:
         self._ops[op.name] = op
         self._succ[op.name] = {}
         self._pred[op.name] = {}
+        self._version += 1
         return op
 
     def add_edge(self, u: str, v: str, transfer: float = 0.0) -> None:
@@ -111,6 +118,7 @@ class OpGraph:
             raise GraphError(f"duplicate edge ({u!r}, {v!r})")
         self._succ[u][v] = transfer
         self._pred[v][u] = transfer
+        self._version += 1
 
     def set_transfer(self, u: str, v: str, transfer: float) -> None:
         """Overwrite the transfer weight of an existing edge."""
@@ -120,12 +128,14 @@ class OpGraph:
             raise GraphError(f"negative transfer time on edge ({u!r}, {v!r})")
         self._succ[u][v] = transfer
         self._pred[v][u] = transfer
+        self._version += 1
 
     def replace_operator(self, op: Operator) -> None:
         """Replace the payload of an existing vertex, keeping its edges."""
         if op.name not in self._ops:
             raise GraphError(f"unknown operator {op.name!r}")
         self._ops[op.name] = op
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -172,6 +182,14 @@ class OpGraph:
         if name not in self._ops:
             raise GraphError(f"unknown operator {name!r}")
         return list(self._pred[name])
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by every structural or payload
+        change.  Caches derived from the graph (the transitive closure,
+        :meth:`~repro.costmodel.profile.CostProfile.stage_time` memos)
+        key on it to stay coherent."""
+        return self._version
 
     def out_degree(self, name: str) -> int:
         return len(self._succ[name])
@@ -259,8 +277,35 @@ class OpGraph:
                 stack.extend(self._succ[u])
         return seen
 
-    def reachable(self, u: str, v: str) -> bool:
-        """Is there a directed path from ``u`` to ``v``?"""
+    def descendant_masks(self) -> tuple[list[int], dict[str, int]]:
+        """Bitset transitive closure: ``(masks, index)`` where
+        ``masks[index[v]]`` has bit ``index[w]`` set iff ``w`` is a
+        strict descendant of ``v``.
+
+        Computed once per graph mutation (lazily, in one reverse
+        topological sweep of word-parallel OR operations) and cached, so
+        :meth:`reachable` / :meth:`independent` answer in O(1)-ish word
+        operations instead of BFS-ing the graph per query — the Alg. 2
+        window sweep and the lint rules issue these queries per window.
+        """
+        if self._closure is not None and self._closure_version == self._version:
+            return self._closure, self._closure_index
+        index = {v: i for i, v in enumerate(self._ops)}
+        masks = [0] * len(index)
+        for v in reversed(self.topological_order()):
+            m = 0
+            for s in self._succ[v]:
+                i = index[s]
+                m |= masks[i] | (1 << i)
+            masks[index[v]] = m
+        self._closure = masks
+        self._closure_index = index
+        self._closure_version = self._version
+        return masks, index
+
+    def _reachable_bfs(self, u: str, v: str) -> bool:
+        """Reference BFS reachability (cycle-tolerant; used as fallback
+        on non-DAG graphs and by the differential tests)."""
         if u == v:
             return True
         stack = [u]
@@ -275,12 +320,8 @@ class OpGraph:
                     stack.append(s)
         return False
 
-    def independent(self, names: Iterable[str]) -> bool:
-        """True if no pair of ``names`` is connected by a directed path.
-
-        This is the Alg. 2 precondition for grouping a window of
-        operators into one stage.
-        """
+    def _independent_bfs(self, names: Iterable[str]) -> bool:
+        """Reference BFS pairwise-independence check (cycle-tolerant)."""
         group = list(names)
         group_set = set(group)
         if len(group_set) != len(group):
@@ -296,6 +337,41 @@ class OpGraph:
                 if x in group_set:
                     return False
                 stack.extend(self._succ[x])
+        return True
+
+    def reachable(self, u: str, v: str) -> bool:
+        """Is there a directed path from ``u`` to ``v``?"""
+        if u == v:
+            return True
+        try:
+            masks, index = self.descendant_masks()
+        except GraphError:  # cyclic graph (pre-validation): BFS still works
+            return self._reachable_bfs(u, v)
+        iv = index.get(v)
+        if iv is None:
+            return False
+        return bool((masks[index[u]] >> iv) & 1)
+
+    def independent(self, names: Iterable[str]) -> bool:
+        """True if no pair of ``names`` is connected by a directed path.
+
+        This is the Alg. 2 precondition for grouping a window of
+        operators into one stage.
+        """
+        group = list(names)
+        group_set = set(group)
+        if len(group_set) != len(group):
+            return False
+        try:
+            masks, index = self.descendant_masks()
+        except GraphError:  # cyclic graph (pre-validation): BFS still works
+            return self._independent_bfs(group)
+        group_mask = 0
+        for v in group:
+            group_mask |= 1 << index[v]
+        for v in group:
+            if masks[index[v]] & group_mask:
+                return False
         return True
 
     def subgraph(self, names: Iterable[str]) -> "OpGraph":

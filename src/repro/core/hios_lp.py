@@ -11,6 +11,12 @@ distinguishes HIOS-LP from the operator-at-a-time HIOS-MR.
 After the spatial mapping, the sliding-window pass of Alg. 2
 (:func:`repro.core.intra_gpu.parallelize`) regroups small co-located
 operators into concurrent stages.
+
+Both passes run on the incremental engine of :mod:`repro.core.fasteval`
+by default (prefix-replay across the ``M`` GPU candidates of one path;
+stage-graph deltas across window candidates); ``fast=False`` falls back
+to the from-scratch reference loops.  Both paths are differentially
+tested bit-identical.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import time
 from ..costmodel.profile import CostProfile
 from .debuglint import debug_lint_schedule
 from .evaluator import evaluate_latency
+from .fasteval import EvalCounters, PrefixReplayer
 from .intra_gpu import parallelize
 from .list_schedule import build_singleton_schedule, list_schedule_latency
 from .longest_path import longest_valid_path
@@ -30,7 +37,11 @@ from .schedule import Schedule
 __all__ = ["schedule_hios_lp", "schedule_inter_gpu_lp"]
 
 
-def _lp_spatial_mapping(profile: CostProfile) -> tuple[dict[str, int], list[str], int]:
+def _lp_spatial_mapping(
+    profile: CostProfile,
+    fast: bool = True,
+    counters: EvalCounters | None = None,
+) -> tuple[dict[str, int], list[str], int]:
     """Run the iterative longest-path mapping; returns (assignment,
     priority order, number of extracted paths)."""
     graph = profile.graph
@@ -39,6 +50,17 @@ def _lp_spatial_mapping(profile: CostProfile) -> tuple[dict[str, int], list[str]
     unscheduled = set(graph.names)
     assignment: dict[str, int] = {}
     paths = 0
+    replayer = (
+        PrefixReplayer(
+            graph,
+            num_gpus,
+            send_blocking=profile.send_blocking,
+            gpu_speeds=profile.gpu_speeds,
+            counters=counters,
+        )
+        if fast
+        else None
+    )
 
     while unscheduled:
         path = longest_valid_path(graph, unscheduled)
@@ -55,19 +77,27 @@ def _lp_spatial_mapping(profile: CostProfile) -> tuple[dict[str, int], list[str]
             continue
 
         scheduled_order = [v for v in order if v in assignment or v in path.vertices]
+        if replayer is not None:
+            # The prefix before the first operator whose processing
+            # reads this path's assignment is candidate-invariant:
+            # simulate it once, replay only the suffix per GPU.
+            replayer.snapshot(scheduled_order, assignment, path.vertices)
         best_gpu = 0
         best_latency = float("inf")
         for gpu in range(num_gpus):
             for v in path:
                 assignment[v] = gpu
-            latency = list_schedule_latency(
-                graph,
-                assignment,
-                scheduled_order,
-                num_gpus,
-                send_blocking=profile.send_blocking,
-                gpu_speeds=profile.gpu_speeds,
-            )
+            if replayer is not None:
+                latency = replayer.replay(assignment)
+            else:
+                latency = list_schedule_latency(
+                    graph,
+                    assignment,
+                    scheduled_order,
+                    num_gpus,
+                    send_blocking=profile.send_blocking,
+                    gpu_speeds=profile.gpu_speeds,
+                )
             if latency < best_latency:
                 best_latency = latency
                 best_gpu = gpu
@@ -81,24 +111,42 @@ def schedule_hios_lp(
     profile: CostProfile,
     window: int = 3,
     intra_gpu: bool = True,
+    fast: bool = True,
 ) -> ScheduleResult:
     """Full HIOS-LP: LP-based inter-GPU mapping + Alg. 2 regrouping.
 
     Set ``intra_gpu=False`` for the paper's "inter-GPU w/ LP" ablation
-    (spatial mapping with sequential per-GPU execution).
+    (spatial mapping with sequential per-GPU execution).  ``fast=False``
+    runs the retained reference inner loops instead of the incremental
+    engine (same schedules and latencies, bit for bit).
     """
     t0 = time.perf_counter()
-    assignment, order, paths = _lp_spatial_mapping(profile)
+    cache_hits0 = profile.stage_time_cache_hits
+    counters = EvalCounters()
+    assignment, order, paths = _lp_spatial_mapping(profile, fast=fast, counters=counters)
+    t_spatial = time.perf_counter() - t0
     schedule: Schedule = build_singleton_schedule(assignment, order, profile.num_gpus)
     latency = evaluate_latency(profile, schedule, validate=True)
     stats: dict[str, object] = {"paths": paths, "inter_gpu_latency": latency}
+    phase_times: dict[str, float] = {"spatial_mapping": t_spatial}
 
     if intra_gpu:
+        t1 = time.perf_counter()
         schedule, latency, intra_stats = parallelize(
-            profile, schedule, window=window, priority=order
+            profile,
+            schedule,
+            window=window,
+            priority=order,
+            validate=False,  # singleton schedule was validated just above
+            fast=fast,
+            counters=counters,
         )
+        phase_times["intra_gpu"] = time.perf_counter() - t1
         stats["intra_gpu"] = intra_stats
 
+    counters.cache_hits = profile.stage_time_cache_hits - cache_hits0
+    stats.update(counters.to_stats())
+    stats["phase_times"] = phase_times
     algorithm = "hios-lp" if intra_gpu else "inter-lp"
     debug_lint_schedule(
         profile.graph,
@@ -115,6 +163,6 @@ def schedule_hios_lp(
     )
 
 
-def schedule_inter_gpu_lp(profile: CostProfile) -> ScheduleResult:
+def schedule_inter_gpu_lp(profile: CostProfile, fast: bool = True) -> ScheduleResult:
     """The "inter-GPU w/ LP" comparison point (no Alg. 2 pass)."""
-    return schedule_hios_lp(profile, intra_gpu=False)
+    return schedule_hios_lp(profile, intra_gpu=False, fast=fast)

@@ -23,6 +23,7 @@ import time
 from ..costmodel.profile import CostProfile
 from .debuglint import debug_lint_schedule
 from .evaluator import evaluate_latency
+from .fasteval import EvalCounters
 from .intra_gpu import parallelize
 from .list_schedule import build_singleton_schedule
 from .priority import priority_order
@@ -33,27 +34,19 @@ __all__ = ["schedule_hios_mr", "schedule_inter_gpu_mr"]
 _INF = float("inf")
 
 
-def _mr_spatial_mapping(profile: CostProfile) -> tuple[dict[str, int], list[str]]:
-    """Fill the (t, g) table and backtrack the operator-to-GPU mapping."""
+def _mr_fill_reference(
+    profile: CostProfile,
+    order: list[str],
+    index: dict[str, int],
+    speeds: list[float],
+    t_tab: list[list[float]],
+    g_tab: list[list[int]],
+) -> None:
+    """Reference Alg. 3 fill: reconstruct every recorded schedule from
+    scratch by walking the full ``g`` pointer chain per (i, k) cell."""
     graph = profile.graph
     M = profile.num_gpus
-    order = priority_order(graph)
     n = len(order)
-    if n == 0:
-        return {}, order
-    index = {v: i for i, v in enumerate(order)}
-
-    speeds = [profile.gpu_speed(j) for j in range(M)]
-    t_tab = [[_INF] * M for _ in range(n)]
-    g_tab = [[0] * M for _ in range(n)]
-    if profile.heterogeneous:
-        # extension: with mixed speeds v_1's GPU matters; seed every column
-        for j in range(M):
-            t_tab[0][j] = graph.cost(order[0]) / speeds[j]
-        # g pointers of row 0 are unused (backtracking stops there)
-    else:
-        t_tab[0][0] = graph.cost(order[0])  # v_1 on GPU 1 (homogeneity)
-
     for i in range(1, n):
         v = order[i]
         cost_v = graph.cost(v)
@@ -92,6 +85,119 @@ def _mr_spatial_mapping(profile: CostProfile) -> tuple[dict[str, int], list[str]
                     t_tab[i][j] = cand
                     g_tab[i][j] = k
 
+
+def _mr_fill_fast(
+    profile: CostProfile,
+    order: list[str],
+    index: dict[str, int],
+    speeds: list[float],
+    t_tab: list[list[float]],
+    g_tab: list[list[int]],
+) -> None:
+    """Incremental Alg. 3 fill, bit-identical to the reference.
+
+    Two reconstructions per cell become deltas: (a) the per-GPU free
+    array of state ``(i-1, k)`` is the parent state's array with one
+    position maxed against ``t_{i-1,k}``, so it is carried forward row
+    by row instead of re-derived by an O(i) walk; (b) predecessor
+    finish times / GPUs are table lookups once the predecessor's GPU in
+    the recorded chain is known, so the pointer walk stops at the
+    deepest predecessor instead of position 0.  All floats flow through
+    the same max/add operations as the reference.
+    """
+    graph = profile.graph
+    M = profile.num_gpus
+    n = len(order)
+    prev_free: list[list[float] | None] = [None] * M
+    for j in range(M):
+        t0 = t_tab[0][j]
+        if t0 == _INF:
+            continue
+        f = [0.0] * M
+        if t0 > f[j]:
+            f[j] = t0
+        prev_free[j] = f
+    for i in range(1, n):
+        v = order[i]
+        cost_v = graph.cost(v)
+        preds = [
+            (index[u], graph.transfer(u, v))
+            for u in graph.predecessors(v)
+            if index[u] < i
+        ]
+        pred_pos = {l for l, _tr in preds}
+        min_pred = min(pred_pos) if pred_pos else i
+        num_j = M if profile.heterogeneous else min(M, i + 1)
+        num_k = M if profile.heterogeneous else min(M, i)
+        row_t = t_tab[i]
+        row_g = g_tab[i]
+        for k in range(num_k):
+            if t_tab[i - 1][k] == _INF:
+                continue
+            free = prev_free[k]
+            assert free is not None  # filled whenever t_tab[i-1][k] < inf
+            chain_gpu: dict[int, int] = {}
+            if preds:
+                m = k
+                for l in range(i - 1, min_pred - 1, -1):
+                    if l in pred_pos:
+                        chain_gpu[l] = m
+                    m = g_tab[l][m]
+            for j in range(num_j):
+                ready = free[j]
+                for l, tr in preds:
+                    mu = chain_gpu[l]
+                    dep = t_tab[l][mu]
+                    if mu != j:
+                        dep += tr
+                    if dep > ready:
+                        ready = dep
+                cand = ready + cost_v / speeds[j]
+                if cand < row_t[j]:
+                    row_t[j] = cand
+                    row_g[j] = k
+        cur_free: list[list[float] | None] = [None] * M
+        for j in range(M):
+            tij = row_t[j]
+            if tij == _INF:
+                continue
+            parent = prev_free[row_g[j]]
+            assert parent is not None
+            f = list(parent)
+            if tij > f[j]:
+                f[j] = tij
+            cur_free[j] = f
+        prev_free = cur_free
+
+
+def _mr_spatial_mapping(
+    profile: CostProfile, fast: bool = True
+) -> tuple[dict[str, int], list[str]]:
+    """Fill the (t, g) table and backtrack the operator-to-GPU mapping."""
+    graph = profile.graph
+    M = profile.num_gpus
+    order = priority_order(graph)
+    n = len(order)
+    if n == 0:
+        return {}, order
+    index = {v: i for i, v in enumerate(order)}
+
+    speeds = [profile.gpu_speed(j) for j in range(M)]
+    t_tab = [[_INF] * M for _ in range(n)]
+    g_tab = [[0] * M for _ in range(n)]
+    if profile.heterogeneous:
+        # extension: with mixed speeds v_1's GPU matters; seed every column
+        for j in range(M):
+            t_tab[0][j] = graph.cost(order[0]) / speeds[j]
+        # g pointers of row 0 are unused (backtracking stops there)
+    else:
+        t_tab[0][0] = graph.cost(order[0])  # v_1 on GPU 1 (homogeneity)
+
+    if fast:
+        _mr_fill_fast(profile, order, index, speeds, t_tab, g_tab)
+    else:
+        _mr_fill_reference(profile, order, index, speeds, t_tab, g_tab)
+
     best_j = min(range(M), key=lambda j: t_tab[n - 1][j])
     assignment: dict[str, int] = {}
     m = best_j
@@ -105,22 +211,41 @@ def schedule_hios_mr(
     profile: CostProfile,
     window: int = 3,
     intra_gpu: bool = True,
+    fast: bool = True,
 ) -> ScheduleResult:
     """Full HIOS-MR: MR-based inter-GPU mapping + Alg. 2 regrouping.
 
     Set ``intra_gpu=False`` for the paper's "inter-GPU w/ MR" ablation.
+    ``fast=False`` runs the retained reference table fill and window
+    evaluation (bit-identical results).
     """
     t0 = time.perf_counter()
-    assignment, order = _mr_spatial_mapping(profile)
+    cache_hits0 = profile.stage_time_cache_hits
+    counters = EvalCounters()
+    assignment, order = _mr_spatial_mapping(profile, fast=fast)
+    t_spatial = time.perf_counter() - t0
     schedule = build_singleton_schedule(assignment, order, profile.num_gpus)
     latency = evaluate_latency(profile, schedule, validate=True)
     stats: dict[str, object] = {"inter_gpu_latency": latency}
+    phase_times: dict[str, float] = {"spatial_mapping": t_spatial}
 
     if intra_gpu:
+        t1 = time.perf_counter()
         schedule, latency, intra_stats = parallelize(
-            profile, schedule, window=window, priority=order
+            profile,
+            schedule,
+            window=window,
+            priority=order,
+            validate=False,  # singleton schedule was validated just above
+            fast=fast,
+            counters=counters,
         )
+        phase_times["intra_gpu"] = time.perf_counter() - t1
         stats["intra_gpu"] = intra_stats
+
+    counters.cache_hits = profile.stage_time_cache_hits - cache_hits0
+    stats.update(counters.to_stats())
+    stats["phase_times"] = phase_times
 
     algorithm = "hios-mr" if intra_gpu else "inter-mr"
     debug_lint_schedule(
@@ -138,6 +263,6 @@ def schedule_hios_mr(
     )
 
 
-def schedule_inter_gpu_mr(profile: CostProfile) -> ScheduleResult:
+def schedule_inter_gpu_mr(profile: CostProfile, fast: bool = True) -> ScheduleResult:
     """The "inter-GPU w/ MR" comparison point (no Alg. 2 pass)."""
-    return schedule_hios_mr(profile, intra_gpu=False)
+    return schedule_hios_mr(profile, intra_gpu=False, fast=fast)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from ..costmodel.profile import CostProfile
 from .evaluator import evaluate_latency
+from .fasteval import EvalCounters, StageGraphEvaluator
 from .schedule import Schedule, ScheduleError, Stage
 
 __all__ = ["IntraGpuStats", "parallelize"]
@@ -43,6 +44,9 @@ def parallelize(
     schedule: Schedule,
     window: int = 3,
     priority: list[str] | None = None,
+    validate: bool = True,
+    fast: bool = True,
+    counters: EvalCounters | None = None,
 ) -> tuple[Schedule, float, IntraGpuStats]:
     """Run Alg. 2 on ``schedule`` and return (schedule', latency, stats).
 
@@ -50,16 +54,30 @@ def parallelize(
     walked example uses ``w = 2``; the default 3 matches the moderate
     stage widths profiled feasible on one GPU).  ``priority`` overrides
     the traversal order (descending priority indicators by default).
+
+    ``validate=False`` skips the entry validation — for internal
+    callers that just built and validated the schedule themselves (the
+    ``HIOS_DEBUG_LINT=1`` self-check still lints the final schedule).
+    ``fast=False`` prices every window candidate with the reference
+    :func:`~repro.core.evaluator.evaluate_latency` rebuild instead of
+    the :class:`~repro.core.fasteval.StageGraphEvaluator` merge delta;
+    both produce bit-identical schedules and latencies.
     """
     if window < 1:
         raise ValueError("window size must be >= 1")
     from .priority import priority_order  # local import avoids cycle at module load
 
     graph = profile.graph
-    schedule.validate(graph)
+    if validate:
+        schedule.validate(graph)
     order = priority if priority is not None else priority_order(graph)
     stats = IntraGpuStats()
-    best_latency = evaluate_latency(profile, schedule)
+    evaluator: StageGraphEvaluator | None = None
+    if fast:
+        evaluator = StageGraphEvaluator(profile, schedule, counters=counters)
+        best_latency = evaluator.evaluate()
+    else:
+        best_latency = evaluate_latency(profile, schedule)
 
     # The paper iterates i = 1 .. n-1: under HIOS's own schedules the
     # last-priority operator is last on its GPU and heads no window.
@@ -86,7 +104,7 @@ def parallelize(
             if len(followers) >= window - 1:
                 break
 
-        best_candidate: tuple[float, Schedule] | None = None
+        best_candidate: tuple[float, int] | None = None
         for p in range(1, window):
             if p > len(followers):
                 break
@@ -97,22 +115,36 @@ def parallelize(
             if not graph.independent(group):
                 stats.rejected_dependent += 1
                 continue
-            merged = stages[:pos] + [Stage(gpu, group)] + stages[pos + 1 + p :]
-            candidate = schedule.with_stages_on_gpu(gpu, merged)
-            try:
-                lat = evaluate_latency(profile, candidate)
-            except ScheduleError:
-                stats.rejected_cyclic += 1
-                continue
+            if evaluator is not None:
+                maybe = evaluator.try_merge(gpu, pos, p, group)
+                if maybe is None:
+                    stats.rejected_cyclic += 1
+                    continue
+                lat = maybe
+            else:
+                merged = stages[:pos] + [Stage(gpu, group)] + stages[pos + 1 + p :]
+                candidate = schedule.with_stages_on_gpu(gpu, merged)
+                try:
+                    lat = evaluate_latency(profile, candidate)
+                except ScheduleError:
+                    stats.rejected_cyclic += 1
+                    continue
             if lat < best_latency and (
                 best_candidate is None or lat < best_candidate[0]
             ):
-                best_candidate = (lat, candidate)
+                best_candidate = (lat, p)
             elif lat >= best_latency:
                 stats.rejected_slower += 1
 
         if best_candidate is not None:
-            best_latency, schedule = best_candidate
+            best_latency, best_p = best_candidate
+            group = (v, *followers[:best_p])
+            merged = stages[:pos] + [Stage(gpu, group)] + stages[pos + 1 + best_p :]
+            schedule = schedule.with_stages_on_gpu(gpu, merged)
             stats.groups_formed += 1
+            if evaluator is not None:
+                # committed structure changed: rebuild once per accepted
+                # group (rare relative to windows tried)
+                evaluator = StageGraphEvaluator(profile, schedule, counters=counters)
 
     return schedule, best_latency, stats

@@ -52,11 +52,15 @@ def schedule_ios(
     mode: str = "auto",
     beam_width: int = 4,
     state_limit: int = 20000,
+    fast: bool = True,
 ) -> ScheduleResult:
     """Run the IOS DP on a single GPU and return the best stage sequence.
 
     Parameters mirror IOS's pruning configuration; see the module
     docstring.  The returned schedule places every stage on ``gpu``.
+    ``fast=False`` disables the per-run stage price memo and queries
+    the profile for every candidate, as the pre-engine code did
+    (identical prices either way).
     """
     if mode not in ("exact", "beam", "auto"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -95,6 +99,10 @@ def schedule_ios(
     full = (1 << n) - 1 if n else 0
 
     stage_time = profile.stage_time
+    cache_hits0 = profile.stage_time_cache_hits
+    # per-run stage price memo keyed on bit tuples: skips even the
+    # name-tuple construction on the (dominant) repeated queries
+    stage_cost: dict[tuple[int, ...], float] = {}
 
     for size in range(n):
         level = by_size[size]
@@ -120,7 +128,14 @@ def schedule_ios(
                 for i in stage_bits:
                     mask |= 1 << i
                 new_state = state | mask
-                cand = lat + stage_time([names[i] for i in stage_bits])
+                if fast:
+                    t_stage = stage_cost.get(stage_bits)
+                    if t_stage is None:
+                        t_stage = stage_time(tuple(names[i] for i in stage_bits))
+                        stage_cost[stage_bits] = t_stage
+                else:
+                    t_stage = stage_time([names[i] for i in stage_bits])
+                cand = lat + t_stage
                 prev = best.get(new_state)
                 if prev is None:
                     best[new_state] = (cand, state, stage_bits)
@@ -160,5 +175,6 @@ def schedule_ios(
             "dp_states": states_created,
             "beam_used": beam_active,
             "num_stages": len(stages_rev),
+            "cache_hits": profile.stage_time_cache_hits - cache_hits0,
         },
     )

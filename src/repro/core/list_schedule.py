@@ -15,6 +15,14 @@ cross-GPU transfers are issued as serialized blocking sends right after
 it finishes, occupying its GPU before the next operator may start —
 the same semantics the stage evaluator charges, so the latency
 HIOS-LP optimizes during GPU selection agrees with the final measure.
+
+:func:`list_schedule_latency` is the *reference* (from-scratch)
+implementation; the scheduler inner loops default to the bit-identical
+incremental version in :class:`repro.core.fasteval.PrefixReplayer`,
+which checkpoints the candidate-invariant prefix and replays only the
+suffix.  The differential tests in ``tests/core/test_fasteval.py``
+hold the two to exact float equality — any change to the simulation
+semantics here must be mirrored there.
 """
 
 from __future__ import annotations

@@ -21,6 +21,7 @@ from typing import Mapping
 from ..costmodel.profile import CostProfile
 from .debuglint import debug_lint_schedule
 from .evaluator import evaluate_latency
+from .fasteval import EvalCounters, PrefixReplayer
 from .hios_lp import _lp_spatial_mapping
 from .intra_gpu import parallelize
 from .list_schedule import build_singleton_schedule, list_schedule_latency
@@ -34,6 +35,8 @@ def local_search_assignment(
     assignment: Mapping[str, int],
     order: list[str],
     max_rounds: int = 3,
+    fast: bool = True,
+    counters: EvalCounters | None = None,
 ) -> tuple[dict[str, int], float, int]:
     """Best-improvement local search over operator-to-GPU moves.
 
@@ -41,7 +44,10 @@ def local_search_assignment(
     operator against every other GPU and applies the single best move;
     a round without improvement terminates the search.  Complexity is
     ``O(rounds * |V| * M * (|V| + |E|))`` — polynomial, like the HIOS
-    passes it refines.
+    passes it refines.  With ``fast=True`` the per-move evaluation
+    replays only the suffix after the moved operator's snapshot
+    boundary (one prefix simulation per operator instead of one full
+    simulation per (operator, GPU) pair) — bit-identical latencies.
     """
     if max_rounds < 0:
         raise ValueError("max_rounds must be non-negative")
@@ -52,35 +58,47 @@ def local_search_assignment(
         graph, current, order, M,
         send_blocking=profile.send_blocking, gpu_speeds=profile.gpu_speeds,
     )
+    replayer = (
+        PrefixReplayer(
+            graph, M,
+            send_blocking=profile.send_blocking,
+            gpu_speeds=profile.gpu_speeds,
+            counters=counters,
+        )
+        if fast
+        else None
+    )
     moves = 0
     for _ in range(max_rounds):
-        best_move: tuple[str, int] | None = None
+        # the best move carries the latency it was priced at, so
+        # applying it needs no re-evaluation
+        best_move: tuple[str, int, float] | None = None
         best_gain = 1e-12
         for v in order:
             home = current[v]
+            if replayer is not None:
+                replayer.snapshot(order, current, (v,))
             for gpu in range(M):
                 if gpu == home:
                     continue
                 current[v] = gpu
-                lat = list_schedule_latency(
-                    graph, current, order, M,
-                    send_blocking=profile.send_blocking,
-                    gpu_speeds=profile.gpu_speeds,
-                )
+                if replayer is not None:
+                    lat = replayer.replay(current)
+                else:
+                    lat = list_schedule_latency(
+                        graph, current, order, M,
+                        send_blocking=profile.send_blocking,
+                        gpu_speeds=profile.gpu_speeds,
+                    )
                 gain = best - lat
                 if gain > best_gain:
                     best_gain = gain
-                    best_move = (v, gpu)
+                    best_move = (v, gpu, lat)
             current[v] = home
         if best_move is None:
             break
-        v, gpu = best_move
+        v, gpu, best = best_move
         current[v] = gpu
-        best -= best_gain
-        best = list_schedule_latency(
-            graph, current, order, M,
-            send_blocking=profile.send_blocking, gpu_speeds=profile.gpu_speeds,
-        )
         moves += 1
     return current, best, moves
 
@@ -90,13 +108,18 @@ def schedule_hios_lp_ls(
     window: int = 3,
     intra_gpu: bool = True,
     max_rounds: int = 3,
+    fast: bool = True,
 ) -> ScheduleResult:
     """HIOS-LP with operator-level local search between Alg. 1 and Alg. 2."""
     t0 = time.perf_counter()
-    assignment, order, paths = _lp_spatial_mapping(profile)
+    cache_hits0 = profile.stage_time_cache_hits
+    counters = EvalCounters()
+    assignment, order, paths = _lp_spatial_mapping(profile, fast=fast, counters=counters)
+    t_spatial = time.perf_counter() - t0
     assignment, _, moves = local_search_assignment(
-        profile, assignment, order, max_rounds=max_rounds
+        profile, assignment, order, max_rounds=max_rounds, fast=fast, counters=counters
     )
+    t_search = time.perf_counter() - t0 - t_spatial
     schedule = build_singleton_schedule(assignment, order, profile.num_gpus)
     latency = evaluate_latency(profile, schedule, validate=True)
     stats: dict[str, object] = {
@@ -104,11 +127,26 @@ def schedule_hios_lp_ls(
         "local_search_moves": moves,
         "inter_gpu_latency": latency,
     }
+    phase_times: dict[str, float] = {
+        "spatial_mapping": t_spatial,
+        "local_search": t_search,
+    }
     if intra_gpu:
+        t1 = time.perf_counter()
         schedule, latency, intra_stats = parallelize(
-            profile, schedule, window=window, priority=order
+            profile,
+            schedule,
+            window=window,
+            priority=order,
+            validate=False,  # singleton schedule was validated just above
+            fast=fast,
+            counters=counters,
         )
+        phase_times["intra_gpu"] = time.perf_counter() - t1
         stats["intra_gpu"] = intra_stats
+    counters.cache_hits = profile.stage_time_cache_hits - cache_hits0
+    stats.update(counters.to_stats())
+    stats["phase_times"] = phase_times
     debug_lint_schedule(
         profile.graph,
         schedule,

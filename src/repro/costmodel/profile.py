@@ -47,6 +47,14 @@ class CostProfile:
         Optional per-GPU relative speed factors (extension: the paper
         assumes homogeneous GPUs).  An operator or stage on GPU ``i``
         runs in ``t / gpu_speeds[i]``.  ``None`` = all 1.0.
+    stage_time_cache:
+        Memoize :meth:`stage_time` on ``(ops, gpu)`` (default on).  The
+        scheduler inner loops re-price the same stage thousands of
+        times (every Alg. 2 candidate re-prices every unchanged stage);
+        the memo answers repeats in one dict probe.  The cache is keyed
+        on the graph's mutation counter and the concurrency model
+        identity, so swapping either invalidates it.  Disable for
+        measurements that must exercise the concurrency model itself.
     """
 
     graph: OpGraph
@@ -55,8 +63,13 @@ class CostProfile:
     max_streams: int = 0
     send_blocking: bool = True
     gpu_speeds: Sequence[float] | None = None
+    stage_time_cache: bool = True
 
     def __post_init__(self) -> None:
+        self._cache: dict[tuple[tuple[str, ...], int | None], float] = {}
+        self._cache_hits = 0
+        self._cache_graph_version = self.graph.version
+        self._cache_concurrency: ConcurrencyModel = self.concurrency
         if self.num_gpus < 1:
             raise ValueError("need at least one GPU")
         if self.max_streams < 0:
@@ -85,12 +98,38 @@ class CostProfile:
 
     def stage_time(self, names: list[str] | tuple[str, ...], gpu: int | None = None) -> float:
         """``t(S)`` for a set of operator names, optionally scaled by
-        the hosting GPU's speed factor."""
-        ops: list[Operator] = [self.graph.operator(n) for n in names]
-        base = self.concurrency.duration(ops)
-        if gpu is None:
-            return base
-        return base / self.gpu_speed(gpu)
+        the hosting GPU's speed factor.
+
+        Memoized on ``(names, gpu)`` unless ``stage_time_cache`` is
+        off; see the class docstring for the invalidation rules.
+        """
+        if not self.stage_time_cache:
+            ops: list[Operator] = [self.graph.operator(n) for n in names]
+            base = self.concurrency.duration(ops)
+            return base if gpu is None else base / self.gpu_speed(gpu)
+        if (
+            self._cache_graph_version != self.graph.version
+            or self._cache_concurrency is not self.concurrency
+        ):
+            self._cache.clear()
+            self._cache_hits = 0
+            self._cache_graph_version = self.graph.version
+            self._cache_concurrency = self.concurrency
+        key = (tuple(names), gpu)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            return cached
+        base = self.concurrency.duration([self.graph.operator(n) for n in key[0]])
+        value = base if gpu is None else base / self.gpu_speed(gpu)
+        self._cache[key] = value
+        return value
+
+    @property
+    def stage_time_cache_hits(self) -> int:
+        """Memo hits since construction (or the last invalidation) —
+        surfaced in ``ScheduleResult.stats`` by the schedulers."""
+        return self._cache_hits
 
     def stage_width_ok(self, width: int) -> bool:
         return self.max_streams == 0 or width <= self.max_streams

@@ -1,0 +1,112 @@
+"""Scheduling-cost micro-benchmark behind the Fig. 14 regression gate.
+
+The incremental engine (:mod:`repro.core.fasteval`) claims the
+schedulers themselves got faster.  This module makes that claim
+checkable on any machine:
+
+* :func:`measure` times the pure algorithm wall time (no profiling
+  bill, unlike :mod:`.fig14_scheduling_cost`) of one scheduler over the
+  largest Fig. 14 workloads, in both engine modes — ``fast`` (the
+  default incremental paths) and ``reference`` (``fast=False`` plus
+  ``stage_time_cache=False``, i.e. the retained from-scratch loops that
+  match the pre-engine code);
+* :func:`calibration_seconds` times a fixed pure-Python workload so a
+  committed baseline can be rescaled to the measuring machine's speed;
+* ``scripts/check_sched_regression.py`` compares a fresh
+  :func:`measure` run against the committed
+  ``benchmarks/results/BENCH_scheduling_cost.json`` and fails CI on a
+  >25 % regression of the (calibration-normalized) fast median, or if
+  the fast/reference speedup falls below the floor.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import replace
+from typing import Callable
+
+from ..core.api import schedule_graph
+from ..costmodel.profile import CostProfile
+from .realmodels import MODEL_BUILDERS, default_profiler
+
+__all__ = [
+    "WORKLOADS",
+    "calibration_seconds",
+    "measure",
+]
+
+# the largest Fig. 14 inputs of the two headline models: where the
+# quadratic-by-reconstruction cost used to hurt the most
+WORKLOADS: tuple[tuple[str, int], ...] = (("inception_v3", 1024), ("nasnet", 1024))
+
+
+def calibration_seconds(scale: int = 120_000) -> float:
+    """Wall time of a fixed, allocation-heavy pure-Python workload.
+
+    The schedulers are interpreter-bound, so this tracks how fast the
+    measuring machine runs them; dividing a committed baseline's times
+    by the ratio of calibrations transfers the baseline across
+    machines (coarsely — which is why the gate's threshold is 25 %).
+    """
+    t0 = time.perf_counter()
+    acc = 0.0
+    d: dict[tuple[int, int], float] = {}
+    for i in range(scale):
+        key = (i & 1023, i % 37)
+        prev = d.get(key)
+        acc += prev if prev is not None else float(i)
+        d[key] = acc % 1e9
+    return time.perf_counter() - t0
+
+
+def _median_wall_seconds(fn: Callable[[], object], repeats: int) -> float:
+    samples: list[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def measure(
+    algorithm: str = "hios-lp",
+    repeats: int = 3,
+    workloads: tuple[tuple[str, int], ...] = WORKLOADS,
+    modes: tuple[str, ...] = ("fast", "reference"),
+) -> dict[str, object]:
+    """Median scheduling wall time per workload, per engine mode.
+
+    Returns a JSON-ready dict::
+
+        {"algorithm": ..., "repeats": ..., "calibration_s": ...,
+         "workloads": {"nasnet@1024": {"fast_median_s": ...,
+                                       "reference_median_s": ...}, ...}}
+
+    The two modes run the *same* algorithm to the same schedule (the
+    differential tests assert bit-identity); only the evaluation engine
+    differs, so their ratio is a machine-independent speedup.
+    """
+    profiler = default_profiler()
+    out: dict[str, dict[str, float]] = {}
+    for model, size in workloads:
+        profile = profiler.profile(MODEL_BUILDERS[model](size))
+        entry: dict[str, float] = {}
+        for mode in modes:
+            prof: CostProfile
+            if mode == "fast":
+                prof, fast = profile, True
+            elif mode == "reference":
+                prof, fast = replace(profile, stage_time_cache=False), False
+            else:
+                raise ValueError(f"unknown mode {mode!r}")
+            entry[f"{mode}_median_s"] = _median_wall_seconds(
+                lambda p=prof, f=fast: schedule_graph(p, algorithm, fast=f), repeats
+            )
+        out[f"{model}@{size}"] = entry
+    return {
+        "algorithm": algorithm,
+        "repeats": repeats,
+        "calibration_s": calibration_seconds(),
+        "workloads": out,
+    }

@@ -44,6 +44,27 @@ class TestLocalSearch:
                 priority_order(prof.graph), max_rounds=-1,
             )
 
+    def test_moves_converge_to_same_fixed_point(self):
+        """Regression: the applied move now reuses the latency computed
+        during the scan instead of re-evaluating (the old code did
+        both, redundantly) — the move sequence and the fixed point must
+        be unchanged, and the returned latency must equal the latency
+        of the returned assignment."""
+        for seed in (1, 2, 7):
+            prof = random_dag_profile(seed=seed, num_gpus=3, num_ops=40, num_layers=5)
+            order = priority_order(prof.graph)
+            assignment = {v: i % 3 for i, v in enumerate(order)}
+            fast = local_search_assignment(prof, assignment, order, max_rounds=8)
+            ref = local_search_assignment(
+                prof, assignment, order, max_rounds=8, fast=False
+            )
+            assert fast == ref
+            refined, lat, _ = fast
+            assert lat == list_schedule_latency(
+                prof.graph, refined, order, prof.num_gpus,
+                send_blocking=prof.send_blocking, gpu_speeds=prof.gpu_speeds,
+            )
+
     def test_finds_obvious_move(self):
         # two independent heavy ops both dumped on GPU 0: the search
         # must move one to GPU 1
