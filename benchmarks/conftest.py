@@ -6,6 +6,14 @@ instances internally), prints the reproduced table, and writes it to
 ``benchmarks/results/<figure>.txt`` so EXPERIMENTS.md can reference the
 artifacts.  Set ``REPRO_FULL=1`` for the paper's full configuration
 (30 instances per point, full sweeps).
+
+The drivers run through the :mod:`repro.sweep` engine, so the
+environment knobs it reads apply here too: ``REPRO_JOBS=8`` fans each
+figure over worker processes, ``REPRO_CACHE=1`` (with optional
+``REPRO_CACHE_DIR``) reuses cached unit results across runs, and
+``REPRO_PROGRESS=1`` streams progress lines — all without changing the
+recorded numbers (serial, parallel and cache-warm runs are
+bit-identical; see ``docs/performance.md``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,228 @@
+"""CI gate for the parallel sweep engine (``repro.sweep``).
+
+Runs a reduced Fig. 8 slice three ways and enforces the engine's
+contract:
+
+* **Parity** — the parallel run's series/std must be *bit-identical*
+  to the serial run's (FAIL otherwise; this is the engine's core
+  correctness property, not a tolerance check).
+* **Scaling** — the serial/parallel speedup must reach
+  ``--min-efficiency x min(jobs, cpus)``.  The floor scales with the
+  machine: at the default 0.5 efficiency, an 8-core runner with
+  ``--jobs 8`` must deliver >= 4x (the paper-figure target), while a
+  single-core runner only needs the parallel path not to be a
+  pathological slowdown.
+* **Cache** — a warm re-run over the populated cache must hit on at
+  least ``--min-hit-rate`` (default 90 %) of the units, execute
+  nothing, and reproduce the cold run bit-identically.
+* **Cost drift** — the serial wall time, normalized by a per-machine
+  calibration unit, must stay within ``--threshold`` (default 35 %) of
+  the committed baseline ``benchmarks/results/BENCH_sweep_cost.json``.
+
+Refresh the baseline after intentional performance changes with::
+
+    PYTHONPATH=src python scripts/check_sweep_regression.py --write-baseline
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import statistics
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.config import ALGORITHM_ORDER, ExperimentConfig  # noqa: E402
+from repro.experiments.simsweep import sweep_random_dags  # noqa: E402
+from repro.sweep import RandomDagSpec, ResultCache, WorkUnit, execute_unit  # noqa: E402
+
+BASELINE = pathlib.Path("benchmarks/results/BENCH_sweep_cost.json")
+X_VALUES = (100, 150)
+INSTANCES = 3
+NUM_GPUS = 4
+
+
+def _config(jobs: int, cache_dir: str | None = None) -> ExperimentConfig:
+    return ExperimentConfig(
+        fast=True,
+        instances=INSTANCES,
+        num_gpus=NUM_GPUS,
+        jobs=jobs,
+        use_cache=cache_dir is not None,
+        cache_dir=cache_dir,
+        progress=False,
+    )
+
+
+def _run(jobs: int, cache_dir: str | None = None):
+    return sweep_random_dags(
+        figure="sweep-bench",
+        title="sweep-engine benchmark (reduced Fig. 8)",
+        x_label="num_ops",
+        x_values=X_VALUES,
+        spec_factory=lambda n, seed: RandomDagSpec(
+            seed=seed, num_gpus=NUM_GPUS, num_ops=int(n)
+        ),
+        config=_config(jobs, cache_dir),
+        algorithms=ALGORITHM_ORDER,
+    )
+
+
+def _calibrate(repeats: int = 3) -> float:
+    """Median wall time of one fixed unit — the machine-speed yardstick."""
+    unit = WorkUnit(
+        figure="calibration",
+        x=150,
+        instance=0,
+        algorithm="hios-lp",
+        spec=RandomDagSpec(seed=0, num_gpus=NUM_GPUS, num_ops=150),
+        schedule_kwargs=(("window", 3),),
+    )
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        execute_unit(unit)
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def measure(jobs: int) -> dict:
+    calibration_s = _calibrate()
+    serial = _run(jobs=1)
+    parallel = _run(jobs=jobs)
+    with tempfile.TemporaryDirectory(prefix="sweep-bench-cache-") as cache_dir:
+        cold = _run(jobs=jobs, cache_dir=cache_dir)
+        warm = _run(jobs=jobs, cache_dir=cache_dir)
+        cache_entries = ResultCache(cache_dir).stats()["entries"]
+
+    serial_sweep = serial.extras["sweep"]
+    parallel_sweep = parallel.extras["sweep"]
+    warm_sweep = warm.extras["sweep"]
+    representatives = serial_sweep["total"] - serial_sweep["deduped"]
+    speedup = serial_sweep["wall_s"] / parallel_sweep["wall_s"]
+    cpus = os.cpu_count() or 1
+    return {
+        "bench": "reduced Fig. 8 slice",
+        "x_values": list(X_VALUES),
+        "instances": INSTANCES,
+        "algorithms": list(ALGORITHM_ORDER),
+        "cpus": cpus,
+        "jobs": jobs,
+        "calibration_s": calibration_s,
+        "units": serial_sweep["total"],
+        "representative_units": representatives,
+        "serial": {
+            "wall_s": serial_sweep["wall_s"],
+            "per_unit_s": serial_sweep["wall_s"] / representatives,
+        },
+        "parallel": {
+            "wall_s": parallel_sweep["wall_s"],
+            "speedup": speedup,
+            "efficiency": speedup / min(jobs, cpus),
+        },
+        "cache": {
+            "cold_wall_s": cold.extras["sweep"]["wall_s"],
+            "warm_wall_s": warm_sweep["wall_s"],
+            "warm_hit_rate": warm_sweep["cache_hits"] / representatives,
+            "warm_executed": warm_sweep["executed"],
+            "entries": cache_entries,
+        },
+        "_series": {
+            "serial": (serial.series, serial.extras["std"]),
+            "parallel": (parallel.series, parallel.extras["std"]),
+            "cold": (cold.series, cold.extras["std"]),
+            "warm": (warm.series, warm.extras["std"]),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", type=pathlib.Path, default=BASELINE)
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="measure and (over)write the baseline file instead of gating")
+    ap.add_argument("--jobs", "-j", type=int, default=0,
+                    help="parallel worker count (0 = one per CPU)")
+    ap.add_argument("--min-efficiency", type=float, default=0.5,
+                    help="required speedup / min(jobs, cpus) parallel efficiency")
+    ap.add_argument("--min-hit-rate", type=float, default=0.9,
+                    help="required warm-cache hit rate over representative units")
+    ap.add_argument("--threshold", type=float, default=0.35,
+                    help="allowed fractional drift of the normalized serial wall time")
+    args = ap.parse_args(argv)
+    jobs = args.jobs or (os.cpu_count() or 1)
+
+    current = measure(jobs)
+    series = current.pop("_series")
+
+    failures = []
+    for name in ("parallel", "cold", "warm"):
+        if series[name] != series["serial"]:
+            failures.append(f"{name} run is not bit-identical to the serial run")
+    print(f"parity: parallel/cold/warm vs serial "
+          f"[{'FAILED' if failures else 'ok'}]")
+
+    cpus = current["cpus"]
+    floor = args.min_efficiency * min(jobs, cpus)
+    speedup = current["parallel"]["speedup"]
+    print(f"scaling: speedup={speedup:.2f}x at jobs={jobs} on {cpus} CPU(s), "
+          f"floor={floor:.2f}x "
+          f"[{'ok' if speedup >= floor else 'TOO SLOW'}]")
+    if speedup < floor:
+        failures.append(
+            f"speedup {speedup:.2f}x below the {floor:.2f}x floor "
+            f"({args.min_efficiency} x min(jobs={jobs}, cpus={cpus}))"
+        )
+
+    hit_rate = current["cache"]["warm_hit_rate"]
+    executed = current["cache"]["warm_executed"]
+    print(f"cache: warm hit rate={hit_rate:.0%}, re-executed={executed} "
+          f"[{'ok' if hit_rate >= args.min_hit_rate else 'TOO COLD'}]")
+    if hit_rate < args.min_hit_rate:
+        failures.append(
+            f"warm-cache hit rate {hit_rate:.0%} below {args.min_hit_rate:.0%}"
+        )
+
+    if args.write_baseline:
+        if failures:
+            print("\nrefusing to write a baseline from a failing run:",
+                  file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        args.baseline.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"ERROR: baseline {args.baseline} missing "
+              "(generate with --write-baseline)", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    # normalize absolute times by the single-unit calibration: a machine
+    # 2x slower on one unit is allowed a 2x slower serial sweep
+    scale = current["calibration_s"] / baseline["calibration_s"]
+    allowed = baseline["serial"]["wall_s"] * scale * (1.0 + args.threshold)
+    wall = current["serial"]["wall_s"]
+    print(f"cost drift: serial wall={wall:.2f}s allowed<={allowed:.2f}s "
+          f"(baseline {baseline['serial']['wall_s']:.2f}s, scale {scale:.2f}) "
+          f"[{'ok' if wall <= allowed else 'REGRESSED'}]")
+    if wall > allowed:
+        failures.append(
+            f"serial sweep wall {wall:.2f}s exceeds allowed {allowed:.2f}s"
+        )
+
+    if failures:
+        print("\nsweep regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("sweep regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,12 @@
 #!/usr/bin/env python
 """Regenerate the checked-in lint artifacts.
 
-Writes a priced Inception-v3 graph, two schedules and one execution
-trace under ``benchmarks/results/lint/`` — the documents CI feeds to
-``repro lint`` so the JSON contracts (``repro.opgraph/v1``, the
-schedule document, ``repro.trace/v1``) stay lint-clean as the code
-evolves.  Run from the repository root:
+Writes a priced Inception-v3 graph, two schedules, one execution trace
+and one sweep result-cache entry under ``benchmarks/results/lint/`` —
+the documents CI feeds to ``repro lint`` so the JSON contracts
+(``repro.opgraph/v1``, the schedule document, ``repro.trace/v1``,
+``repro.cache/v1``) stay lint-clean as the code evolves.  Run from the
+repository root:
 
     PYTHONPATH=src python scripts/make_lint_artifacts.py
 """
@@ -21,6 +22,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 from repro.core.api import schedule_graph  # noqa: E402
 from repro.core.graphio import graph_to_dict  # noqa: E402
 from repro.experiments.realmodels import MODEL_BUILDERS, default_profiler  # noqa: E402
+from repro.sweep import RandomDagSpec, ResultCache, WorkUnit, execute_unit  # noqa: E402
 
 MODEL = "inception_v3"
 SIZE = 299
@@ -55,6 +57,30 @@ def main() -> int:
             trace_path = out / f"trace_{stem}_{alg}.json"
             trace_path.write_text(json.dumps(trace.to_dict(), indent=2) + "\n")
             print(f"wrote {trace_path} (measured {trace.latency:.3f} ms)")
+
+    # one representative sweep cache entry, written through the real cache
+    # so the C0xx rules lint exactly what `repro run` persists
+    unit = WorkUnit(
+        figure="fig8",
+        x=64,
+        instance=0,
+        algorithm=TRACED,
+        spec=RandomDagSpec(seed=0, num_ops=64),
+        schedule_kwargs=(("window", WINDOW),),
+    )
+    payload, meta = execute_unit(unit)
+    cache = ResultCache(out / "cache")
+    key = unit.key()
+    cache.put(key, payload, kind=unit.kind, algorithm=unit.algorithm, meta=meta)
+    cache_src = cache.path_for(key)
+    cache_path = out / "cache_entry.json"
+    cache_path.write_text(json.dumps(json.loads(cache_src.read_text()), indent=2) + "\n")
+    for stale in sorted((out / "cache").rglob("*.json")):
+        stale.unlink()
+    for d in sorted((out / "cache").rglob("*"), reverse=True):
+        d.rmdir()
+    (out / "cache").rmdir()
+    print(f"wrote {cache_path} (key {key[:12]}…, {unit.kind})")
     return 0
 
 

@@ -4,8 +4,14 @@ Commands
 --------
 ``list``
     Show available experiments, algorithms and models.
-``run FIG [--full]``
-    Run one experiment driver (e.g. ``fig7``) and print its table.
+``run FIG [--full] [--jobs N] [--no-cache] [--cache-dir DIR]``
+    Run one experiment driver (e.g. ``fig7``) through the parallel
+    sweep engine and print its table.  ``--jobs`` defaults to one
+    worker per CPU; results are cached content-addressed under
+    ``~/.cache/repro-hios`` (or ``$REPRO_CACHE_DIR``) so re-runs are
+    warm no-ops unless ``--no-cache`` is given.
+``cache stats|clear [--cache-dir DIR]``
+    Inspect or empty the sweep result cache.
 ``schedule --model NAME --size N [--algorithm A] [--gpus M] [...]``
     Profile a model, schedule it, execute it on the engine, and print
     predicted vs measured latency (optionally dumping schedule JSON).
@@ -27,9 +33,10 @@ Commands
     ``link:S->D@TxF``, ``loss:P``.
 ``lint [FILES...] [--fault SPEC ...] [--json] [--rules]``
     Run the :mod:`repro.lint` rule packs over any mix of JSON artifacts
-    (graphs, schedules, traces — auto-detected) and fault specs, and
-    report *every* finding with its rule ID and severity instead of
-    stopping at the first.  Exit 1 when an error-severity rule fires.
+    (graphs, schedules, traces, sweep cache entries — auto-detected)
+    and fault specs, and report *every* finding with its rule ID and
+    severity instead of stopping at the first.  Exit 1 when an
+    error-severity rule fires.
 """
 
 from __future__ import annotations
@@ -60,6 +67,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--full", action="store_true", help="paper-scale config (30 instances)")
     run.add_argument("--instances", type=int, default=None, help="override instance count")
     run.add_argument("--plot", action="store_true", help="render an ASCII chart")
+    run.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="sweep worker processes (default: one per CPU; 1 = serial)",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed result cache",
+    )
+    run.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro-hios)",
+    )
+    run.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the progress lines on stderr",
+    )
+
+    cache = sub.add_parser("cache", help="inspect or clear the sweep result cache")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro-hios)",
+    )
 
     sched = sub.add_parser("schedule", help="schedule + execute one model")
     sched.add_argument("--model", choices=sorted(MODEL_BUILDERS), default="inception_v3")
@@ -143,15 +173,16 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="static-analyze graph/schedule/trace JSON documents and fault specs",
         description="Run the repro.lint rule packs over any mix of JSON "
-        "artifacts (graph, schedule, trace — auto-detected by their "
-        "'format' field / shape) plus optional --fault specs, and report "
-        "every finding. Exit 1 when any error-severity rule fires.",
+        "artifacts (graph, schedule, trace, cache entry — auto-detected by "
+        "their 'format' field / shape) plus optional --fault specs, and "
+        "report every finding. Exit 1 when any error-severity rule fires.",
     )
     lint.add_argument(
         "files",
         nargs="*",
         metavar="FILE",
-        help="JSON documents: repro.opgraph/v1, schedule, repro.trace/v1",
+        help="JSON documents: repro.opgraph/v1, schedule, repro.trace/v1, "
+        "repro.cache/v1",
     )
     lint.add_argument(
         "--fault",
@@ -192,9 +223,20 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.jobs is not None and args.jobs < 0:
+        print("error: --jobs must be >= 0 (0 = one per CPU)")
+        return 2
     config = ExperimentConfig.full() if args.full else default_config()
     if args.instances is not None:
         config = config.with_(instances=args.instances)
+    config = config.with_(
+        # CLI default: one worker per CPU, cache on, progress on —
+        # the library default stays serial/uncached for embedders
+        jobs=args.jobs if args.jobs is not None else 0,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        progress=not args.no_progress,
+    )
     result = EXPERIMENTS[args.figure](config)
     print(result.to_text())
     if args.plot:
@@ -246,6 +288,20 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         print(render_schedule_table(result.schedule))
     if args.json:
         print(result.schedule.to_json(indent=2))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from .sweep import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        print(json.dumps(cache.stats(), indent=2))
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cache entrie(s) from {cache.root}")
     return 0
 
 
@@ -389,6 +445,8 @@ def _detect_document(data: object) -> str | None:
         return "graph"
     if fmt == "repro.trace/v1":
         return "trace"
+    if fmt == "repro.cache/v1" or ("key" in data and "payload" in data):
+        return "cache"
     if "num_gpus" in data and "gpus" in data:
         return "schedule"
     return None
@@ -419,7 +477,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print("error: nothing to lint (pass JSON files and/or --fault specs)")
         return 2
 
-    graph = schedule = schedule_doc = trace = None
+    graph = schedule = schedule_doc = trace = cache_doc = None
     for path in args.files:
         try:
             with open(path) as fh:
@@ -446,10 +504,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             except EngineError as exc:
                 print(f"error: malformed trace document {path}: {exc}")
                 return 2
+        elif kind == "cache":
+            cache_doc = data  # the cache rules report the details
         else:
             print(
                 f"error: cannot classify {path}: expected a repro.opgraph/v1, "
-                "repro.trace/v1 or schedule (num_gpus/gpus) document"
+                "repro.trace/v1, repro.cache/v1 or schedule (num_gpus/gpus) "
+                "document"
             )
             return 2
 
@@ -467,6 +528,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         schedule_doc=schedule_doc,
         trace=trace,
         plan=plan,
+        cache_doc=cache_doc,
         window=args.window,
         num_gpus=args.gpus,
         horizon=args.horizon,
@@ -498,6 +560,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_validate(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "faults":
         return _cmd_faults(args)
     if args.command == "compare":

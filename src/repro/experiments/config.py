@@ -5,6 +5,17 @@ is a *fast* configuration (3 random instances per data point, trimmed
 sweeps) so the whole benchmark suite runs in minutes; set the
 environment variable ``REPRO_FULL=1`` (or build the config with
 ``fast=False``) for the paper's full setting of 30 instances per point.
+
+Sweep execution knobs (PR: parallel sweep engine) are also part of the
+config so benchmarks and the CLI share one mechanism:
+
+* ``jobs`` — worker processes for the sweep engine (``1`` = the
+  historical serial path, ``0`` = one per CPU); env ``REPRO_JOBS``.
+* ``use_cache`` / ``cache_dir`` — content-addressed result cache
+  (:mod:`repro.sweep.cache`); env ``REPRO_CACHE=1`` and
+  ``REPRO_CACHE_DIR``.
+* ``progress`` — line-oriented progress reporting on stderr; env
+  ``REPRO_PROGRESS=1``.
 """
 
 from __future__ import annotations
@@ -16,6 +27,10 @@ __all__ = ["ExperimentConfig", "default_config", "ALGORITHM_ORDER"]
 
 # canonical plotting/report order (paper legend order)
 ALGORITHM_ORDER = ["sequential", "ios", "hios-mr", "hios-lp", "inter-mr", "inter-lp"]
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip() not in ("", "0", "false")
 
 
 @dataclass(frozen=True)
@@ -33,12 +48,18 @@ class ExperimentConfig:
     seed0: int = 0
     num_gpus: int = 4
     window: int = 3
+    jobs: int = 1
+    use_cache: bool = False
+    cache_dir: str | None = None
+    progress: bool = False
 
     def __post_init__(self) -> None:
         if self.instances < 1:
             raise ValueError("need at least one instance per data point")
         if self.num_gpus < 1:
             raise ValueError("need at least one GPU")
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = one per CPU)")
 
     @classmethod
     def full(cls) -> "ExperimentConfig":
@@ -49,7 +70,20 @@ class ExperimentConfig:
 
 
 def default_config() -> ExperimentConfig:
-    """Fast config unless ``REPRO_FULL`` is set in the environment."""
-    if os.environ.get("REPRO_FULL", "").strip() not in ("", "0", "false"):
-        return ExperimentConfig.full()
-    return ExperimentConfig()
+    """Fast config unless ``REPRO_FULL`` is set in the environment.
+
+    Sweep-engine knobs come from ``REPRO_JOBS`` (worker count),
+    ``REPRO_CACHE`` (enable the result cache) and ``REPRO_PROGRESS``
+    (progress lines on stderr) so the benchmark harness picks them up
+    without code changes; the cache directory itself resolves via
+    ``REPRO_CACHE_DIR`` inside :mod:`repro.sweep.cache`.
+    """
+    cfg = ExperimentConfig.full() if _env_flag("REPRO_FULL") else ExperimentConfig()
+    jobs = os.environ.get("REPRO_JOBS", "").strip()
+    if jobs:
+        cfg = cfg.with_(jobs=int(jobs))
+    if _env_flag("REPRO_CACHE"):
+        cfg = cfg.with_(use_cache=True)
+    if _env_flag("REPRO_PROGRESS"):
+        cfg = cfg.with_(progress=True)
+    return cfg

@@ -7,6 +7,10 @@ The reported ratio is ``parallel time / sequential time``: below 1.0
 while the kernel under-occupies the device (<= 64x64), above 1.0 once
 it saturates (>= 128x128) — the crossover that motivates inter-GPU
 operator parallelism for large operators.
+
+This driver prices eight closed-form analytic points in microseconds
+of wall time, so it deliberately bypasses the :mod:`repro.sweep`
+engine (no scheduling work to parallelize or cache).
 """
 
 from __future__ import annotations

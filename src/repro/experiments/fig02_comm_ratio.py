@@ -11,6 +11,10 @@ GPUs against the convolution's execution time, on
 Paper shape: the NVLink platforms sit at a visibly lower ratio than the
 PCIe platform, and the ratio is far from negligible everywhere — the
 reason HIOS must co-locate dependent operators.
+
+Like Fig. 1, this driver evaluates closed-form analytic ratios in
+microseconds of wall time, so it deliberately bypasses the
+:mod:`repro.sweep` engine (no scheduling work to parallelize or cache).
 """
 
 from __future__ import annotations

@@ -7,7 +7,7 @@ single-GPU algorithms (sequential, IOS) stay flat by construction.
 
 from __future__ import annotations
 
-from ..models.randomdag import random_dag_profile
+from ..sweep import RandomDagSpec
 from .config import ExperimentConfig, default_config
 from .reporting import SeriesResult
 from .simsweep import sweep_random_dags
@@ -19,12 +19,14 @@ GPU_COUNTS = (2, 4, 6, 8, 10, 12)
 
 def run(config: ExperimentConfig | None = None) -> SeriesResult:
     cfg = config or default_config()
+    # only num_gpus varies with x, so the single-GPU baselines
+    # canonicalize to one cache key per seed and run once for the
+    # whole sweep (unit-level dedup in the sweep engine)
     return sweep_random_dags(
         figure="fig7",
         title="latency vs number of GPUs (200 ops, 14 layers, |E|=2|V|)",
         x_label="num_gpus",
         x_values=GPU_COUNTS,
-        profile_factory=lambda m, seed: random_dag_profile(seed=seed, num_gpus=int(m)),
+        spec_factory=lambda m, seed: RandomDagSpec(seed=seed, num_gpus=int(m)),
         config=cfg,
-        graph_varies_with_x=False,
     )

@@ -8,7 +8,7 @@ top of LP-based inter-GPU scheduling and roughly twice that on MR.
 
 from __future__ import annotations
 
-from ..models.randomdag import random_dag_profile
+from ..sweep import RandomDagSpec
 from .config import ExperimentConfig, default_config
 from .reporting import SeriesResult
 from .simsweep import sweep_random_dags
@@ -27,7 +27,7 @@ def run(config: ExperimentConfig | None = None) -> SeriesResult:
         title="latency vs number of operators (4 GPUs, 14 layers)",
         x_label="num_ops",
         x_values=counts,
-        profile_factory=lambda n, seed: random_dag_profile(
+        spec_factory=lambda n, seed: RandomDagSpec(
             seed=seed, num_gpus=cfg.num_gpus, num_ops=int(n)
         ),
         config=cfg,

@@ -8,7 +8,7 @@ fewer independent operators to spread across GPUs.
 
 from __future__ import annotations
 
-from ..models.randomdag import random_dag_profile
+from ..sweep import RandomDagSpec
 from .config import ExperimentConfig, default_config
 from .reporting import SeriesResult
 from .simsweep import sweep_random_dags
@@ -25,7 +25,7 @@ def run(config: ExperimentConfig | None = None) -> SeriesResult:
         title="latency vs number of dependencies (200 ops, 4 GPUs)",
         x_label="num_edges",
         x_values=DEPENDENCY_COUNTS,
-        profile_factory=lambda e, seed: random_dag_profile(
+        spec_factory=lambda e, seed: RandomDagSpec(
             seed=seed, num_gpus=cfg.num_gpus, num_edges=int(e)
         ),
         config=cfg,

@@ -9,7 +9,7 @@ to the parallelism available in the model.
 
 from __future__ import annotations
 
-from ..models.randomdag import random_dag_profile
+from ..sweep import RandomDagSpec
 from .config import ExperimentConfig, default_config
 from .reporting import SeriesResult
 from .simsweep import sweep_random_dags
@@ -26,7 +26,7 @@ def run(config: ExperimentConfig | None = None) -> SeriesResult:
         title="latency vs number of layers (200 ops, 4 GPUs)",
         x_label="num_layers",
         x_values=LAYER_COUNTS,
-        profile_factory=lambda L, seed: random_dag_profile(
+        spec_factory=lambda L, seed: RandomDagSpec(
             seed=seed, num_gpus=cfg.num_gpus, num_layers=int(L)
         ),
         config=cfg,

@@ -9,7 +9,7 @@ parallelism pays off.
 
 from __future__ import annotations
 
-from ..models.randomdag import random_dag_profile
+from ..sweep import RandomDagSpec
 from .config import ExperimentConfig, default_config
 from .reporting import SeriesResult
 from .simsweep import sweep_random_dags
@@ -21,16 +21,16 @@ COMM_RATIOS = (0.4, 0.6, 0.8, 1.0, 1.2)
 
 def run(config: ExperimentConfig | None = None) -> SeriesResult:
     cfg = config or default_config()
+    # only edge weights change with p; the single-GPU baselines see
+    # identical graphs (no transfers), so their cache keys coincide
+    # across x and the sweep engine runs them once per seed
     return sweep_random_dags(
         figure="fig11",
         title="latency vs transfer/computation time ratio p (200 ops, 4 GPUs)",
         x_label="p",
         x_values=COMM_RATIOS,
-        profile_factory=lambda p, seed: random_dag_profile(
+        spec_factory=lambda p, seed: RandomDagSpec(
             seed=seed, num_gpus=cfg.num_gpus, transfer_ratio=float(p)
         ),
         config=cfg,
-        # only edge weights change with p; the single-GPU baselines see
-        # identical graphs (no transfers), so reuse them across x
-        graph_varies_with_x=False,
     )

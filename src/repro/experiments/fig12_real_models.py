@@ -11,7 +11,7 @@ HIOS-MR at every size.
 from __future__ import annotations
 
 from .config import ExperimentConfig, default_config
-from .realmodels import MODEL_BUILDERS, default_profiler, model_sizes, run_model
+from .realmodels import model_sizes, run_real_model_series
 from .reporting import SeriesResult
 
 __all__ = ["run", "ALGORITHMS"]
@@ -24,20 +24,14 @@ def run(
 ) -> SeriesResult:
     cfg = config or default_config()
     sizes = model_sizes(model, cfg)
-    profiler = default_profiler()
-    series: dict[str, list[float]] = {a: [] for a in ALGORITHMS}
-    for size in sizes:
-        profile = profiler.profile(MODEL_BUILDERS[model](size))
-        for alg in ALGORITHMS:
-            run_ = run_model(
-                model, size, alg, profiler=profiler, window=cfg.window, profile=profile
-            )
-            series[alg].append(run_.measured_ms)
-    return SeriesResult(
+    return run_real_model_series(
         figure="fig12",
         title=f"measured inference latency of {model} (dual A40, engine)",
         x_label="input_size",
-        y_label="inference latency (ms)",
         x=list(sizes),
-        series=series,
+        cases=[(model, size) for size in sizes],
+        algorithms=ALGORITHMS,
+        kind="measured",
+        value_key="measured_ms",
+        config=cfg,
     )

@@ -11,7 +11,7 @@ optimum is far from HIOS-LP's multi-GPU result for large inputs.
 from __future__ import annotations
 
 from .config import ExperimentConfig, default_config
-from .realmodels import MODEL_BUILDERS, default_profiler, model_sizes, run_model
+from .realmodels import model_sizes, run_real_model_series
 from .reporting import SeriesResult
 
 __all__ = ["run", "ALGORITHMS"]
@@ -21,30 +21,23 @@ ALGORITHMS = ("sequential", "ios", "hios-mr", "hios-lp", "inter-mr", "inter-lp")
 
 def run(config: ExperimentConfig | None = None) -> SeriesResult:
     cfg = config or default_config()
-    cases: list[tuple[str, int, str]] = []
+    cases: list[tuple[str, int]] = []
+    labels: list[str] = []
     for model in ("inception_v3", "nasnet"):
         sizes = model_sizes(model, cfg)
-        cases.append((model, sizes[0], f"{model}@{sizes[0]} (small)"))
-        cases.append((model, sizes[-1], f"{model}@{sizes[-1]} (large)"))
+        cases += [(model, sizes[0]), (model, sizes[-1])]
+        labels += [f"{model}@{sizes[0]} (small)", f"{model}@{sizes[-1]} (large)"]
 
-    profiler = default_profiler()
-    series: dict[str, list[float]] = {a: [] for a in ALGORITHMS}
-    labels: list[str] = []
-    for model, size, label in cases:
-        labels.append(label)
-        profile = profiler.profile(MODEL_BUILDERS[model](size))
-        for alg in ALGORITHMS:
-            run_ = run_model(
-                model, size, alg, profiler=profiler, window=cfg.window, profile=profile
-            )
-            series[alg].append(run_.measured_ms)
-    return SeriesResult(
+    return run_real_model_series(
         figure="fig13",
         title="gain analysis: all algorithms at small/large inputs (dual A40)",
         x_label="benchmark",
-        y_label="inference latency (ms)",
         x=labels,
-        series=series,
+        cases=cases,
+        algorithms=ALGORITHMS,
+        kind="measured",
+        value_key="measured_ms",
+        config=cfg,
         notes="inter-mr / inter-lp are HIOS-MR / HIOS-LP without the "
         "intra-GPU pass (Alg. 2)",
     )

@@ -26,7 +26,7 @@ from ..core.graph import Operator
 from ..costmodel.concurrency import ConcurrencyModel
 from ..costmodel.profile import CostProfile
 from .config import ExperimentConfig, default_config
-from .realmodels import MODEL_BUILDERS, default_profiler, model_sizes
+from .realmodels import model_sizes, run_real_model_series
 from .reporting import SeriesResult
 
 __all__ = ["run", "MeasurementRecorder", "scheduling_cost_minutes", "ALGORITHMS"]
@@ -90,22 +90,25 @@ def scheduling_cost_minutes(
 def run(
     config: ExperimentConfig | None = None, model: str = "inception_v3"
 ) -> SeriesResult:
+    """Fig. 14 as a unit sweep (``kind="sched-cost"``).
+
+    The reported minutes include the algorithm's *wall time*, so this
+    figure is a measurement: prefer ``jobs=1`` for publication numbers
+    (see :func:`~repro.experiments.realmodels.run_real_model_series`).
+    """
     cfg = config or default_config()
     sizes = model_sizes(model, cfg)
-    profiler = default_profiler()
-    series: dict[str, list[float]] = {a: [] for a in ALGORITHMS}
-    for size in sizes:
-        profile = profiler.profile(MODEL_BUILDERS[model](size))
-        for alg in ALGORITHMS:
-            minutes, _ = scheduling_cost_minutes(profile, alg, window=cfg.window)
-            series[alg].append(minutes)
-    return SeriesResult(
+    return run_real_model_series(
         figure="fig14",
         title=f"time cost of scheduling optimization for {model}",
         x_label="input_size",
-        y_label="scheduling time (minutes)",
         x=list(sizes),
-        series=series,
+        cases=[(model, size) for size in sizes],
+        algorithms=ALGORITHMS,
+        kind="sched-cost",
+        value_key="minutes",
+        config=cfg,
+        y_label="scheduling time (minutes)",
         notes=f"profiling billed at {REPETITIONS} repetitions per measurement "
         "+ algorithm wall time",
     )

@@ -5,12 +5,17 @@ the dual-A40 platform, schedules with each algorithm, and *executes*
 the schedule on the discrete-event engine — the measured latency, not
 the scheduler's prediction, is what Figs. 12-14 report, exactly like
 the paper's testbed runs.
+
+:func:`run_real_model_series` threads those runs through the
+:mod:`repro.sweep` engine (one :class:`~repro.sweep.units.WorkUnit`
+per case × algorithm) so Figs. 12-14 share the parallel dispatch,
+result cache and progress reporting of the random-DAG sweeps.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..core.api import schedule_graph
 from ..core.result import ScheduleResult
@@ -23,13 +28,16 @@ from ..models.resnet import resnet50
 from ..substrate.engine import ExecutionTrace
 from ..substrate.platform import dual_a40
 from ..substrate.profiler import PlatformProfiler
-from .config import ExperimentConfig
+from ..sweep import RealModelSpec, WorkUnit
+from .config import ExperimentConfig, default_config
+from .reporting import SeriesResult
 
 __all__ = [
     "MODEL_BUILDERS",
     "ModelRun",
     "default_profiler",
     "run_model",
+    "run_real_model_series",
     "model_sizes",
 ]
 
@@ -117,4 +125,73 @@ def run_model(
         algorithm=algorithm,
         result=result,
         trace=trace,
+    )
+
+
+def run_real_model_series(
+    figure: str,
+    title: str,
+    x_label: str,
+    x: Sequence[object],
+    cases: Sequence[tuple[str, int]],
+    algorithms: Sequence[str],
+    kind: str,
+    value_key: str,
+    config: ExperimentConfig | None = None,
+    notes: str = "",
+    num_gpus: int = 2,
+    y_label: str = "inference latency (ms)",
+) -> SeriesResult:
+    """One real-model figure as a unit sweep.
+
+    ``cases[i]`` is the ``(model, input_size)`` behind ``x[i]``; every
+    case runs under every algorithm as one :class:`WorkUnit` of
+    ``kind`` (``"measured"`` for engine latency, ``"sched-cost"`` for
+    the Fig. 14 accounting), and ``series[alg][i] = payload[value_key]``.
+
+    ``sched-cost`` payloads include the algorithm's *wall time*, so for
+    publication runs of Fig. 14 prefer ``jobs=1`` (parallel workers
+    timesharing a core inflate each other's wall clocks); the
+    deterministic figures (12/13) are safe at any job count.
+    """
+    from .simsweep import dispatch_units
+
+    cfg = config or default_config()
+    units: list[WorkUnit] = []
+    index: dict[tuple[int, str], int] = {}
+    for ci, (model, size) in enumerate(cases):
+        spec = RealModelSpec(model=model, input_size=size, num_gpus=num_gpus)
+        for alg in algorithms:
+            kwargs: tuple[tuple[str, object], ...] = (
+                (("window", cfg.window),)
+                if alg in ("hios-lp", "hios-mr")
+                else ()
+            )
+            index[(ci, alg)] = len(units)
+            units.append(
+                WorkUnit(
+                    figure=figure,
+                    x=x[ci],
+                    instance=0,
+                    algorithm=alg,
+                    spec=spec,
+                    schedule_kwargs=kwargs,
+                    kind=kind,
+                )
+            )
+    payloads, stats = dispatch_units(cfg, figure, units)
+
+    series = {
+        alg: [payloads[index[(ci, alg)]][value_key] for ci in range(len(cases))]
+        for alg in algorithms
+    }
+    return SeriesResult(
+        figure=figure,
+        title=title,
+        x_label=x_label,
+        y_label=y_label,
+        x=list(x),
+        series=series,
+        notes=notes,
+        extras={"sweep": stats.to_dict()},
     )

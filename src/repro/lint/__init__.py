@@ -1,7 +1,7 @@
 """``repro.lint`` — rule-based static verification of HIOS artifacts.
 
 The subsystem behind ``repro lint``: a small diagnostic framework
-(:class:`Rule`, :class:`Diagnostic`, :class:`Linter`) plus four rule
+(:class:`Rule`, :class:`Diagnostic`, :class:`Linter`) plus five rule
 packs covering every artifact the scheduler pipeline produces or
 consumes:
 
@@ -16,6 +16,8 @@ trace     execution traces (``T0xx``: finite timestamps, causality with
           transfer times, stage barriers, trace-schedule agreement)
 faults    declarative fault plans (``F0xx``: target indices, horizon,
           contradictions, retry budgets)
+cache     sweep result-cache entries (``C0xx``: format marker, schema
+          version, key digest shape, finite payloads, known unit kinds)
 ========  ==================================================================
 
 Unlike ``Schedule.validate()`` — now a thin wrapper over the
@@ -26,6 +28,7 @@ it emits.
 """
 
 from .api import (
+    lint_cache_document,
     lint_fault_plan,
     lint_graph,
     lint_schedule,
@@ -45,6 +48,7 @@ from .framework import (
 )
 
 # importing the packs registers their rules with the framework
+from . import cache_rules as _cache_rules  # noqa: F401
 from . import fault_rules as _fault_rules  # noqa: F401
 from . import graph_rules as _graph_rules  # noqa: F401
 from . import schedule_rules as _schedule_rules  # noqa: F401
@@ -60,6 +64,7 @@ __all__ = [
     "Severity",
     "all_rules",
     "get_rule",
+    "lint_cache_document",
     "lint_fault_plan",
     "lint_graph",
     "lint_schedule",

@@ -26,6 +26,7 @@ __all__ = [
     "lint_schedule_document",
     "lint_trace",
     "lint_fault_plan",
+    "lint_cache_document",
 ]
 
 
@@ -92,4 +93,12 @@ def lint_fault_plan(
 ) -> LintReport:
     """Run the fault-plan rule pack over one declarative fault plan."""
     ctx = LintContext(plan=plan, num_gpus=num_gpus, horizon=horizon)
+    return _linter(errors_only).run(ctx)
+
+
+def lint_cache_document(
+    data: Mapping[str, Any], *, errors_only: bool = False
+) -> LintReport:
+    """Run the cache rule pack over one sweep result-cache entry."""
+    ctx = LintContext(cache_doc=data)
     return _linter(errors_only).run(ctx)

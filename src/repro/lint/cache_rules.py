@@ -1,0 +1,177 @@
+"""Cache-document rules (``C0xx``): sweep result-cache entry hygiene.
+
+The :mod:`repro.sweep` engine persists every work-unit result as a
+content-addressed JSON document (``format: "repro.cache/v1"``).  The
+cache reader already *tolerates* malformed entries — it discards them
+and re-executes — but a tree full of silently discarded entries is a
+warm cache that never hits.  These rules make the discard reasons
+visible: a wrong format marker, a missing or stale schema version, a
+key that cannot be a SHA-256 digest or that disagrees with the entry's
+filename, and payloads that are not finite-number mappings.
+"""
+
+from __future__ import annotations
+
+import math
+import string
+from typing import Any, Iterator, Mapping
+
+from ..sweep.cache import CACHE_FORMAT
+from ..sweep.keying import CACHE_SCHEMA_VERSION
+from ..sweep.units import UNIT_KINDS
+from .diagnostics import Severity
+from .framework import Finding, LintContext, rule
+
+__all__: list[str] = []
+
+_HEX_DIGITS = frozenset(string.hexdigits.lower())
+
+
+def _is_sha256_hex(key: str) -> bool:
+    return len(key) == 64 and all(c in _HEX_DIGITS for c in key)
+
+
+@rule(
+    "C001",
+    severity=Severity.ERROR,
+    pack="cache",
+    title="cache entry must carry the cache format marker",
+    requires=("cache_doc",),
+    hint=f"the sweep cache only reads documents with format "
+    f"{CACHE_FORMAT!r}; anything else is discarded as corrupt",
+)
+def check_format(ctx: LintContext) -> Iterator[Finding]:
+    doc = ctx.cache_doc
+    assert doc is not None
+    fmt = doc.get("format")
+    if fmt != CACHE_FORMAT:
+        yield Finding(
+            f"format is {fmt!r}, expected {CACHE_FORMAT!r}",
+            location="format",
+        )
+
+
+@rule(
+    "C002",
+    severity=Severity.ERROR,
+    pack="cache",
+    title="cache entry must declare an integer schema version",
+    requires=("cache_doc",),
+    hint="schema_version gates cache invalidation; an entry without a "
+    "positive integer version is discarded on read",
+)
+def check_schema_version_valid(ctx: LintContext) -> Iterator[Finding]:
+    doc = ctx.cache_doc
+    assert doc is not None
+    version = doc.get("schema_version")
+    if version is None:
+        yield Finding("schema_version is missing", location="schema_version")
+    elif isinstance(version, bool) or not isinstance(version, int) or version < 1:
+        yield Finding(
+            f"schema_version is {version!r}, expected a positive integer",
+            location="schema_version",
+        )
+
+
+@rule(
+    "C003",
+    severity=Severity.WARNING,
+    pack="cache",
+    title="cache entry schema version should be current",
+    requires=("cache_doc",),
+    hint="entries from other schema versions are never hits; run "
+    "`repro cache clear` to reclaim the space",
+)
+def check_schema_version_current(ctx: LintContext) -> Iterator[Finding]:
+    doc = ctx.cache_doc
+    assert doc is not None
+    version = doc.get("schema_version")
+    if (
+        isinstance(version, int)
+        and not isinstance(version, bool)
+        and version >= 1
+        and version != CACHE_SCHEMA_VERSION
+    ):
+        yield Finding(
+            f"schema_version {version} is not the current "
+            f"{CACHE_SCHEMA_VERSION}",
+            location="schema_version",
+        )
+
+
+@rule(
+    "C004",
+    severity=Severity.ERROR,
+    pack="cache",
+    title="cache key must be a SHA-256 hex digest",
+    requires=("cache_doc",),
+    hint="keys are lowercase 64-character SHA-256 hex digests of the "
+    "canonical unit description; anything else can never be looked up",
+)
+def check_key(ctx: LintContext) -> Iterator[Finding]:
+    doc = ctx.cache_doc
+    assert doc is not None
+    key = doc.get("key")
+    if not isinstance(key, str) or not _is_sha256_hex(key):
+        yield Finding(
+            f"key is {key!r}, expected 64 lowercase hex characters",
+            location="key",
+        )
+
+
+@rule(
+    "C005",
+    severity=Severity.ERROR,
+    pack="cache",
+    title="cache payload must be a non-empty finite-number mapping",
+    requires=("cache_doc",),
+    hint="payloads are the raw unit results (e.g. {'latency': ...}); "
+    "the reader rejects empty, non-numeric or non-finite payloads",
+)
+def check_payload(ctx: LintContext) -> Iterator[Finding]:
+    doc = ctx.cache_doc
+    assert doc is not None
+    payload = doc.get("payload")
+    if not isinstance(payload, Mapping) or not payload:
+        yield Finding(
+            f"payload is {type(payload).__name__ if payload is not None else None}"
+            ", expected a non-empty mapping",
+            location="payload",
+        )
+        return
+    for name, value in payload.items():
+        if not isinstance(name, str):
+            yield Finding(
+                f"payload field name {name!r} is not a string",
+                location="payload",
+            )
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            yield Finding(
+                f"payload[{name!r}] is {value!r}, expected a finite number",
+                location=f"payload.{name}",
+            )
+        elif not math.isfinite(value):
+            yield Finding(
+                f"payload[{name!r}] is {value!r} (non-finite)",
+                location=f"payload.{name}",
+            )
+
+
+@rule(
+    "C006",
+    severity=Severity.WARNING,
+    pack="cache",
+    title="cache entry kind should be a known unit kind",
+    requires=("cache_doc",),
+    hint=f"known unit kinds are {', '.join(UNIT_KINDS)}; an unknown "
+    "kind suggests the entry was written by a newer or foreign tool",
+)
+def check_kind(ctx: LintContext) -> Iterator[Finding]:
+    doc = ctx.cache_doc
+    assert doc is not None
+    kind = doc.get("kind")
+    if kind is not None and kind not in UNIT_KINDS:
+        yield Finding(
+            f"kind is {kind!r}, not one of {UNIT_KINDS}",
+            location="kind",
+        )

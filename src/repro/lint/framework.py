@@ -3,15 +3,16 @@
 A :class:`Rule` is a pure function from a :class:`LintContext` to zero
 or more :class:`Finding` values, tagged with a stable ID, a severity and
 the *subjects* it needs (``graph``, ``schedule``, ``schedule_doc``,
-``trace``, ``plan``).  The :class:`Linter` runs every registered rule
-whose subjects the context provides and returns a
+``trace``, ``plan``, ``cache_doc``).  The :class:`Linter` runs every
+registered rule whose subjects the context provides and returns a
 :class:`~repro.lint.diagnostics.LintReport` — it never raises on a
 finding, so one run surfaces *every* problem at once.
 
 Rule packs (:mod:`~repro.lint.graph_rules`,
 :mod:`~repro.lint.schedule_rules`, :mod:`~repro.lint.trace_rules`,
-:mod:`~repro.lint.fault_rules`) register themselves at import time via
-the :func:`rule` decorator; importing :mod:`repro.lint` loads all four.
+:mod:`~repro.lint.fault_rules`, :mod:`~repro.lint.cache_rules`)
+register themselves at import time via the :func:`rule` decorator;
+importing :mod:`repro.lint` loads all five.
 """
 
 from __future__ import annotations
@@ -38,7 +39,7 @@ __all__ = [
     "rule_catalog",
 ]
 
-SUBJECTS = ("graph", "schedule", "schedule_doc", "trace", "plan")
+SUBJECTS = ("graph", "schedule", "schedule_doc", "trace", "plan", "cache_doc")
 
 
 @dataclass(frozen=True)
@@ -70,6 +71,7 @@ class LintContext:
     schedule_doc: Mapping[str, Any] | None = None
     trace: "ExecutionTrace | None" = None
     plan: "FaultPlan | None" = None
+    cache_doc: Mapping[str, Any] | None = None
     window: int | None = None
     num_gpus: int | None = None
     horizon: float | None = None

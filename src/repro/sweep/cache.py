@@ -1,0 +1,180 @@
+"""Content-addressed on-disk result cache for sweep units.
+
+Layout (one JSON document per entry, sharded by key prefix to keep
+directories small)::
+
+    <root>/v<schema>/<key[:2]>/<key>.json
+
+``<root>`` resolves, in order, to an explicit ``cache_dir`` argument,
+the ``REPRO_CACHE_DIR`` environment variable, then
+``~/.cache/repro-hios``.  Every entry is a self-describing
+``repro.cache/v1`` document::
+
+    {"format": "repro.cache/v1", "schema_version": 1,
+     "key": "<sha256>", "kind": "latency", "algorithm": "hios-lp",
+     "payload": {"latency": 12.5}, "meta": {"scheduling_time_s": 0.4}}
+
+Reads are defensive: an entry that is unreadable, malformed JSON, the
+wrong format/schema, or whose recorded key disagrees with its filename
+is *discarded* (best-effort unlink) and treated as a miss — a corrupt
+cache can cost recomputation but never poisons results or crashes a
+sweep.  Writes are atomic (temp file + rename) so interrupted sweeps
+leave no half-written entries and simply resume from what completed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from .keying import CACHE_SCHEMA_VERSION
+
+__all__ = ["CACHE_FORMAT", "ResultCache", "default_cache_dir"]
+
+CACHE_FORMAT = "repro.cache/v1"
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-hios``."""
+    env = os.environ.get(_ENV_VAR, "").strip()
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-hios"
+
+
+class ResultCache:
+    """Get/put of unit payloads under content-addressed keys."""
+
+    def __init__(self, cache_dir: str | os.PathLike[str] | None = None) -> None:
+        self.root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _shard(self) -> Path:
+        return self.root / f"v{CACHE_SCHEMA_VERSION}"
+
+    def path_for(self, key: str) -> Path:
+        return self._shard() / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, float] | None:
+        """Payload for ``key``, or ``None`` (miss or discarded entry)."""
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
+            self.misses += 1
+            return None
+        payload = self._valid_payload(doc, key)
+        if payload is None:
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(
+        self,
+        key: str,
+        payload: Mapping[str, float],
+        *,
+        kind: str,
+        algorithm: str,
+        meta: Mapping[str, float] | None = None,
+    ) -> None:
+        """Atomically persist one entry (overwrites any existing one)."""
+        doc = {
+            "format": CACHE_FORMAT,
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "kind": kind,
+            "algorithm": algorithm,
+            "payload": dict(payload),
+            "meta": dict(meta or {}),
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            self._discard(Path(tmp))
+            raise
+
+    @staticmethod
+    def _valid_payload(doc: Any, key: str) -> dict[str, float] | None:
+        """Minimal integrity check; deep checks live in the C0xx lint
+        rules (``repro lint`` on a cache document)."""
+        if not isinstance(doc, dict):
+            return None
+        if doc.get("format") != CACHE_FORMAT:
+            return None
+        if doc.get("schema_version") != CACHE_SCHEMA_VERSION:
+            return None
+        if doc.get("key") != key:
+            return None
+        payload = doc.get("payload")
+        if not isinstance(payload, dict) or not payload:
+            return None
+        for name, value in payload.items():
+            if not isinstance(name, str) or not isinstance(value, (int, float)):
+                return None
+            if isinstance(value, bool) or value != value:  # bool / NaN
+                return None
+        return payload
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing cleanup is fine
+            pass
+
+    def _entries(self) -> Iterator[Path]:
+        shard = self._shard()
+        if not shard.is_dir():
+            return
+        yield from sorted(shard.glob("*/*.json"))
+
+    def stats(self) -> dict[str, Any]:
+        """On-disk footprint of the current schema's shard."""
+        entries = 0
+        total_bytes = 0
+        by_kind: dict[str, int] = {}
+        for path in self._entries():
+            entries += 1
+            try:
+                total_bytes += path.stat().st_size
+                with open(path, encoding="utf-8") as fh:
+                    kind = json.load(fh).get("kind", "?")
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                kind = "corrupt"
+            by_kind[str(kind)] = by_kind.get(str(kind), 0) + 1
+        return {
+            "cache_dir": str(self.root),
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "entries": entries,
+            "bytes": total_bytes,
+            "by_kind": dict(sorted(by_kind.items())),
+        }
+
+    def clear(self) -> int:
+        """Delete every entry of the current schema; returns the count."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover
+                pass
+        return removed

@@ -1,0 +1,144 @@
+"""The sweep executor: dedup → cache → fan out → aggregate in order.
+
+:func:`run_units` evaluates a list of :class:`~repro.sweep.units.WorkUnit`
+values and returns their payloads *in the input order*, so callers
+aggregate identically no matter how the work was dispatched:
+
+1. **Dedup.**  Units with identical cache keys are collapsed before
+   dispatch; the first occurrence is the representative, later ones
+   share its payload.  (This subsumes the old single-GPU-baseline
+   reuse: single-GPU algorithms canonicalize away multi-GPU-only spec
+   fields, so their keys coincide across e.g. a GPU-count sweep.)
+2. **Cache.**  Each representative is looked up in the
+   content-addressed :class:`~repro.sweep.cache.ResultCache` (when one
+   is given); hits skip execution entirely, so re-running a figure is
+   a warm no-op and interrupted sweeps resume.
+3. **Execute.**  Misses run through
+   :func:`~repro.sweep.units.execute_unit` — inline when ``jobs == 1``
+   (bit-identical to the historical serial loops), else fanned out
+   over a ``ProcessPoolExecutor``.  Units are pure functions of their
+   spec, so dispatch order cannot affect any result.
+4. **Persist.**  Fresh payloads are written back to the cache from the
+   parent process (atomic rename), never from workers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from .cache import ResultCache
+from .progress import SweepProgress
+from .units import WorkUnit, execute_unit
+
+__all__ = ["SweepStats", "resolve_jobs", "run_units"]
+
+
+@dataclass
+class SweepStats:
+    """Per-run accounting, surfaced in ``SeriesResult.extras['sweep']``."""
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    deduped: int = 0
+    jobs: int = 1
+    wall_s: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "total": self.total,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "deduped": self.deduped,
+            "jobs": self.jobs,
+            "wall_s": self.wall_s,
+        }
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """``None``/``0`` → ``os.cpu_count()``; else the value itself."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0 (0 = one per CPU)")
+    return jobs
+
+
+def run_units(
+    units: Sequence[WorkUnit],
+    *,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    progress: SweepProgress | None = None,
+) -> tuple[list[dict[str, float]], SweepStats]:
+    """Evaluate ``units``; returns ``(payloads_in_input_order, stats)``."""
+    jobs = resolve_jobs(jobs)
+    t0 = time.perf_counter()
+    stats = SweepStats(total=len(units), jobs=jobs)
+    if progress is None:
+        progress = SweepProgress("sweep", len(units), enabled=False)
+
+    keys = [unit.key() for unit in units]
+    payloads: list[dict[str, float] | None] = [None] * len(units)
+    first_index: dict[str, int] = {}
+    duplicates: dict[int, list[int]] = {}
+    for i, key in enumerate(keys):
+        rep = first_index.setdefault(key, i)
+        if rep != i:
+            duplicates.setdefault(rep, []).append(i)
+            stats.deduped += 1
+
+    def resolve(rep: int, payload: dict[str, float], *, cached: bool) -> None:
+        payloads[rep] = payload
+        progress.update(cached=cached)
+        for dup in duplicates.get(rep, ()):
+            payloads[dup] = payload
+            progress.update(deduped=True)
+
+    # cache pass over representatives, in input order
+    to_run: list[int] = []
+    for rep in sorted(first_index.values()):
+        hit = cache.get(keys[rep]) if cache is not None else None
+        if hit is not None:
+            stats.cache_hits += 1
+            resolve(rep, hit, cached=True)
+        else:
+            to_run.append(rep)
+
+    def persist(rep: int, payload: dict[str, float], meta: dict[str, float]) -> None:
+        if cache is not None:
+            unit = units[rep]
+            cache.put(
+                keys[rep],
+                payload,
+                kind=unit.kind,
+                algorithm=unit.algorithm,
+                meta=meta,
+            )
+
+    if jobs == 1 or len(to_run) <= 1:
+        for rep in to_run:
+            payload, meta = execute_unit(units[rep])
+            stats.executed += 1
+            persist(rep, payload, meta)
+            resolve(rep, payload, cached=False)
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(to_run))) as pool:
+            futures = {pool.submit(execute_unit, units[rep]): rep for rep in to_run}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    rep = futures[future]
+                    payload, meta = future.result()  # re-raises worker errors
+                    stats.executed += 1
+                    persist(rep, payload, meta)
+                    resolve(rep, payload, cached=False)
+
+    assert all(p is not None for p in payloads)
+    stats.wall_s = time.perf_counter() - t0
+    return [p for p in payloads if p is not None], stats

@@ -1,0 +1,70 @@
+"""Deterministic line-oriented progress reporting for sweep runs.
+
+Replaces the silent multi-minute figure loops with plain-text status
+lines.  Every line is flushed immediately so CI logs stream, and the
+*content* is deterministic given the unit outcomes — units done /
+total, percent, cache hits, dedup shares — with the single exception
+of the ETA, which is derived from wall time and clearly labelled.
+
+Lines go to ``stderr`` by default so figure tables on ``stdout`` stay
+machine-readable.  To bound output on huge sweeps, at most
+``max_lines`` progress lines are printed (evenly spaced by completed
+units); the final line always appears.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+__all__ = ["SweepProgress"]
+
+
+class SweepProgress:
+    """Reports ``done/total`` as units complete; see the module docs."""
+
+    def __init__(
+        self,
+        figure: str,
+        total: int,
+        *,
+        stream: TextIO | None = None,
+        enabled: bool = True,
+        eta: bool = True,
+        max_lines: int = 40,
+    ) -> None:
+        self.figure = figure
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled and total > 0
+        self.eta = eta
+        self.done = 0
+        self.cache_hits = 0
+        self.deduped = 0
+        self._every = max(1, -(-total // max_lines)) if total else 1  # ceil div
+        self._t0 = time.perf_counter()
+
+    def update(self, *, cached: bool = False, deduped: bool = False) -> None:
+        """Record one completed unit and maybe print a line."""
+        self.done += 1
+        if cached:
+            self.cache_hits += 1
+        if deduped:
+            self.deduped += 1
+        if self.done % self._every == 0 or self.done == self.total:
+            self._emit()
+
+    def _emit(self) -> None:
+        if not self.enabled:
+            return
+        pct = 100.0 * self.done / self.total
+        line = (
+            f"[{self.figure}] {self.done}/{self.total} units ({pct:3.0f}%), "
+            f"{self.cache_hits} cache hits, {self.deduped} deduped"
+        )
+        if self.eta and 0 < self.done < self.total:
+            elapsed = time.perf_counter() - self._t0
+            remaining = elapsed / self.done * (self.total - self.done)
+            line += f", ETA {remaining:.0f}s"
+        print(line, file=self.stream, flush=True)

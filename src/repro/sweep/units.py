@@ -1,0 +1,232 @@
+"""Work units: the pure, picklable quantum of a figure sweep.
+
+A :class:`WorkUnit` fully describes one independent computation —
+"build this workload, schedule it with this algorithm, report these
+numbers" — so it can be shipped to a worker process, executed there
+without any shared state, and cached under a content-addressed key.
+
+Two spec types cover every figure:
+
+* :class:`RandomDagSpec` — the Section V random layered DAGs behind
+  Figs. 7-11 (generator parameters + seed + profile knobs);
+* :class:`RealModelSpec` — the Section VI real models behind
+  Figs. 12-14 (model, input size, platform).
+
+Unit kinds select what the worker computes:
+
+========== ==========================================================
+kind        payload
+========== ==========================================================
+latency     ``{"latency": ...}`` — the scheduler's predicted latency
+measured    ``{"measured_ms": ..., "predicted_ms": ...}`` — the
+            discrete-event engine's measured latency for the schedule
+sched-cost  ``{"minutes": ..., <breakdown>}`` — the Fig. 14 scheduling
+            -optimization bill (includes algorithm *wall time*, so this
+            kind is a measurement, not a pure function of the spec)
+========== ==========================================================
+
+Key canonicalization — the unit-level dedup
+-------------------------------------------
+Single-GPU algorithms (``sequential``, ``ios``) never pay inter-GPU
+transfers and never see more than one GPU, so their results are
+invariant under the spec fields that only matter in the multi-GPU
+setting (``num_gpus``, ``transfer_ratio``, ``transfer_floor``).
+:meth:`RandomDagSpec.key_fields` pins those fields to fixed sentinels
+for single-GPU algorithms, which makes the cache keys of e.g. the
+Fig. 7 sequential baseline *identical across the GPU-count sweep* —
+the executor collapses equal keys before dispatch, running the unit
+once and sharing the payload.  This generalizes (and replaces) the old
+ad-hoc ``single_cache`` dict in ``sweep_random_dags``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from .keying import CACHE_SCHEMA_VERSION, content_key
+
+__all__ = [
+    "SINGLE_GPU_ALGORITHMS",
+    "UNIT_KINDS",
+    "RandomDagSpec",
+    "RealModelSpec",
+    "WorkUnit",
+    "execute_unit",
+]
+
+#: Algorithms whose results are invariant under multi-GPU-only knobs.
+SINGLE_GPU_ALGORITHMS = frozenset({"sequential", "ios"})
+
+UNIT_KINDS = ("latency", "measured", "sched-cost")
+
+
+@dataclass(frozen=True)
+class RandomDagSpec:
+    """One Section V random-DAG workload plus its cost-profile knobs.
+
+    Field defaults mirror :class:`repro.models.randomdag.RandomDagConfig`
+    and :func:`repro.models.randomdag.random_dag_profile`.
+    """
+
+    seed: int
+    num_gpus: int = 4
+    num_ops: int = 200
+    num_layers: int = 14
+    num_edges: int | None = None
+    cost_min: float = 0.1
+    cost_max: float = 4.0
+    transfer_ratio: float = 0.8
+    transfer_floor: float = 0.1
+    saturation_ms: float = 3.0
+    contention_penalty: float = 0.06
+    max_streams: int = 0
+
+    def build(self) -> Any:
+        """Generate the DAG and wrap it in a :class:`CostProfile`."""
+        from ..models.randomdag import RandomDagConfig, random_dag_profile
+
+        cfg = RandomDagConfig(
+            num_ops=self.num_ops,
+            num_layers=self.num_layers,
+            num_edges=self.num_edges,
+            cost_min=self.cost_min,
+            cost_max=self.cost_max,
+            transfer_ratio=self.transfer_ratio,
+            transfer_floor=self.transfer_floor,
+            saturation_ms=self.saturation_ms,
+        )
+        return random_dag_profile(
+            cfg,
+            seed=self.seed,
+            num_gpus=self.num_gpus,
+            contention_penalty=self.contention_penalty,
+            max_streams=self.max_streams,
+        )
+
+    def key_fields(self, algorithm: str) -> dict[str, Any]:
+        """Spec fields as they enter the cache key for ``algorithm``.
+
+        Single-GPU algorithms get the multi-GPU-only fields pinned
+        (see the module docstring) so equivalent units collapse.
+        """
+        fields: dict[str, Any] = {"spec": "random-dag/v1", **asdict(self)}
+        if algorithm in SINGLE_GPU_ALGORITHMS:
+            fields["num_gpus"] = 1
+            fields["transfer_ratio"] = 0.0
+            fields["transfer_floor"] = 0.0
+        return fields
+
+
+@dataclass(frozen=True)
+class RealModelSpec:
+    """One Section VI real-model workload on a named platform."""
+
+    model: str
+    input_size: int
+    num_gpus: int = 2
+    platform: str = "dual-a40"
+
+    def profiler(self) -> Any:
+        from ..substrate.platform import dual_a40
+        from ..substrate.profiler import PlatformProfiler
+
+        if self.platform != "dual-a40":
+            raise ValueError(f"unknown platform {self.platform!r}")
+        return PlatformProfiler(dual_a40(self.num_gpus))
+
+    def build(self) -> Any:
+        from ..experiments.realmodels import MODEL_BUILDERS
+
+        return self.profiler().profile(MODEL_BUILDERS[self.model](self.input_size))
+
+    def key_fields(self, algorithm: str) -> dict[str, Any]:
+        del algorithm  # engine-measured results keep every field as-is
+        return {"spec": "real-model/v1", **asdict(self)}
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One ``(figure, x, instance, algorithm)`` computation.
+
+    ``figure``, ``x`` and ``instance`` identify the unit for reporting
+    and aggregation only — they do **not** enter the cache key, which
+    depends purely on the content that determines the result: the
+    canonicalized spec, the algorithm, the schedule kwargs, the kind
+    and the cache schema version.
+    """
+
+    figure: str
+    x: object
+    instance: int
+    algorithm: str
+    spec: RandomDagSpec | RealModelSpec
+    schedule_kwargs: tuple[tuple[str, Any], ...] = ()
+    kind: str = "latency"
+
+    def __post_init__(self) -> None:
+        if self.kind not in UNIT_KINDS:
+            raise ValueError(
+                f"unknown unit kind {self.kind!r}; choose from {UNIT_KINDS}"
+            )
+
+    def key(self) -> str:
+        """Content-addressed cache key of this unit."""
+        return content_key(
+            {
+                "schema_version": CACHE_SCHEMA_VERSION,
+                "kind": self.kind,
+                "algorithm": self.algorithm,
+                "schedule_kwargs": dict(self.schedule_kwargs),
+                "workload": self.spec.key_fields(self.algorithm),
+            }
+        )
+
+
+def execute_unit(unit: WorkUnit) -> tuple[dict[str, float], dict[str, float]]:
+    """Run one unit; returns ``(payload, meta)``.
+
+    The payload holds the deterministic result values the sweep
+    aggregates (and the cache stores); meta holds measurement
+    diagnostics (wall times) that must never feed back into figure
+    data.  Importable at module level so worker processes can unpickle
+    and call it under every multiprocessing start method.
+    """
+    from ..core.api import schedule_graph
+
+    kwargs = dict(unit.schedule_kwargs)
+    if unit.kind == "latency":
+        result = schedule_graph(unit.spec.build(), unit.algorithm, **kwargs)
+        return {"latency": result.latency}, {
+            "scheduling_time_s": result.scheduling_time
+        }
+    if unit.kind == "measured":
+        if not isinstance(unit.spec, RealModelSpec):
+            raise TypeError("'measured' units need a RealModelSpec")
+        profiler = unit.spec.profiler()
+        profile = profiler.profile(
+            _model_builder(unit.spec.model)(unit.spec.input_size)
+        )
+        result = schedule_graph(profile, unit.algorithm, **kwargs)
+        trace = profiler.engine().run(profile.graph, result.schedule)
+        return {
+            "measured_ms": trace.latency,
+            "predicted_ms": result.latency,
+        }, {"scheduling_time_s": result.scheduling_time}
+    if unit.kind == "sched-cost":
+        if not isinstance(unit.spec, RealModelSpec):
+            raise TypeError("'sched-cost' units need a RealModelSpec")
+        from ..experiments.fig14_scheduling_cost import scheduling_cost_minutes
+
+        profile = unit.spec.build()
+        minutes, breakdown = scheduling_cost_minutes(
+            profile, unit.algorithm, **kwargs
+        )
+        return {"minutes": minutes, **breakdown}, {}
+    raise AssertionError(f"unhandled kind {unit.kind!r}")  # pragma: no cover
+
+
+def _model_builder(model: str) -> Any:
+    from ..experiments.realmodels import MODEL_BUILDERS
+
+    return MODEL_BUILDERS[model]

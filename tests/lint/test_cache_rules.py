@@ -1,0 +1,128 @@
+"""C0xx rules: each has one triggering and one passing case."""
+
+import pytest
+
+from repro.lint import lint_cache_document
+from repro.sweep import RandomDagSpec, ResultCache, WorkUnit
+from repro.sweep.cache import CACHE_FORMAT
+from repro.sweep.keying import CACHE_SCHEMA_VERSION, content_key
+
+
+def doc(**overrides):
+    base = {
+        "format": CACHE_FORMAT,
+        "schema_version": CACHE_SCHEMA_VERSION,
+        "key": content_key({"probe": 1}),
+        "kind": "latency",
+        "algorithm": "hios-lp",
+        "payload": {"latency": 12.5},
+        "meta": {"scheduling_time_s": 0.01},
+    }
+    base.update(overrides)
+    return base
+
+
+def fired(document):
+    return set(lint_cache_document(document).rule_ids())
+
+
+def test_well_formed_entry_is_clean():
+    assert fired(doc()) == set()
+
+
+def test_real_cache_entry_is_clean(tmp_path):
+    # what ResultCache.put writes must pass its own lint rules
+    import json
+
+    unit = WorkUnit(
+        figure="fig8",
+        x=30,
+        instance=0,
+        algorithm="sequential",
+        spec=RandomDagSpec(seed=0, num_ops=10, num_layers=3),
+    )
+    cache = ResultCache(tmp_path)
+    cache.put(unit.key(), {"latency": 1.0}, kind=unit.kind, algorithm=unit.algorithm)
+    entry = json.loads(cache.path_for(unit.key()).read_text())
+    assert fired(entry) == set()
+
+
+class TestC001Format:
+    def test_trigger(self):
+        report = lint_cache_document(doc(format="repro.trace/v1"))
+        [d] = [d for d in report.errors if d.rule == "C001"]
+        assert "repro.cache/v1" in d.message
+
+    def test_missing_format(self):
+        d = doc()
+        del d["format"]
+        assert "C001" in fired(d)
+
+
+class TestC002SchemaVersionValid:
+    def test_missing(self):
+        d = doc()
+        del d["schema_version"]
+        assert "C002" in fired(d)
+
+    @pytest.mark.parametrize("bad", [0, -1, "1", 1.0, True, None])
+    def test_invalid(self, bad):
+        assert "C002" in fired(doc(schema_version=bad))
+
+    def test_pass(self):
+        assert "C002" not in fired(doc())
+
+
+class TestC003SchemaVersionCurrent:
+    def test_stale_version_warns(self):
+        report = lint_cache_document(doc(schema_version=CACHE_SCHEMA_VERSION + 7))
+        assert "C003" in set(report.rule_ids())
+        assert report.ok  # warning, not error
+
+    def test_invalid_version_is_c002s_problem(self):
+        assert "C003" not in fired(doc(schema_version=0))
+
+
+class TestC004Key:
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "zz", "A" * 64, content_key({"x": 1}).upper(), 42, None],
+    )
+    def test_trigger(self, bad):
+        assert "C004" in fired(doc(key=bad))
+
+    def test_pass(self):
+        assert "C004" not in fired(doc())
+
+
+class TestC005Payload:
+    @pytest.mark.parametrize(
+        "bad",
+        [None, {}, [], "x", {"latency": "fast"}, {"latency": True}, {"latency": None}],
+    )
+    def test_trigger(self, bad):
+        assert "C005" in fired(doc(payload=bad))
+
+    def test_non_finite_values_trigger(self):
+        assert "C005" in fired(doc(payload={"latency": float("inf")}))
+        assert "C005" in fired(doc(payload={"latency": float("nan")}))
+
+    def test_pass_multi_field(self):
+        clean = doc(payload={"measured_ms": 1.0, "predicted_ms": 2})
+        assert "C005" not in fired(clean)
+
+
+class TestC006Kind:
+    def test_unknown_kind_warns(self):
+        report = lint_cache_document(doc(kind="exotic"))
+        assert "C006" in set(report.rule_ids())
+        assert report.ok
+
+    @pytest.mark.parametrize("kind", ["latency", "measured", "sched-cost"])
+    def test_known_kinds_pass(self, kind):
+        assert "C006" not in fired(doc(kind=kind))
+
+    def test_missing_kind_tolerated(self):
+        d = doc()
+        del d["kind"]
+        assert "C006" not in fired(d)

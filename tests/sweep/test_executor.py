@@ -1,0 +1,161 @@
+"""run_units: ordering, dedup, cache interplay, parallel dispatch."""
+
+import io
+import os
+
+import pytest
+
+from repro.sweep import (
+    RandomDagSpec,
+    ResultCache,
+    SweepProgress,
+    WorkUnit,
+    resolve_jobs,
+    run_units,
+)
+import repro.sweep.executor as executor_mod
+
+TINY = dict(num_ops=12, num_layers=4)
+
+
+def unit(seed, algorithm="hios-lp", num_gpus=4):
+    kwargs = (("window", 3),) if algorithm.startswith("hios") else ()
+    return WorkUnit(
+        figure="test",
+        x=seed,
+        instance=0,
+        algorithm=algorithm,
+        spec=RandomDagSpec(seed=seed, num_gpus=num_gpus, **TINY),
+        schedule_kwargs=kwargs,
+    )
+
+
+class TestResolveJobs:
+    def test_none_and_zero_mean_one_per_cpu(self):
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_explicit_value_kept(self):
+        assert resolve_jobs(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(-1)
+
+
+class TestSerial:
+    def test_payloads_in_input_order(self):
+        units = [unit(s) for s in (3, 1, 2)]
+        payloads, stats = run_units(units, jobs=1)
+        assert [set(p) for p in payloads] == [{"latency"}] * 3
+        # order matches input, not key/dispatch order: re-running each
+        # unit alone must reproduce its slot
+        for u, p in zip(units, payloads):
+            alone, _ = run_units([u], jobs=1)
+            assert alone[0] == p
+        assert (stats.total, stats.executed, stats.deduped) == (3, 3, 0)
+
+    def test_identical_units_execute_once(self, monkeypatch):
+        calls = []
+        real = executor_mod.execute_unit
+
+        def counting(u):
+            calls.append(u)
+            return real(u)
+
+        monkeypatch.setattr(executor_mod, "execute_unit", counting)
+        units = [unit(1), unit(1), unit(1)]
+        payloads, stats = run_units(units, jobs=1)
+        assert len(calls) == 1
+        assert payloads[0] == payloads[1] == payloads[2]
+        assert (stats.executed, stats.deduped) == (1, 2)
+
+    def test_single_gpu_baseline_dedups_across_gpu_counts(self, monkeypatch):
+        calls = []
+        real = executor_mod.execute_unit
+
+        def counting(u):
+            calls.append(u)
+            return real(u)
+
+        monkeypatch.setattr(executor_mod, "execute_unit", counting)
+        units = [unit(1, "sequential", num_gpus=g) for g in (2, 3, 4)]
+        payloads, stats = run_units(units, jobs=1)
+        assert len(calls) == 1
+        assert payloads[0] == payloads[1] == payloads[2]
+        assert stats.deduped == 2
+
+    def test_worker_error_propagates(self):
+        with pytest.raises(Exception, match="bogus"):
+            run_units([unit(1, algorithm="bogus")], jobs=1)
+
+
+class TestCacheInterplay:
+    def test_warm_rerun_executes_nothing(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        units = [unit(s) for s in (1, 2)]
+        cold, stats_cold = run_units(units, jobs=1, cache=cache)
+        assert (stats_cold.executed, stats_cold.cache_hits) == (2, 0)
+
+        monkeypatch.setattr(
+            executor_mod,
+            "execute_unit",
+            lambda u: pytest.fail("warm run must not execute"),
+        )
+        warm, stats_warm = run_units(units, jobs=1, cache=ResultCache(tmp_path))
+        assert warm == cold
+        assert (stats_warm.executed, stats_warm.cache_hits) == (0, 2)
+
+    def test_interrupted_sweep_resumes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_units([unit(1)], jobs=1, cache=cache)  # the part that completed
+        _, stats = run_units(
+            [unit(1), unit(2)], jobs=1, cache=ResultCache(tmp_path)
+        )
+        assert (stats.cache_hits, stats.executed) == (1, 1)
+
+    def test_corrupt_entry_reexecuted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold, _ = run_units([unit(1)], jobs=1, cache=cache)
+        cache.path_for(unit(1).key()).write_text("{broken")
+        warm, stats = run_units([unit(1)], jobs=1, cache=ResultCache(tmp_path))
+        assert warm == cold
+        assert (stats.cache_hits, stats.executed) == (0, 1)
+
+
+class TestParallel:
+    def test_parallel_equals_serial(self):
+        units = [unit(s, alg) for s in (1, 2) for alg in ("sequential", "hios-lp")]
+        serial, _ = run_units(units, jobs=1)
+        parallel, stats = run_units(units, jobs=3)
+        assert parallel == serial
+        assert stats.jobs == 3
+
+    def test_parallel_populates_cache(self, tmp_path):
+        units = [unit(s) for s in (1, 2, 3)]
+        cold, _ = run_units(units, jobs=2, cache=ResultCache(tmp_path))
+        warm, stats = run_units(units, jobs=2, cache=ResultCache(tmp_path))
+        assert warm == cold
+        assert (stats.cache_hits, stats.executed) == (3, 0)
+
+    def test_worker_error_propagates(self):
+        units = [unit(1), unit(2, algorithm="bogus"), unit(3)]
+        with pytest.raises(Exception, match="bogus"):
+            run_units(units, jobs=2)
+
+
+class TestProgress:
+    def test_deterministic_lines(self):
+        out = io.StringIO()
+        progress = SweepProgress("fig8", 3, stream=out, eta=False)
+        units = [unit(1), unit(1), unit(2)]
+        run_units(units, jobs=1, progress=progress)
+        lines = [line for line in out.getvalue().splitlines() if line]
+        assert lines[-1].startswith("[fig8] 3/3 units (100%)")
+        assert "1 deduped" in lines[-1]
+
+    def test_disabled_progress_is_silent(self):
+        out = io.StringIO()
+        progress = SweepProgress("fig8", 1, stream=out, enabled=False)
+        run_units([unit(1)], jobs=1, progress=progress)
+        assert out.getvalue() == ""

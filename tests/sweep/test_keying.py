@@ -1,0 +1,141 @@
+"""Cache-key semantics: what must hit, what must miss, what collapses."""
+
+import json
+import math
+
+import pytest
+
+from repro.sweep import RandomDagSpec, RealModelSpec, WorkUnit
+from repro.sweep.keying import CACHE_SCHEMA_VERSION, canonical_json, content_key
+
+
+def unit(**overrides):
+    base = dict(
+        figure="fig8",
+        x=200,
+        instance=0,
+        algorithm="hios-lp",
+        spec=RandomDagSpec(seed=42),
+        schedule_kwargs=(("window", 3),),
+        kind="latency",
+    )
+    base.update(overrides)
+    return WorkUnit(**base)
+
+
+class TestCanonicalJson:
+    def test_key_order_does_not_matter(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+    def test_minimal_separators(self):
+        assert canonical_json({"a": [1, 2]}) == '{"a":[1,2]}'
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"a": math.nan})
+
+    def test_content_key_is_sha256_hex(self):
+        key = content_key({"a": 1})
+        assert len(key) == 64
+        assert key == key.lower()
+        int(key, 16)  # hex
+
+
+class TestHits:
+    def test_identical_units_share_a_key(self):
+        assert unit().key() == unit().key()
+
+    def test_reporting_fields_do_not_enter_the_key(self):
+        # figure/x/instance identify the unit for aggregation only
+        a = unit(figure="fig8", x=100, instance=0)
+        b = unit(figure="fig10", x=14, instance=5)
+        assert a.key() == b.key()
+
+    def test_kwargs_order_does_not_matter(self):
+        a = unit(schedule_kwargs=(("window", 3),))
+        b = unit(schedule_kwargs=(("window", 3),))
+        assert a.key() == b.key()
+
+
+class TestMisses:
+    @pytest.mark.parametrize(
+        "change",
+        [
+            dict(algorithm="hios-mr"),
+            dict(spec=RandomDagSpec(seed=43)),
+            dict(spec=RandomDagSpec(seed=42, num_gpus=2)),
+            dict(spec=RandomDagSpec(seed=42, num_ops=100)),
+            dict(spec=RandomDagSpec(seed=42, transfer_ratio=0.2)),
+            dict(schedule_kwargs=(("window", 5),)),
+            dict(kind="measured", spec=RealModelSpec("inception_v3", 299)),
+        ],
+    )
+    def test_any_content_change_misses(self, change):
+        assert unit(**change).key() != unit().key()
+
+    def test_schema_version_enters_the_key(self, monkeypatch):
+        before = unit().key()
+        import repro.sweep.units as units_mod
+
+        monkeypatch.setattr(units_mod, "CACHE_SCHEMA_VERSION", CACHE_SCHEMA_VERSION + 1)
+        assert unit().key() != before
+
+    def test_platform_enters_real_model_keys(self):
+        a = unit(kind="measured", spec=RealModelSpec("inception_v3", 299, num_gpus=2))
+        b = unit(kind="measured", spec=RealModelSpec("inception_v3", 299, num_gpus=4))
+        assert a.key() != b.key()
+
+
+class TestSingleGpuCanonicalization:
+    """sequential/ios results are invariant under multi-GPU-only spec
+    fields, so those fields are pinned in the key — the unit-level
+    dedup that replaces the old single_cache reuse."""
+
+    @pytest.mark.parametrize("alg", ["sequential", "ios"])
+    def test_gpu_count_collapses(self, alg):
+        a = unit(algorithm=alg, schedule_kwargs=(), spec=RandomDagSpec(seed=1, num_gpus=2))
+        b = unit(algorithm=alg, schedule_kwargs=(), spec=RandomDagSpec(seed=1, num_gpus=8))
+        assert a.key() == b.key()
+
+    @pytest.mark.parametrize("alg", ["sequential", "ios"])
+    def test_transfer_knobs_collapse(self, alg):
+        a = unit(
+            algorithm=alg,
+            schedule_kwargs=(),
+            spec=RandomDagSpec(seed=1, transfer_ratio=0.2, transfer_floor=0.0),
+        )
+        b = unit(
+            algorithm=alg,
+            schedule_kwargs=(),
+            spec=RandomDagSpec(seed=1, transfer_ratio=1.4, transfer_floor=0.2),
+        )
+        assert a.key() == b.key()
+
+    def test_multi_gpu_algorithms_do_not_collapse(self):
+        a = unit(spec=RandomDagSpec(seed=1, num_gpus=2))
+        b = unit(spec=RandomDagSpec(seed=1, num_gpus=8))
+        assert a.key() != b.key()
+
+    @pytest.mark.parametrize("alg", ["sequential", "ios"])
+    def test_seed_still_distinguishes(self, alg):
+        a = unit(algorithm=alg, schedule_kwargs=(), spec=RandomDagSpec(seed=1))
+        b = unit(algorithm=alg, schedule_kwargs=(), spec=RandomDagSpec(seed=2))
+        assert a.key() != b.key()
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown unit kind"):
+        unit(kind="bogus")
+
+
+def test_key_payload_is_json_stable():
+    # the key is a hash of canonical JSON: stable across dict identity
+    spec = RandomDagSpec(seed=7)
+    doc = {
+        "schema_version": CACHE_SCHEMA_VERSION,
+        "kind": "latency",
+        "algorithm": "hios-lp",
+        "schedule_kwargs": {"window": 3},
+        "workload": spec.key_fields("hios-lp"),
+    }
+    assert unit(spec=spec).key() == content_key(json.loads(canonical_json(doc)))
