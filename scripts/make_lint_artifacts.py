@@ -1,12 +1,12 @@
 #!/usr/bin/env python
 """Regenerate the checked-in lint artifacts.
 
-Writes a priced Inception-v3 graph, two schedules, one execution trace
-and one sweep result-cache entry under ``benchmarks/results/lint/`` —
-the documents CI feeds to ``repro lint`` so the JSON contracts
-(``repro.opgraph/v1``, the schedule document, ``repro.trace/v1``,
-``repro.cache/v1``) stay lint-clean as the code evolves.  Run from the
-repository root:
+Writes a priced Inception-v3 graph, two schedules, one execution trace,
+its Chrome ``trace_event`` export and one sweep result-cache entry under
+``benchmarks/results/lint/`` — the documents CI feeds to ``repro lint``
+so the JSON contracts (``repro.opgraph/v1``, the schedule document,
+``repro.trace/v1``, ``repro.chrometrace/v1``, ``repro.cache/v1``) stay
+lint-clean as the code evolves.  Run from the repository root:
 
     PYTHONPATH=src python scripts/make_lint_artifacts.py
 """
@@ -22,6 +22,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 from repro.core.api import schedule_graph  # noqa: E402
 from repro.core.graphio import graph_to_dict  # noqa: E402
 from repro.experiments.realmodels import MODEL_BUILDERS, default_profiler  # noqa: E402
+from repro.obs import chrome_trace_document  # noqa: E402
 from repro.sweep import RandomDagSpec, ResultCache, WorkUnit, execute_unit  # noqa: E402
 
 MODEL = "inception_v3"
@@ -57,6 +58,20 @@ def main() -> int:
             trace_path = out / f"trace_{stem}_{alg}.json"
             trace_path.write_text(json.dumps(trace.to_dict(), indent=2) + "\n")
             print(f"wrote {trace_path} (measured {trace.latency:.3f} ms)")
+
+            op_gpu = {
+                op: result.schedule.gpu_of(op)
+                for op in result.schedule.operators()
+            }
+            chrome_doc = chrome_trace_document(
+                trace, op_gpu, process_name=f"{MODEL}@{SIZE}"
+            )
+            chrome_path = out / f"chrometrace_{stem}_{alg}.json"
+            chrome_path.write_text(json.dumps(chrome_doc, indent=2) + "\n")
+            print(
+                f"wrote {chrome_path} "
+                f"({len(chrome_doc['traceEvents'])} trace events)"
+            )
 
     # one representative sweep cache entry, written through the real cache
     # so the C0xx rules lint exactly what `repro run` persists

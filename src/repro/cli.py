@@ -33,10 +33,16 @@ Commands
     ``link:S->D@TxF``, ``loss:P``.
 ``lint [FILES...] [--fault SPEC ...] [--json] [--rules]``
     Run the :mod:`repro.lint` rule packs over any mix of JSON artifacts
-    (graphs, schedules, traces, sweep cache entries — auto-detected)
-    and fault specs, and report *every* finding with its rule ID and
-    severity instead of stopping at the first.  Exit 1 when an
-    error-severity rule fires.
+    (graphs, schedules, traces, Chrome-trace exports, sweep cache
+    entries — auto-detected) and fault specs, and report *every*
+    finding with its rule ID and severity instead of stopping at the
+    first.  Exit 1 when an error-severity rule fires.
+``trace export|report|diff``
+    Observability over persisted traces (:mod:`repro.obs`):
+    ``export`` converts a ``repro.trace/v1`` document to Chrome/Perfetto
+    ``trace_event`` JSON, ``report`` prints the latency attribution
+    (per-GPU compute/transfer/overhead/idle plus the realized critical
+    path), ``diff`` compares two traces op by op.
 """
 
 from __future__ import annotations
@@ -83,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-progress", action="store_true",
         help="suppress the progress lines on stderr",
     )
+    run.add_argument(
+        "--trace-out", default=None, metavar="DIR",
+        help="replay each engine-measured unit and export a Chrome "
+        "trace per unit into DIR (works on a warm cache too)",
+    )
 
     cache = sub.add_parser("cache", help="inspect or clear the sweep result cache")
     cache.add_argument("action", choices=("stats", "clear"))
@@ -110,6 +121,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the retained from-scratch evaluation loops instead of "
         "the incremental engine (same schedule, for A/B timing)",
+    )
+    sched.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="export the engine trace as Chrome/Perfetto trace_event "
+        "JSON (open in ui.perfetto.dev or chrome://tracing)",
+    )
+    sched.add_argument(
+        "--decisions-out", default=None, metavar="PATH",
+        help="capture the scheduler's decision log (HIOS-LP path "
+        "winners, Alg. 2 window accept/reject) as JSONL",
     )
 
     report = sub.add_parser(
@@ -182,7 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="FILE",
         help="JSON documents: repro.opgraph/v1, schedule, repro.trace/v1, "
-        "repro.cache/v1",
+        "repro.cache/v1, Chrome trace_event exports",
     )
     lint.add_argument(
         "--fault",
@@ -205,6 +226,54 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--json", action="store_true", help="machine-readable output")
     lint.add_argument(
         "--rules", action="store_true", help="print the rule catalog and exit"
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="export, attribute or diff persisted execution traces",
+        description="Observability over repro.trace/v1 documents: Chrome "
+        "trace_event export, latency attribution with the realized "
+        "critical path, and op-by-op trace comparison.",
+    )
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    texport = tsub.add_parser(
+        "export", help="convert a trace to Chrome/Perfetto trace_event JSON"
+    )
+    texport.add_argument("trace", help="repro.trace/v1 JSON document")
+    texport.add_argument(
+        "--schedule", required=True,
+        help="schedule JSON the trace was executed under (operator-to-GPU map)",
+    )
+    texport.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="output file (default: stdout)",
+    )
+    texport.add_argument(
+        "--process-name", default="hios", help="process label in the viewer"
+    )
+
+    treport = tsub.add_parser(
+        "report", help="latency attribution + realized critical path"
+    )
+    treport.add_argument("trace", help="repro.trace/v1 JSON document")
+    treport.add_argument(
+        "--schedule", required=True,
+        help="schedule JSON the trace was executed under",
+    )
+    treport.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    tdiff = tsub.add_parser("diff", help="compare two traces op by op")
+    tdiff.add_argument("trace_a", help="baseline repro.trace/v1 document")
+    tdiff.add_argument("trace_b", help="comparison repro.trace/v1 document")
+    tdiff.add_argument(
+        "--eps", type=float, default=1e-6,
+        help="timestamp delta below which operators count as unshifted",
+    )
+    tdiff.add_argument(
+        "--json", action="store_true", help="machine-readable output"
     )
     return parser
 
@@ -236,6 +305,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         progress=not args.no_progress,
+        trace_dir=args.trace_out,
     )
     result = EXPERIMENTS[args.figure](config)
     print(result.to_text())
@@ -257,8 +327,30 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     )
     if args.reference_eval and args.algorithm != "sequential":
         kwargs["fast"] = False  # sequential has no evaluation loop to swap
-    result = schedule_graph(profile, args.algorithm, **kwargs)
+    if args.decisions_out:
+        from .obs import capture_decisions
+
+        with capture_decisions() as decisions:
+            result = schedule_graph(profile, args.algorithm, **kwargs)
+        decisions.write_jsonl(args.decisions_out)
+        print(
+            f"wrote {len(decisions)} decision record(s) to {args.decisions_out}"
+        )
+    else:
+        result = schedule_graph(profile, args.algorithm, **kwargs)
     trace = profiler.engine().run(profile.graph, result.schedule)
+    if args.trace_out:
+        from .obs import save_chrome_trace
+
+        op_gpu = {
+            op: result.schedule.gpu_of(op)
+            for op in result.schedule.operators()
+        }
+        save_chrome_trace(
+            trace, op_gpu, args.trace_out,
+            process_name=f"{args.model}@{size}",
+        )
+        print(f"wrote Chrome trace to {args.trace_out}")
     print(
         f"{args.model}@{size} | {args.algorithm} on {args.gpus} GPU(s): "
         f"predicted {result.latency:.3f} ms, measured {trace.latency:.3f} ms, "
@@ -447,6 +539,8 @@ def _detect_document(data: object) -> str | None:
         return "trace"
     if fmt == "repro.cache/v1" or ("key" in data and "payload" in data):
         return "cache"
+    if "traceEvents" in data:
+        return "chrome"
     if "num_gpus" in data and "gpus" in data:
         return "schedule"
     return None
@@ -477,7 +571,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print("error: nothing to lint (pass JSON files and/or --fault specs)")
         return 2
 
-    graph = schedule = schedule_doc = trace = cache_doc = None
+    graph = schedule = schedule_doc = trace = cache_doc = chrome_doc = None
     for path in args.files:
         try:
             with open(path) as fh:
@@ -506,11 +600,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 return 2
         elif kind == "cache":
             cache_doc = data  # the cache rules report the details
+        elif kind == "chrome":
+            chrome_doc = data  # the chrome rules report the details
         else:
             print(
                 f"error: cannot classify {path}: expected a repro.opgraph/v1, "
-                "repro.trace/v1, repro.cache/v1 or schedule (num_gpus/gpus) "
-                "document"
+                "repro.trace/v1, repro.cache/v1, Chrome trace_event "
+                "(traceEvents) or schedule (num_gpus/gpus) document"
             )
             return 2
 
@@ -529,6 +625,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         trace=trace,
         plan=plan,
         cache_doc=cache_doc,
+        chrome_doc=chrome_doc,
         window=args.window,
         num_gpus=args.gpus,
         horizon=args.horizon,
@@ -541,6 +638,101 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(report.to_text())
     return 0 if not report.errors else 1
+
+
+def _load_trace_doc(path: str):
+    """Load a ``repro.trace/v1`` file; returns the trace or an exit code."""
+    import json
+
+    from .substrate.engine import EngineError, ExecutionTrace
+
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}")
+        return None
+    try:
+        return ExecutionTrace.from_dict(data)
+    except EngineError as exc:
+        print(f"error: malformed trace document {path}: {exc}")
+        return None
+
+
+def _load_op_gpu(path: str) -> dict[str, int] | None:
+    """Operator-to-GPU map from a schedule JSON document."""
+    import json
+
+    from .core.schedule import Schedule, ScheduleError
+
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+        schedule = Schedule.from_dict(data)
+    except (OSError, json.JSONDecodeError, ScheduleError) as exc:
+        print(f"error: cannot load schedule {path}: {exc}")
+        return None
+    return {op: schedule.gpu_of(op) for op in schedule.operators()}
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    if args.trace_command == "diff":
+        from .obs import diff_traces, render_trace_diff
+
+        trace_a = _load_trace_doc(args.trace_a)
+        trace_b = _load_trace_doc(args.trace_b)
+        if trace_a is None or trace_b is None:
+            return 2
+        diff = diff_traces(trace_a, trace_b, eps=args.eps)
+        if args.json:
+            print(json.dumps(diff.to_dict(), indent=2))
+        else:
+            print(render_trace_diff(diff, name_a=args.trace_a, name_b=args.trace_b))
+        return 0
+
+    trace = _load_trace_doc(args.trace)
+    op_gpu = _load_op_gpu(args.schedule)
+    if trace is None or op_gpu is None:
+        return 2
+    missing = sorted(set(trace.op_start) - set(op_gpu))
+    if missing:
+        print(
+            f"error: schedule {args.schedule} does not place "
+            f"{len(missing)} traced operator(s) (e.g. {missing[0]!r}); "
+            "is it the schedule this trace was executed under?"
+        )
+        return 2
+
+    if args.trace_command == "export":
+        from .obs import chrome_trace_document
+
+        doc = chrome_trace_document(trace, op_gpu, process_name=args.process_name)
+        payload = json.dumps(doc)
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(payload)
+            print(
+                f"wrote {len(doc['traceEvents'])} event(s) to {args.output} "
+                "(open in ui.perfetto.dev or chrome://tracing)"
+            )
+        else:
+            print(payload)
+        return 0
+
+    if args.trace_command == "report":
+        from .obs import attribute_latency, render_attribution
+
+        report = attribute_latency(trace, op_gpu)
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(render_attribution(report, title=args.trace))
+        return 0
+    raise AssertionError(
+        f"unhandled trace command {args.trace_command!r}"
+    )  # pragma: no cover
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -566,6 +758,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_faults(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 
 from ..costmodel.profile import CostProfile
+from ..obs import declog
 from .debuglint import debug_lint_schedule
 from .evaluator import evaluate_latency
 from .fasteval import EvalCounters, PrefixReplayer
@@ -62,6 +63,7 @@ def _lp_spatial_mapping(
         else None
     )
 
+    log = declog.active()
     while unscheduled:
         path = longest_valid_path(graph, unscheduled)
         unscheduled.difference_update(path.vertices)
@@ -74,6 +76,14 @@ def _lp_spatial_mapping(
             # tried like any other path.
             for v in path:
                 assignment[v] = 0
+            if log is not None:
+                log.emit(
+                    "lp-path",
+                    path_index=paths - 1,
+                    ops=list(path.vertices),
+                    winner=0,
+                    pinned=True,
+                )
             continue
 
         scheduled_order = [v for v in order if v in assignment or v in path.vertices]
@@ -84,6 +94,7 @@ def _lp_spatial_mapping(
             replayer.snapshot(scheduled_order, assignment, path.vertices)
         best_gpu = 0
         best_latency = float("inf")
+        candidates: dict[int, float] = {}
         for gpu in range(num_gpus):
             for v in path:
                 assignment[v] = gpu
@@ -98,11 +109,21 @@ def _lp_spatial_mapping(
                     send_blocking=profile.send_blocking,
                     gpu_speeds=profile.gpu_speeds,
                 )
+            candidates[gpu] = latency
             if latency < best_latency:
                 best_latency = latency
                 best_gpu = gpu
         for v in path:
             assignment[v] = best_gpu
+        if log is not None:
+            log.emit(
+                "lp-path",
+                path_index=paths - 1,
+                ops=list(path.vertices),
+                winner=best_gpu,
+                latency_ms=best_latency,
+                candidates_ms={str(g): lat for g, lat in candidates.items()},
+            )
 
     return assignment, order, paths
 

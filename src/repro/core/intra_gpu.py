@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..costmodel.profile import CostProfile
+from ..obs import declog
 from .evaluator import evaluate_latency
 from .fasteval import EvalCounters, StageGraphEvaluator
 from .schedule import Schedule, ScheduleError, Stage
@@ -72,6 +73,7 @@ def parallelize(
         schedule.validate(graph)
     order = priority if priority is not None else priority_order(graph)
     stats = IntraGpuStats()
+    log = declog.active()
     evaluator: StageGraphEvaluator | None = None
     if fast:
         evaluator = StageGraphEvaluator(profile, schedule, counters=counters)
@@ -114,11 +116,21 @@ def parallelize(
             stats.windows_tried += 1
             if not graph.independent(group):
                 stats.rejected_dependent += 1
+                if log is not None:
+                    log.emit(
+                        "window", gpu=gpu, ops=list(group),
+                        outcome="rejected-dependent",
+                    )
                 continue
             if evaluator is not None:
                 maybe = evaluator.try_merge(gpu, pos, p, group)
                 if maybe is None:
                     stats.rejected_cyclic += 1
+                    if log is not None:
+                        log.emit(
+                            "window", gpu=gpu, ops=list(group),
+                            outcome="rejected-cyclic",
+                        )
                     continue
                 lat = maybe
             else:
@@ -128,13 +140,29 @@ def parallelize(
                     lat = evaluate_latency(profile, candidate)
                 except ScheduleError:
                     stats.rejected_cyclic += 1
+                    if log is not None:
+                        log.emit(
+                            "window", gpu=gpu, ops=list(group),
+                            outcome="rejected-cyclic",
+                        )
                     continue
             if lat < best_latency and (
                 best_candidate is None or lat < best_candidate[0]
             ):
                 best_candidate = (lat, p)
+                if log is not None:
+                    log.emit(
+                        "window", gpu=gpu, ops=list(group), outcome="improves",
+                        latency_ms=lat, best_latency_ms=best_latency,
+                    )
             elif lat >= best_latency:
                 stats.rejected_slower += 1
+                if log is not None:
+                    log.emit(
+                        "window", gpu=gpu, ops=list(group),
+                        outcome="rejected-slower",
+                        latency_ms=lat, best_latency_ms=best_latency,
+                    )
 
         if best_candidate is not None:
             best_latency, best_p = best_candidate
@@ -142,6 +170,11 @@ def parallelize(
             merged = stages[:pos] + [Stage(gpu, group)] + stages[pos + 1 + best_p :]
             schedule = schedule.with_stages_on_gpu(gpu, merged)
             stats.groups_formed += 1
+            if log is not None:
+                log.emit(
+                    "window-merge", gpu=gpu, ops=list(group),
+                    outcome="accepted", latency_ms=best_latency,
+                )
             if evaluator is not None:
                 # committed structure changed: rebuild once per accepted
                 # group (rare relative to windows tried)

@@ -16,6 +16,9 @@ config so benchmarks and the CLI share one mechanism:
   ``REPRO_CACHE_DIR``.
 * ``progress`` — line-oriented progress reporting on stderr; env
   ``REPRO_PROGRESS=1``.
+* ``trace_dir`` — when set, engine-measured sweeps replay each unit's
+  execution and export a Chrome/Perfetto trace per unit into this
+  directory (see :mod:`repro.obs`); env ``REPRO_TRACE_DIR``.
 """
 
 from __future__ import annotations
@@ -52,6 +55,7 @@ class ExperimentConfig:
     use_cache: bool = False
     cache_dir: str | None = None
     progress: bool = False
+    trace_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.instances < 1:
@@ -86,4 +90,7 @@ def default_config() -> ExperimentConfig:
         cfg = cfg.with_(use_cache=True)
     if _env_flag("REPRO_PROGRESS"):
         cfg = cfg.with_(progress=True)
+    trace_dir = os.environ.get("REPRO_TRACE_DIR", "").strip()
+    if trace_dir:
+        cfg = cfg.with_(trace_dir=trace_dir)
     return cfg

@@ -36,6 +36,7 @@ __all__ = [
     "MODEL_BUILDERS",
     "ModelRun",
     "default_profiler",
+    "export_unit_traces",
     "run_model",
     "run_real_model_series",
     "model_sizes",
@@ -128,6 +129,47 @@ def run_model(
     )
 
 
+def export_unit_traces(units: Sequence[WorkUnit], trace_dir: str) -> list[str]:
+    """Replay every ``measured`` unit and export a Chrome trace each.
+
+    Payloads may have come out of the result cache without ever running
+    in this process; units are pure functions of their spec, so the
+    engine run is reproduced deterministically
+    (:func:`repro.sweep.replay_unit_trace`) and exported as
+    ``{figure}-{model}-{size}-{algorithm}.trace.json`` under
+    ``trace_dir``.  Returns the written paths.
+    """
+    from pathlib import Path
+
+    from ..obs import save_chrome_trace
+    from ..sweep import replay_unit_trace
+
+    out_dir = Path(trace_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[str] = []
+    seen: set[str] = set()
+    for unit in units:
+        if unit.kind != "measured" or not isinstance(unit.spec, RealModelSpec):
+            continue
+        name = (
+            f"{unit.figure}-{unit.spec.model}-{unit.spec.input_size}"
+            f"-{unit.algorithm}.trace.json"
+        )
+        if name in seen:
+            continue
+        seen.add(name)
+        trace, op_gpu = replay_unit_trace(unit)
+        path = out_dir / name
+        save_chrome_trace(
+            trace,
+            op_gpu,
+            path,
+            process_name=f"{unit.spec.model}@{unit.spec.input_size}",
+        )
+        written.append(str(path))
+    return written
+
+
 def run_real_model_series(
     figure: str,
     title: str,
@@ -180,6 +222,8 @@ def run_real_model_series(
                 )
             )
     payloads, stats = dispatch_units(cfg, figure, units)
+    if cfg.trace_dir and kind == "measured":
+        export_unit_traces(units, cfg.trace_dir)
 
     series = {
         alg: [payloads[index[(ci, alg)]][value_key] for ci in range(len(cases))]

@@ -1,7 +1,7 @@
 """``repro.lint`` — rule-based static verification of HIOS artifacts.
 
 The subsystem behind ``repro lint``: a small diagnostic framework
-(:class:`Rule`, :class:`Diagnostic`, :class:`Linter`) plus five rule
+(:class:`Rule`, :class:`Diagnostic`, :class:`Linter`) plus six rule
 packs covering every artifact the scheduler pipeline produces or
 consumes:
 
@@ -18,6 +18,9 @@ faults    declarative fault plans (``F0xx``: target indices, horizon,
           contradictions, retry budgets)
 cache     sweep result-cache entries (``C0xx``: format marker, schema
           version, key digest shape, finite payloads, known unit kinds)
+chrome    exported Chrome/Perfetto trace-event documents (``T1xx``:
+          object form, exporter format marker, event structure, flow
+          pairing, named tracks, failure-instant marker)
 ========  ==================================================================
 
 Unlike ``Schedule.validate()`` — now a thin wrapper over the
@@ -29,6 +32,7 @@ it emits.
 
 from .api import (
     lint_cache_document,
+    lint_chrome_trace,
     lint_fault_plan,
     lint_graph,
     lint_schedule,
@@ -49,6 +53,7 @@ from .framework import (
 
 # importing the packs registers their rules with the framework
 from . import cache_rules as _cache_rules  # noqa: F401
+from . import chrome_rules as _chrome_rules  # noqa: F401
 from . import fault_rules as _fault_rules  # noqa: F401
 from . import graph_rules as _graph_rules  # noqa: F401
 from . import schedule_rules as _schedule_rules  # noqa: F401
@@ -65,6 +70,7 @@ __all__ = [
     "all_rules",
     "get_rule",
     "lint_cache_document",
+    "lint_chrome_trace",
     "lint_fault_plan",
     "lint_graph",
     "lint_schedule",

@@ -27,6 +27,7 @@ __all__ = [
     "lint_trace",
     "lint_fault_plan",
     "lint_cache_document",
+    "lint_chrome_trace",
 ]
 
 
@@ -101,4 +102,17 @@ def lint_cache_document(
 ) -> LintReport:
     """Run the cache rule pack over one sweep result-cache entry."""
     ctx = LintContext(cache_doc=data)
+    return _linter(errors_only).run(ctx)
+
+
+def lint_chrome_trace(
+    data: Mapping[str, Any], *, errors_only: bool = False
+) -> LintReport:
+    """Run the chrome rule pack over one exported ``trace_event`` doc.
+
+    ``data`` is the JSON-object-form document
+    :func:`repro.obs.chrome_trace_document` produces (``traceEvents``
+    array plus ``otherData`` with the exporter format marker).
+    """
+    ctx = LintContext(chrome_doc=data)
     return _linter(errors_only).run(ctx)

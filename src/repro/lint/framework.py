@@ -3,16 +3,16 @@
 A :class:`Rule` is a pure function from a :class:`LintContext` to zero
 or more :class:`Finding` values, tagged with a stable ID, a severity and
 the *subjects* it needs (``graph``, ``schedule``, ``schedule_doc``,
-``trace``, ``plan``, ``cache_doc``).  The :class:`Linter` runs every
+``trace``, ``plan``, ``cache_doc``, ``chrome_doc``).  The :class:`Linter` runs every
 registered rule whose subjects the context provides and returns a
 :class:`~repro.lint.diagnostics.LintReport` — it never raises on a
 finding, so one run surfaces *every* problem at once.
 
 Rule packs (:mod:`~repro.lint.graph_rules`,
 :mod:`~repro.lint.schedule_rules`, :mod:`~repro.lint.trace_rules`,
-:mod:`~repro.lint.fault_rules`, :mod:`~repro.lint.cache_rules`)
-register themselves at import time via the :func:`rule` decorator;
-importing :mod:`repro.lint` loads all five.
+:mod:`~repro.lint.fault_rules`, :mod:`~repro.lint.cache_rules`,
+:mod:`~repro.lint.chrome_rules`) register themselves at import time via
+the :func:`rule` decorator; importing :mod:`repro.lint` loads all six.
 """
 
 from __future__ import annotations
@@ -39,7 +39,15 @@ __all__ = [
     "rule_catalog",
 ]
 
-SUBJECTS = ("graph", "schedule", "schedule_doc", "trace", "plan", "cache_doc")
+SUBJECTS = (
+    "graph",
+    "schedule",
+    "schedule_doc",
+    "trace",
+    "plan",
+    "cache_doc",
+    "chrome_doc",
+)
 
 
 @dataclass(frozen=True)
@@ -72,6 +80,7 @@ class LintContext:
     trace: "ExecutionTrace | None" = None
     plan: "FaultPlan | None" = None
     cache_doc: Mapping[str, Any] | None = None
+    chrome_doc: Mapping[str, Any] | None = None
     window: int | None = None
     num_gpus: int | None = None
     horizon: float | None = None

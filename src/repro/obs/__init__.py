@@ -1,0 +1,75 @@
+"""``repro.obs`` — the observability layer.
+
+Turns :class:`~repro.substrate.engine.ExecutionTrace` objects into
+human- and tool-readable artifacts:
+
+* :mod:`~repro.obs.chrometrace` — Chrome/Perfetto ``trace_event`` JSON
+  export (one track per GPU, transfer lanes with flow arrows, the
+  failure instant marked on partial traces);
+* :mod:`~repro.obs.attribution` — per-GPU latency decomposition
+  (compute / transfer / overhead / idle, summing to the trace latency)
+  and the *realized* critical path through the measured trace;
+* :mod:`~repro.obs.report` — fixed-width renderings plus a structural
+  trace diff, behind ``repro trace report`` / ``repro trace diff``;
+* :mod:`~repro.obs.declog` — context-local structured
+  scheduler-decision logging (JSONL): which GPU won each HIOS-LP path,
+  which Alg. 2 window merges were accepted or rejected and why.
+
+Submodules are imported lazily (PEP 562) so the scheduler core can
+``from ..obs.declog import active`` without dragging the exporters in
+— and without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "AttributionReport",
+    "CHROME_TRACE_FORMAT",
+    "DecisionLog",
+    "GpuBreakdown",
+    "PathSegment",
+    "TraceDiff",
+    "attribute_latency",
+    "capture_decisions",
+    "chrome_trace_document",
+    "diff_traces",
+    "realized_critical_path",
+    "render_attribution",
+    "render_trace_diff",
+    "save_chrome_trace",
+    "trace_to_events",
+]
+
+_EXPORTS = {
+    "AttributionReport": "attribution",
+    "GpuBreakdown": "attribution",
+    "PathSegment": "attribution",
+    "attribute_latency": "attribution",
+    "realized_critical_path": "attribution",
+    "CHROME_TRACE_FORMAT": "chrometrace",
+    "chrome_trace_document": "chrometrace",
+    "save_chrome_trace": "chrometrace",
+    "trace_to_events": "chrometrace",
+    "DecisionLog": "declog",
+    "capture_decisions": "declog",
+    "TraceDiff": "report",
+    "diff_traces": "report",
+    "render_attribution": "report",
+    "render_trace_diff": "report",
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}") from None
+    from importlib import import_module
+
+    return getattr(import_module(f".{module}", __name__), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,380 @@
+"""Latency attribution: decompose a *measured* trace, find its realized
+critical path.
+
+The schedulers optimize an analytic objective, but what users debug is
+the engine's measured :class:`~repro.substrate.engine.ExecutionTrace`.
+This module walks that trace and answers two questions the raw dicts
+cannot:
+
+* **Where did the time go?**  :func:`attribute_latency` partitions each
+  GPU's timeline ``[0, latency]`` into four exhaustive, disjoint
+  buckets — ``compute`` (a kernel is resident), ``transfer`` (no kernel
+  resident but a message this GPU sends or receives is in flight),
+  ``overhead`` (no kernel or transfer, but a launched kernel is waiting
+  to start: stream serialization / launch pipeline) and ``idle`` (none
+  of the above).  Because the buckets partition the timeline by
+  precedence ``compute > transfer > overhead > idle``, the four
+  components of every GPU sum to the trace latency up to float
+  round-off — an invariant the test suite asserts for all four
+  algorithms.
+
+* **What chain of events determined the makespan?**
+  :func:`realized_critical_path` walks *backward* from the operator
+  that finishes last, at each step identifying the binding constraint
+  on its start: the arrival of a cross-GPU transfer (follow the
+  producer), the finish of the previous same-GPU kernel (the stage
+  barrier / stream predecessor), or the host launch.  This is the
+  *measured* counterpart of the static graph critical path in
+  :mod:`repro.core.priority` — contention, launch serialization and
+  fabric queueing shift the realized path away from the static one,
+  and arXiv:1711.01912 argues this realized path is exactly the
+  quantity a scheduler should be judged on.
+
+Traces are duck-typed, so documents loaded via ``repro.trace/v1`` and
+in-process engine traces attribute identically.  Partial failure traces
+work: in-flight kernels are cut at the failure instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = [
+    "GpuBreakdown",
+    "PathSegment",
+    "AttributionReport",
+    "attribute_latency",
+    "realized_critical_path",
+]
+
+_BUCKETS = ("compute", "transfer", "overhead", "idle")
+
+
+@dataclass(frozen=True)
+class GpuBreakdown:
+    """One GPU's latency decomposition (all values in ms).
+
+    ``compute + transfer + overhead + idle == latency`` up to float
+    round-off; see the module docstring for the bucket precedence.
+    """
+
+    gpu: int
+    compute: float
+    transfer: float
+    overhead: float
+    idle: float
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.transfer + self.overhead + self.idle
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "gpu": self.gpu,
+            "compute_ms": self.compute,
+            "transfer_ms": self.transfer,
+            "overhead_ms": self.overhead,
+            "idle_ms": self.idle,
+        }
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One link of the realized critical path.
+
+    ``kind`` is ``"compute"`` (a kernel execution), ``"transfer"`` (a
+    message in flight) or ``"wait"`` (a gap the chain sat out: host
+    launch serialization, fabric queueing, a stage barrier released
+    late).  ``gpu`` is the GPU the segment ran on (``None`` for
+    transfer segments, which live on a link).
+    """
+
+    kind: str
+    label: str
+    start: float
+    end: float
+    gpu: int | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "label": self.label,
+            "start_ms": self.start,
+            "end_ms": self.end,
+            "gpu": self.gpu,
+        }
+
+
+@dataclass(frozen=True)
+class AttributionReport:
+    """The full attribution of one execution trace."""
+
+    latency: float
+    completed: bool
+    per_gpu: tuple[GpuBreakdown, ...]
+    critical_path: tuple[PathSegment, ...]
+
+    @property
+    def critical_path_compute(self) -> float:
+        return sum(s.duration for s in self.critical_path if s.kind == "compute")
+
+    @property
+    def critical_path_transfer(self) -> float:
+        return sum(s.duration for s in self.critical_path if s.kind == "transfer")
+
+    @property
+    def critical_path_wait(self) -> float:
+        return sum(s.duration for s in self.critical_path if s.kind == "wait")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "latency_ms": self.latency,
+            "completed": self.completed,
+            "per_gpu": [b.to_dict() for b in self.per_gpu],
+            "critical_path": [s.to_dict() for s in self.critical_path],
+        }
+
+
+# ----------------------------------------------------------------------
+# per-GPU timeline decomposition
+# ----------------------------------------------------------------------
+def _bucket_sweep(
+    latency: float,
+    compute: list[tuple[float, float]],
+    transfer: list[tuple[float, float]],
+    overhead: list[tuple[float, float]],
+) -> dict[str, float]:
+    """Partition ``[0, latency]`` into the four buckets by precedence.
+
+    Boundary sweep: every interval endpoint splits the timeline into
+    elementary segments; each segment is classified by testing its
+    midpoint against the interval sets in precedence order.  The
+    segment lengths telescope, so the bucket sums add up to ``latency``
+    exactly up to float-addition round-off.
+    """
+    sums = dict.fromkeys(_BUCKETS, 0.0)
+    if latency <= 0.0:
+        return sums
+
+    def clip(t: float) -> float:
+        return min(max(t, 0.0), latency)
+
+    points = {0.0, latency}
+    for ivs in (compute, transfer, overhead):
+        for a, b in ivs:
+            points.add(clip(a))
+            points.add(clip(b))
+    ts = sorted(points)
+
+    def covered(ivs: list[tuple[float, float]], t: float) -> bool:
+        return any(a <= t < b for a, b in ivs)
+
+    for a, b in zip(ts, ts[1:]):
+        if b <= a:
+            continue
+        mid = (a + b) / 2.0
+        if covered(compute, mid):
+            key = "compute"
+        elif covered(transfer, mid):
+            key = "transfer"
+        elif covered(overhead, mid):
+            key = "overhead"
+        else:
+            key = "idle"
+        sums[key] += b - a
+    return sums
+
+
+def attribute_latency(
+    trace: Any, op_gpu: Mapping[str, int]
+) -> AttributionReport:
+    """Decompose ``trace`` per GPU and extract its realized critical path.
+
+    ``op_gpu`` maps operators to GPUs (``schedule.gpu_of``).  GPUs are
+    the union of mapped GPUs and the trace's ``gpu_busy`` keys, so a
+    GPU that sat fully idle still gets a (latency-long idle) row.
+    """
+    latency = trace.latency
+    failure = getattr(trace, "failure", None)
+    gpus = sorted(set(op_gpu.values()) | set(getattr(trace, "gpu_busy", {})))
+
+    compute: dict[int, list[tuple[float, float]]] = {g: [] for g in gpus}
+    overhead: dict[int, list[tuple[float, float]]] = {g: [] for g in gpus}
+    transfer: dict[int, list[tuple[float, float]]] = {g: [] for g in gpus}
+
+    for op, start in trace.op_start.items():
+        g = op_gpu.get(op)
+        if g is None:
+            continue
+        finish = trace.op_finish.get(op)
+        # in-flight operators of a partial trace are cut at the failure
+        # instant — they occupied the device until the lights went out
+        compute[g].append((start, latency if finish is None else finish))
+    for op, launch in trace.op_launch.items():
+        g = op_gpu.get(op)
+        if g is None:
+            continue
+        started = trace.op_start.get(op)
+        # launched but not yet started: stream serialization / waiting
+        # for data; precedence hands the transfer-covered part of this
+        # window to the transfer bucket
+        overhead[g].append((launch, latency if started is None else started))
+    for rec in trace.transfers:
+        iv = (rec.start_time, rec.finish_time)
+        if rec.dst in transfer:
+            transfer[rec.dst].append(iv)
+        if rec.src in transfer and rec.src != rec.dst:
+            # blocking MPI sends stall the sender's host too
+            transfer[rec.src].append(iv)
+
+    per_gpu = []
+    for g in gpus:
+        sums = _bucket_sweep(latency, compute[g], transfer[g], overhead[g])
+        per_gpu.append(
+            GpuBreakdown(
+                gpu=g,
+                compute=sums["compute"],
+                transfer=sums["transfer"],
+                overhead=sums["overhead"],
+                idle=sums["idle"],
+            )
+        )
+    return AttributionReport(
+        latency=latency,
+        completed=failure is None,
+        per_gpu=tuple(per_gpu),
+        critical_path=realized_critical_path(trace, op_gpu),
+    )
+
+
+# ----------------------------------------------------------------------
+# realized critical path
+# ----------------------------------------------------------------------
+def _split_tag(tag: str | None) -> tuple[str, str] | None:
+    if not tag or "->" not in tag:
+        return None
+    u, _, v = tag.rpartition("->")
+    if not u or not v:
+        return None
+    return u, v
+
+
+def realized_critical_path(
+    trace: Any, op_gpu: Mapping[str, int], eps: float = 1e-6
+) -> tuple[PathSegment, ...]:
+    """The measured chain of constraints ending at the last finish.
+
+    Walks backward from the operator with the latest finish (for
+    partial traces: the latest cut).  At each operator the *binding*
+    constraint on its start is the latest of: an incoming transfer's
+    delivery (the chain continues at the producer), the finish of an
+    earlier kernel on the same GPU (stage barrier / stream
+    serialization), or the host launch completing (the chain starts
+    there — what precedes is host-side, not traced per-op).  Gaps
+    between the binding time and the start become ``wait`` segments.
+    """
+    op_start = trace.op_start
+    op_finish = trace.op_finish
+    if not op_start:
+        return ()
+    latency = trace.latency
+
+    def end_of(op: str) -> float:
+        fin = op_finish.get(op)
+        return latency if fin is None else fin
+
+    incoming: dict[str, list[Any]] = {}
+    for rec in trace.transfers:
+        parsed = _split_tag(rec.tag)
+        if parsed is not None:
+            incoming.setdefault(parsed[1], []).append(rec)
+
+    segments: list[PathSegment] = []
+    visited: set[str] = set()
+    v: str | None = max(op_start, key=lambda op: (end_of(op), op))
+    while v is not None and v not in visited:
+        visited.add(v)
+        s = op_start[v]
+        segments.append(PathSegment("compute", v, s, end_of(v), op_gpu.get(v)))
+        if s <= eps:
+            break
+
+        # (binding time, precedence) — on ties, transfers explain more
+        # than barriers, barriers more than the bare launch time
+        best: tuple[float, int, str, Any] | None = None
+
+        def consider(cand: tuple[float, int, str, Any]) -> None:
+            nonlocal best
+            if best is None or cand[:2] > best[:2]:
+                best = cand
+
+        for rec in incoming.get(v, ()):
+            if rec.finish_time <= s + eps:
+                consider((rec.finish_time, 2, "transfer", rec))
+        g = op_gpu.get(v)
+        bar_op: str | None = None
+        bar_fin = float("-inf")
+        for u, fin in op_finish.items():
+            if u == v or op_gpu.get(u) != g or fin > s + eps:
+                continue
+            if fin > bar_fin or (fin == bar_fin and (bar_op is None or u < bar_op)):
+                bar_op, bar_fin = u, fin
+        if bar_op is not None:
+            consider((bar_fin, 1, "barrier", bar_op))
+        launch = trace.op_launch.get(v)
+        if launch is not None and launch <= s + eps:
+            # the host issues launches serially and only after the
+            # previous stage drained, so a launch-bound start continues
+            # at whatever released the host: the barrier op (threaded
+            # through as the payload; note launch >= bar_fin whenever
+            # the launch candidate can win the max)
+            consider((launch, 0, "launch", (bar_op, bar_fin)))
+
+        if best is None:
+            break
+        t, _, kind, payload = best
+        if s - t > eps:
+            segments.append(
+                PathSegment("wait", f"wait before {v}", t, s, op_gpu.get(v))
+            )
+        if kind == "transfer":
+            rec = payload
+            producer = _split_tag(rec.tag)[0]  # type: ignore[index]
+            segments.append(
+                PathSegment(
+                    "transfer", rec.tag, rec.start_time, rec.finish_time, None
+                )
+            )
+            fin_u = op_finish.get(producer)
+            if fin_u is not None and rec.start_time - fin_u > eps:
+                segments.append(
+                    PathSegment(
+                        "wait",
+                        f"send queue {rec.tag}",
+                        fin_u,
+                        rec.start_time,
+                        rec.src,
+                    )
+                )
+            v = producer if producer in op_start else None
+        elif kind == "barrier":
+            v = payload
+        else:  # launch-bound: follow the host back to the barrier release
+            bar_op, bar_fin = payload
+            if bar_op is None:
+                break  # first op on its GPU: the chain starts at the host
+            if t - bar_fin > eps:
+                segments.append(
+                    PathSegment(
+                        "wait", f"launch {v}", bar_fin, t, op_gpu.get(v)
+                    )
+                )
+            v = bar_op
+
+    segments.reverse()
+    return tuple(segments)

@@ -1,0 +1,106 @@
+"""Structured scheduler-decision logging (JSONL).
+
+The schedulers make thousands of micro-decisions — which GPU wins each
+HIOS-LP path, which window merges Alg. 2 accepts and why the rest were
+rejected, where HIOS-MR's backtracking places each operator — and until
+now none of them were observable: a schedule arrived fully formed with
+only aggregate counters in ``ScheduleResult.stats``.  This module gives
+the inner loops *hooks*: while a :class:`DecisionLog` is active (via
+:func:`capture_decisions`), every decision is appended as one structured
+record; otherwise the hooks are a single ``None`` check and the
+schedulers stay on their fast path.
+
+The log is context-local (:mod:`contextvars`), so parallel sweeps and
+nested scheduler calls (e.g. the repair path re-running HIOS) cannot
+interleave records from unrelated runs.  Records serialize to JSON
+Lines — one JSON object per line, streamable and ``grep``-able:
+
+    from repro.obs import capture_decisions
+    with capture_decisions() as log:
+        schedule_graph(profile, "hios-lp")
+    log.write_jsonl("decisions.jsonl")
+
+This module deliberately imports nothing from the rest of ``repro`` so
+the scheduler core can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["DecisionLog", "active", "capture_decisions", "emit"]
+
+
+class DecisionLog:
+    """An in-memory sequence of scheduler-decision records.
+
+    Each record is a plain dict carrying at least ``seq`` (a 0-based
+    monotone sequence number stamped at emit time) and ``event`` (the
+    record type, e.g. ``"lp-path"`` or ``"window"``); everything else
+    is event-specific.  Values must be JSON-serializable.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.records)
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one record; ``seq`` and ``event`` are stamped first."""
+        self.records.append({"seq": len(self.records), "event": event, **fields})
+
+    def events(self, event: str) -> list[dict[str, Any]]:
+        """The records of one event type, in emission order."""
+        return [r for r in self.records if r["event"] == event]
+
+    def to_jsonl(self) -> str:
+        """Serialize to JSON Lines (one compact object per line)."""
+        return "".join(
+            json.dumps(rec, sort_keys=False, separators=(",", ":")) + "\n"
+            for rec in self.records
+        )
+
+    def write_jsonl(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_jsonl())
+
+
+_ACTIVE: ContextVar[DecisionLog | None] = ContextVar(
+    "repro_obs_decision_log", default=None
+)
+
+
+def active() -> DecisionLog | None:
+    """The decision log capturing in this context, or ``None``.
+
+    Scheduler inner loops call this once on entry and skip every emit
+    when it returns ``None``, so inactive logging costs one context-var
+    read per scheduling phase.
+    """
+    return _ACTIVE.get()
+
+
+def emit(event: str, **fields: Any) -> None:
+    """Emit one record into the active log; no-op when none is active."""
+    log = _ACTIVE.get()
+    if log is not None:
+        log.emit(event, **fields)
+
+
+@contextmanager
+def capture_decisions(log: DecisionLog | None = None) -> Iterator[DecisionLog]:
+    """Activate a :class:`DecisionLog` for the dynamic extent of the block."""
+    if log is None:
+        log = DecisionLog()
+    token = _ACTIVE.set(log)
+    try:
+        yield log
+    finally:
+        _ACTIVE.reset(token)

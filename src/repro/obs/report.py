@@ -1,0 +1,163 @@
+"""Human-readable rendering of attribution reports and trace diffs.
+
+``repro trace report`` prints :func:`render_attribution`;
+``repro trace diff`` prints :func:`render_trace_diff` over the
+structured :class:`TraceDiff` that :func:`diff_traces` computes.  Both
+renderers are plain fixed-width text so they read in CI logs; the
+structured forms (``AttributionReport.to_dict`` / ``TraceDiff.to_dict``)
+serve ``--json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .attribution import AttributionReport
+
+__all__ = ["render_attribution", "TraceDiff", "diff_traces", "render_trace_diff"]
+
+
+def _pct(part: float, whole: float) -> str:
+    return f"{100.0 * part / whole:5.1f}%" if whole > 0 else "    -"
+
+
+def render_attribution(report: AttributionReport, title: str = "") -> str:
+    """Fixed-width text form of one attribution report."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    status = "completed" if report.completed else "PARTIAL (failure)"
+    lines.append(f"end-to-end latency: {report.latency:.3f} ms ({status})")
+    lines.append("")
+    header = (
+        f"{'gpu':>3}  {'compute':>12}  {'transfer':>12}  "
+        f"{'overhead':>12}  {'idle':>12}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for b in report.per_gpu:
+        lines.append(
+            f"{b.gpu:>3}  "
+            f"{b.compute:>8.3f} {_pct(b.compute, report.latency)}  "
+            f"{b.transfer:>8.3f} {_pct(b.transfer, report.latency)}  "
+            f"{b.overhead:>8.3f} {_pct(b.overhead, report.latency)}  "
+            f"{b.idle:>8.3f} {_pct(b.idle, report.latency)}"
+        )
+    lines.append("")
+    path = report.critical_path
+    lines.append(
+        f"realized critical path ({len(path)} segments: "
+        f"compute {report.critical_path_compute:.3f} ms, "
+        f"transfer {report.critical_path_transfer:.3f} ms, "
+        f"wait {report.critical_path_wait:.3f} ms):"
+    )
+    for seg in path:
+        where = f"gpu {seg.gpu}" if seg.gpu is not None else "link"
+        lines.append(
+            f"  [{seg.start:10.3f} .. {seg.end:10.3f}] "
+            f"{seg.kind:<8} {seg.duration:9.3f} ms  {where:<7} {seg.label}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# trace diff
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceDiff:
+    """Structural comparison of two execution traces.
+
+    ``shifted`` lists ``(op, start_delta, finish_delta)`` for operators
+    present in both traces whose timestamps differ by more than ``eps``
+    (deltas are ``b - a``); ``only_a`` / ``only_b`` list operators one
+    trace has and the other lacks.
+    """
+
+    latency_a: float
+    latency_b: float
+    num_transfers_a: int
+    num_transfers_b: int
+    only_a: tuple[str, ...] = ()
+    only_b: tuple[str, ...] = ()
+    shifted: tuple[tuple[str, float, float], ...] = field(default_factory=tuple)
+
+    @property
+    def latency_delta(self) -> float:
+        return self.latency_b - self.latency_a
+
+    @property
+    def identical(self) -> bool:
+        return (
+            not self.only_a
+            and not self.only_b
+            and not self.shifted
+            and abs(self.latency_delta) == 0.0
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "latency_a_ms": self.latency_a,
+            "latency_b_ms": self.latency_b,
+            "latency_delta_ms": self.latency_delta,
+            "num_transfers_a": self.num_transfers_a,
+            "num_transfers_b": self.num_transfers_b,
+            "only_a": list(self.only_a),
+            "only_b": list(self.only_b),
+            "shifted": [
+                {"op": op, "start_delta_ms": ds, "finish_delta_ms": df}
+                for op, ds, df in self.shifted
+            ],
+        }
+
+
+def diff_traces(a: Any, b: Any, eps: float = 1e-6) -> TraceDiff:
+    """Compare two traces op-by-op (duck-typed, order-independent)."""
+    ops_a, ops_b = set(a.op_start), set(b.op_start)
+    shifted: list[tuple[str, float, float]] = []
+    for op in sorted(ops_a & ops_b):
+        ds = b.op_start[op] - a.op_start[op]
+        fa, fb = a.op_finish.get(op), b.op_finish.get(op)
+        df = (fb - fa) if (fa is not None and fb is not None) else 0.0
+        if abs(ds) > eps or abs(df) > eps:
+            shifted.append((op, ds, df))
+    return TraceDiff(
+        latency_a=a.latency,
+        latency_b=b.latency,
+        num_transfers_a=len(a.transfers),
+        num_transfers_b=len(b.transfers),
+        only_a=tuple(sorted(ops_a - ops_b)),
+        only_b=tuple(sorted(ops_b - ops_a)),
+        shifted=tuple(shifted),
+    )
+
+
+def render_trace_diff(
+    diff: TraceDiff, name_a: str = "A", name_b: str = "B", limit: int = 20
+) -> str:
+    """Fixed-width text form of one trace diff (top ``limit`` shifts)."""
+    lines = [
+        f"latency: {name_a} {diff.latency_a:.3f} ms, {name_b} "
+        f"{diff.latency_b:.3f} ms (delta {diff.latency_delta:+.3f} ms)",
+        f"transfers: {name_a} {diff.num_transfers_a}, "
+        f"{name_b} {diff.num_transfers_b}",
+    ]
+    if diff.only_a:
+        lines.append(f"only in {name_a}: {', '.join(diff.only_a[:10])}"
+                     + (" ..." if len(diff.only_a) > 10 else ""))
+    if diff.only_b:
+        lines.append(f"only in {name_b}: {', '.join(diff.only_b[:10])}"
+                     + (" ..." if len(diff.only_b) > 10 else ""))
+    if diff.shifted:
+        ranked = sorted(
+            diff.shifted, key=lambda t: max(abs(t[1]), abs(t[2])), reverse=True
+        )
+        lines.append(
+            f"{len(diff.shifted)} operator(s) shifted "
+            f"(top {min(limit, len(ranked))} by magnitude):"
+        )
+        for op, ds, df in ranked[:limit]:
+            lines.append(f"  {op:<32} start {ds:+10.3f} ms  finish {df:+10.3f} ms")
+    if diff.identical:
+        lines.append("traces are identical")
+    return "\n".join(lines)

@@ -140,10 +140,18 @@ class ExecutionTrace:
         return sum(t.num_bytes for t in self.transfers)
 
     def utilization(self, gpu: int) -> float:
-        """Busy time of one GPU divided by the end-to-end latency."""
+        """Busy time of one GPU divided by the end-to-end latency.
+
+        Clamped to ``[0, 1]``: on a partial failure trace the latency
+        is cut at the failure instant while ``gpu_busy`` may still
+        account a mid-kernel tick of the doomed device (and spliced
+        repair traces add busy time across segments), so the raw ratio
+        can exceed 1.0 — a utilization above 100% is never meaningful,
+        only a symptom of that accounting cut.
+        """
         if self.latency <= 0:
             return 0.0
-        return self.gpu_busy.get(gpu, 0.0) / self.latency
+        return min(1.0, self.gpu_busy.get(gpu, 0.0) / self.latency)
 
     # ------------------------------------------------------------------
     # JSON contract (``repro.trace/v1``) — lets ``repro lint`` verify
@@ -168,22 +176,52 @@ class ExecutionTrace:
             }
         return doc
 
+    @staticmethod
+    def _op_name_set(value: object, field: str) -> frozenset[str]:
+        """Parse a failure op-name list, rejecting scalar look-alikes.
+
+        ``frozenset("abc")`` silently yields ``{"a", "b", "c"}`` — a
+        JSON document carrying ``"finished": "op1"`` must be rejected,
+        not split into characters.
+        """
+        if isinstance(value, (str, bytes)) or not isinstance(value, Sequence):
+            raise EngineError(
+                f"trace failure field {field!r} must be an array of operator "
+                f"names, got {type(value).__name__}"
+            )
+        for item in value:
+            if not isinstance(item, str):
+                raise EngineError(
+                    f"trace failure field {field!r} must contain only operator "
+                    f"name strings, got {type(item).__name__}"
+                )
+        return frozenset(value)
+
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ExecutionTrace":
         fmt = data.get("format", "repro.trace/v1")
         if fmt != "repro.trace/v1":
             raise EngineError(f"unsupported trace format {fmt!r}")
-        try:
-            raw_failure = data.get("failure")
-            failure = None
-            if raw_failure is not None:
-                assert isinstance(raw_failure, Mapping)
+        raw_failure = data.get("failure")
+        failure = None
+        if raw_failure is not None:
+            # a plain `assert` disappears under `python -O`; malformed
+            # documents must fail loudly regardless of interpreter flags
+            if not isinstance(raw_failure, Mapping):
+                raise EngineError(
+                    "malformed trace document: 'failure' must be an object, "
+                    f"got {type(raw_failure).__name__}"
+                )
+            try:
                 failure = FailureEvent(
                     gpu=int(raw_failure["gpu"]),  # type: ignore[arg-type]
                     time=float(raw_failure["time"]),  # type: ignore[arg-type]
-                    finished=frozenset(raw_failure["finished"]),  # type: ignore[arg-type]
-                    in_flight=frozenset(raw_failure["in_flight"]),  # type: ignore[arg-type]
+                    finished=cls._op_name_set(raw_failure["finished"], "finished"),
+                    in_flight=cls._op_name_set(raw_failure["in_flight"], "in_flight"),
                 )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise EngineError(f"malformed trace document: {exc}") from exc
+        try:
             return cls(
                 latency=float(data["latency"]),  # type: ignore[arg-type]
                 op_launch={str(k): float(v) for k, v in dict(data.get("op_launch", {})).items()},  # type: ignore[arg-type]
@@ -193,7 +231,7 @@ class ExecutionTrace:
                 gpu_busy={int(k): float(v) for k, v in dict(data.get("gpu_busy", {})).items()},  # type: ignore[arg-type]
                 failure=failure,
             )
-        except (KeyError, TypeError, ValueError, AssertionError) as exc:
+        except (KeyError, TypeError, ValueError) as exc:
             raise EngineError(f"malformed trace document: {exc}") from exc
 
 

@@ -31,6 +31,7 @@ from .units import (
     RealModelSpec,
     WorkUnit,
     execute_unit,
+    replay_unit_trace,
 )
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "content_key",
     "default_cache_dir",
     "execute_unit",
+    "replay_unit_trace",
     "resolve_jobs",
     "run_units",
 ]

@@ -42,6 +42,7 @@ class SweepProgress:
         self.done = 0
         self.cache_hits = 0
         self.deduped = 0
+        self.executed = 0  # units that actually ran (not cached/deduped)
         self._every = max(1, -(-total // max_lines)) if total else 1  # ceil div
         self._t0 = time.perf_counter()
 
@@ -52,6 +53,8 @@ class SweepProgress:
             self.cache_hits += 1
         if deduped:
             self.deduped += 1
+        if not cached and not deduped:
+            self.executed += 1
         if self.done % self._every == 0 or self.done == self.total:
             self._emit()
 
@@ -63,8 +66,13 @@ class SweepProgress:
             f"[{self.figure}] {self.done}/{self.total} units ({pct:3.0f}%), "
             f"{self.cache_hits} cache hits, {self.deduped} deduped"
         )
-        if self.eta and 0 < self.done < self.total:
+        # The per-unit rate comes from *executed* units only: cache hits
+        # and dedup shares complete near-instantly (the executor resolves
+        # them before any worker runs), and folding them into the rate
+        # collapses the ETA to ~0 on warm-cache resumes.  Until the first
+        # unit actually executes there is no rate, hence no ETA.
+        if self.eta and 0 < self.done < self.total and self.executed > 0:
             elapsed = time.perf_counter() - self._t0
-            remaining = elapsed / self.done * (self.total - self.done)
+            remaining = elapsed / self.executed * (self.total - self.done)
             line += f", ETA {remaining:.0f}s"
         print(line, file=self.stream, flush=True)

@@ -53,6 +53,7 @@ __all__ = [
     "RealModelSpec",
     "WorkUnit",
     "execute_unit",
+    "replay_unit_trace",
 ]
 
 #: Algorithms whose results are invariant under multi-GPU-only knobs.
@@ -224,6 +225,36 @@ def execute_unit(unit: WorkUnit) -> tuple[dict[str, float], dict[str, float]]:
         )
         return {"minutes": minutes, **breakdown}, {}
     raise AssertionError(f"unhandled kind {unit.kind!r}")  # pragma: no cover
+
+
+def replay_unit_trace(unit: WorkUnit) -> tuple[Any, dict[str, int]]:
+    """Re-execute one ``measured`` unit and return ``(trace, op_gpu)``.
+
+    Units are pure functions of their spec, so the engine run can be
+    reproduced deterministically at any time — including for units
+    whose *payload* came out of the result cache without executing.
+    This is what lets ``repro run --trace-out`` export a timeline per
+    unit even on a fully warm cache: the cache stores the numbers, the
+    replay regenerates the trace.  ``op_gpu`` maps every operator to
+    its GPU (the input :func:`repro.obs.attribute_latency` and the
+    Chrome exporter need alongside the trace).
+    """
+    from ..core.api import schedule_graph
+
+    if unit.kind != "measured" or not isinstance(unit.spec, RealModelSpec):
+        raise ValueError(
+            f"only 'measured' units run the engine and have a trace to "
+            f"replay; unit is kind {unit.kind!r} with "
+            f"{type(unit.spec).__name__}"
+        )
+    profiler = unit.spec.profiler()
+    profile = profiler.profile(
+        _model_builder(unit.spec.model)(unit.spec.input_size)
+    )
+    result = schedule_graph(profile, unit.algorithm, **dict(unit.schedule_kwargs))
+    trace = profiler.engine().run(profile.graph, result.schedule)
+    op_gpu = {op: result.schedule.gpu_of(op) for op in result.schedule.operators()}
+    return trace, op_gpu
 
 
 def _model_builder(model: str) -> Any:

@@ -2,11 +2,12 @@
 and Chrome trace-event export for engine traces."""
 
 from .asciiplot import ascii_plot, plot_series_result
-from .chrometrace import save_chrome_trace, trace_to_events
+from .chrometrace import chrome_trace_document, save_chrome_trace, trace_to_events
 from .gantt import render_gantt, render_schedule_table
 
 __all__ = [
     "ascii_plot",
+    "chrome_trace_document",
     "plot_series_result",
     "render_gantt",
     "render_schedule_table",

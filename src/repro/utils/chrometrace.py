@@ -1,107 +1,21 @@
-"""Export engine traces to the Chrome trace-event format.
-
-``chrome://tracing`` / Perfetto open the emitted JSON directly: one row
-per GPU for kernels, one per link direction for transfers, with kernel
-launch time recorded as an argument.  Times are exported in
-microseconds as the format requires (engine times are milliseconds).
+"""Back-compat shim: the Chrome trace exporter moved to
+:mod:`repro.obs.chrometrace` (the observability layer), which adds
+transfer flow arrows, failure-instant markers and partial-trace
+handling.  Import from :mod:`repro.obs` in new code.
 """
 
 from __future__ import annotations
 
-import json
-from pathlib import Path
-from typing import Mapping
+from ..obs.chrometrace import (  # noqa: F401
+    CHROME_TRACE_FORMAT,
+    chrome_trace_document,
+    save_chrome_trace,
+    trace_to_events,
+)
 
-from ..substrate.engine import ExecutionTrace
-
-__all__ = ["trace_to_events", "save_chrome_trace"]
-
-_MS_TO_US = 1000.0
-
-
-def trace_to_events(
-    trace: ExecutionTrace, op_gpu: Mapping[str, int], process_name: str = "hios"
-) -> list[dict]:
-    """Build the trace-event list for one execution trace.
-
-    ``op_gpu`` maps operators to their GPU (``schedule.gpu_of``).
-    Kernels become complete events (``ph: "X"``) on ``tid = gpu``;
-    transfers land on per-direction rows after the GPU rows.
-    """
-    events: list[dict] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 0,
-            "args": {"name": process_name},
-        }
-    ]
-    gpus = sorted(set(op_gpu.values()))
-    for g in gpus:
-        events.append(
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 0,
-                "tid": g,
-                "args": {"name": f"GPU {g}"},
-            }
-        )
-    for op, start in trace.op_start.items():
-        finish = trace.op_finish[op]
-        events.append(
-            {
-                "name": op,
-                "cat": "kernel",
-                "ph": "X",
-                "pid": 0,
-                "tid": op_gpu[op],
-                "ts": start * _MS_TO_US,
-                "dur": max(0.0, finish - start) * _MS_TO_US,
-                "args": {"launch_ms": trace.op_launch.get(op)},
-            }
-        )
-    # transfers: one synthetic row per (src, dst) direction
-    lanes: dict[tuple[int, int], int] = {}
-    next_tid = (max(gpus) + 1) if gpus else 1
-    for rec in trace.transfers:
-        lane = (rec.src, rec.dst)
-        if lane not in lanes:
-            lanes[lane] = next_tid
-            events.append(
-                {
-                    "name": "thread_name",
-                    "ph": "M",
-                    "pid": 0,
-                    "tid": next_tid,
-                    "args": {"name": f"link {rec.src}->{rec.dst}"},
-                }
-            )
-            next_tid += 1
-        events.append(
-            {
-                "name": rec.tag or "transfer",
-                "cat": "transfer",
-                "ph": "X",
-                "pid": 0,
-                "tid": lanes[lane],
-                "ts": rec.start_time * _MS_TO_US,
-                "dur": rec.duration * _MS_TO_US,
-                "args": {
-                    "bytes": rec.num_bytes,
-                    "queue_delay_ms": rec.queue_delay,
-                },
-            }
-        )
-    return events
-
-
-def save_chrome_trace(
-    trace: ExecutionTrace,
-    op_gpu: Mapping[str, int],
-    path: str | Path,
-    process_name: str = "hios",
-) -> None:
-    """Write a ``chrome://tracing``-loadable JSON file."""
-    doc = {"traceEvents": trace_to_events(trace, op_gpu, process_name)}
-    Path(path).write_text(json.dumps(doc))
+__all__ = [
+    "CHROME_TRACE_FORMAT",
+    "chrome_trace_document",
+    "save_chrome_trace",
+    "trace_to_events",
+]

@@ -60,7 +60,7 @@ class TestRegistry:
         rules = all_rules()
         assert len(rules) >= 18
         packs = {r.pack for r in rules}
-        assert packs == {"graph", "schedule", "trace", "faults", "cache"}
+        assert packs == {"graph", "schedule", "trace", "faults", "cache", "chrome"}
 
     def test_rule_ids_unique_and_well_formed(self):
         ids = [r.id for r in all_rules()]

@@ -1,0 +1,25 @@
+"""Shared fixtures: one profiled model + schedule + engine trace."""
+
+import pytest
+
+from repro.core.api import schedule_graph
+from repro.experiments.realmodels import default_profiler
+from repro.models.inception import inception_v3
+
+
+@pytest.fixture(scope="package")
+def profiled():
+    """(profiler, profile) for Inception-v3@299 on the dual-A40."""
+    profiler = default_profiler(num_gpus=2)
+    profile = profiler.profile(inception_v3(299))
+    return profiler, profile
+
+
+@pytest.fixture(scope="package")
+def traced(profiled):
+    """(trace, op_gpu, result) of one HIOS-LP run on the engine."""
+    profiler, profile = profiled
+    result = schedule_graph(profile, "hios-lp")
+    trace = profiler.engine().run(profile.graph, result.schedule)
+    op_gpu = {op: result.schedule.gpu_of(op) for op in result.schedule.operators()}
+    return trace, op_gpu, result

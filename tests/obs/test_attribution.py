@@ -1,0 +1,245 @@
+"""Latency attribution: bucket invariants, realized critical path.
+
+The headline acceptance test: on every algorithm the four per-GPU
+buckets sum to the measured latency up to float round-off.
+"""
+
+import math
+
+import pytest
+
+from repro.core.api import schedule_graph
+from repro.obs import (
+    AttributionReport,
+    attribute_latency,
+    realized_critical_path,
+)
+from repro.substrate.engine import ExecutionTrace
+from repro.substrate.mpi import TransferRecord
+
+ALGORITHMS = ("sequential", "ios", "hios-mr", "hios-lp")
+
+
+def make_trace(**kwargs):
+    base = dict(
+        latency=0.0,
+        op_launch={},
+        op_start={},
+        op_finish={},
+        transfers=[],
+        gpu_busy={},
+    )
+    base.update(kwargs)
+    return ExecutionTrace(**base)
+
+
+def xfer(src, dst, tag, start, finish, post=None):
+    return TransferRecord(
+        src=src,
+        dst=dst,
+        tag=tag,
+        post_time=start if post is None else post,
+        start_time=start,
+        finish_time=finish,
+        num_bytes=4,
+    )
+
+
+class TestBucketsSumToLatency:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_algorithms(self, profiled, algorithm):
+        profiler, profile = profiled
+        result = schedule_graph(profile, algorithm)
+        trace = profiler.engine().run(profile.graph, result.schedule)
+        op_gpu = {
+            op: result.schedule.gpu_of(op)
+            for op in result.schedule.operators()
+        }
+        report = attribute_latency(trace, op_gpu)
+        assert report.per_gpu
+        for b in report.per_gpu:
+            assert b.total == pytest.approx(trace.latency, abs=1e-6)
+            for part in (b.compute, b.transfer, b.overhead, b.idle):
+                assert part >= -1e-12
+
+    def test_idle_gpu_still_gets_a_row(self):
+        trace = make_trace(
+            latency=3.0,
+            op_start={"a": 0.0},
+            op_finish={"a": 3.0},
+            op_launch={"a": 0.0},
+            gpu_busy={0: 3.0, 1: 0.0},
+        )
+        report = attribute_latency(trace, {"a": 0})
+        by_gpu = {b.gpu: b for b in report.per_gpu}
+        assert set(by_gpu) == {0, 1}
+        assert by_gpu[1].idle == pytest.approx(3.0)
+        assert by_gpu[1].compute == 0.0
+
+
+class TestBucketPrecedence:
+    def test_compute_wins_over_transfer(self):
+        # GPU 0 computes 0-2 while also receiving 1-3: the overlap
+        # is compute; only the non-overlapped tail is transfer.
+        trace = make_trace(
+            latency=4.0,
+            op_start={"a": 0.0},
+            op_finish={"a": 2.0},
+            op_launch={"a": 0.0},
+            transfers=[xfer(1, 0, "x->a", 1.0, 3.0)],
+            gpu_busy={0: 2.0, 1: 0.0},
+        )
+        [b0] = [b for b in attribute_latency(trace, {"a": 0}).per_gpu if b.gpu == 0]
+        assert b0.compute == pytest.approx(2.0)
+        assert b0.transfer == pytest.approx(1.0)
+        assert b0.idle == pytest.approx(1.0)
+
+    def test_launch_to_start_window_is_overhead(self):
+        trace = make_trace(
+            latency=3.0,
+            op_start={"a": 1.0},
+            op_finish={"a": 3.0},
+            op_launch={"a": 0.2},
+            gpu_busy={0: 2.0},
+        )
+        [b0] = attribute_latency(trace, {"a": 0}).per_gpu
+        assert b0.overhead == pytest.approx(0.8)
+        assert b0.compute == pytest.approx(2.0)
+        assert b0.idle == pytest.approx(0.2)
+
+    def test_sender_side_counts_transfer_too(self):
+        # blocking send: the producer's GPU is stalled for the flight
+        trace = make_trace(
+            latency=3.0,
+            op_start={"a": 0.0, "b": 2.0},
+            op_finish={"a": 1.0, "b": 3.0},
+            op_launch={"a": 0.0, "b": 0.0},
+            transfers=[xfer(0, 1, "a->b", 1.0, 2.0)],
+            gpu_busy={0: 1.0, 1: 1.0},
+        )
+        by_gpu = {
+            b.gpu: b for b in attribute_latency(trace, {"a": 0, "b": 1}).per_gpu
+        }
+        assert by_gpu[0].transfer == pytest.approx(1.0)
+        assert by_gpu[1].transfer == pytest.approx(1.0)
+
+
+class TestPartialFailureTraces:
+    def test_inflight_op_cut_at_failure(self):
+        # hand-built partial trace: "b" started but never finished
+        trace = make_trace(
+            latency=2.5,
+            op_start={"a": 0.0, "b": 1.0},
+            op_finish={"a": 1.0},
+            op_launch={"a": 0.0, "b": 0.5},
+            gpu_busy={0: 2.5},
+        )
+        [b0] = attribute_latency(trace, {"a": 0, "b": 0}).per_gpu
+        # b occupies 1.0..latency despite having no finish
+        assert b0.compute == pytest.approx(2.5)
+        assert b0.total == pytest.approx(2.5)
+
+
+class TestRealizedCriticalPath:
+    def test_empty_trace(self):
+        assert realized_critical_path(make_trace(), {}) == ()
+
+    def test_transfer_bound_chain(self):
+        # a on GPU 0 feeds b on GPU 1 through a 1-ms transfer; the path
+        # must be compute(a) -> transfer -> compute(b), spanning latency.
+        trace = make_trace(
+            latency=4.0,
+            op_start={"a": 0.0, "b": 2.0},
+            op_finish={"a": 1.0, "b": 4.0},
+            op_launch={"a": 0.0, "b": 0.0},
+            transfers=[xfer(0, 1, "a->b", 1.0, 2.0)],
+            gpu_busy={0: 1.0, 1: 2.0},
+        )
+        path = realized_critical_path(trace, {"a": 0, "b": 1})
+        kinds = [s.kind for s in path]
+        labels = [s.label for s in path]
+        assert kinds == ["compute", "transfer", "compute"]
+        assert labels == ["a", "a->b", "b"]
+        assert path[0].start == pytest.approx(0.0)
+        assert path[-1].end == pytest.approx(4.0)
+
+    def test_barrier_bound_chain(self):
+        # two kernels back-to-back on one GPU: barrier, not transfer
+        trace = make_trace(
+            latency=3.0,
+            op_start={"a": 0.0, "b": 1.0},
+            op_finish={"a": 1.0, "b": 3.0},
+            op_launch={"a": 0.0, "b": 0.0},
+            gpu_busy={0: 3.0},
+        )
+        path = realized_critical_path(trace, {"a": 0, "b": 0})
+        assert [s.label for s in path] == ["a", "b"]
+        assert all(s.kind == "compute" for s in path)
+
+    def test_wait_segment_fills_gap(self):
+        # b starts 0.5 ms after the transfer delivers: a wait appears
+        trace = make_trace(
+            latency=4.5,
+            op_start={"a": 0.0, "b": 2.5},
+            op_finish={"a": 1.0, "b": 4.5},
+            op_launch={"a": 0.0, "b": 0.0},
+            transfers=[xfer(0, 1, "a->b", 1.0, 2.0)],
+            gpu_busy={0: 1.0, 1: 2.0},
+        )
+        path = realized_critical_path(trace, {"a": 0, "b": 1})
+        waits = [s for s in path if s.kind == "wait"]
+        assert len(waits) == 1
+        assert waits[0].duration == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_path_is_contiguous_and_spans_latency(self, profiled, algorithm):
+        profiler, profile = profiled
+        result = schedule_graph(profile, algorithm)
+        trace = profiler.engine().run(profile.graph, result.schedule)
+        op_gpu = {
+            op: result.schedule.gpu_of(op)
+            for op in result.schedule.operators()
+        }
+        path = realized_critical_path(trace, op_gpu)
+        assert len(path) > 1
+        assert path[-1].end == pytest.approx(trace.latency)
+        # consecutive segments chain: each starts no later than the
+        # previous one ends (transfer side-branches may back up)
+        for seg in path:
+            assert seg.end >= seg.start - 1e-9
+            assert math.isfinite(seg.duration)
+
+    def test_report_path_duration_properties(self):
+        trace = make_trace(
+            latency=4.0,
+            op_start={"a": 0.0, "b": 2.0},
+            op_finish={"a": 1.0, "b": 4.0},
+            op_launch={"a": 0.0, "b": 0.0},
+            transfers=[xfer(0, 1, "a->b", 1.0, 2.0)],
+            gpu_busy={0: 1.0, 1: 2.0},
+        )
+        report = attribute_latency(trace, {"a": 0, "b": 1})
+        assert isinstance(report, AttributionReport)
+        assert report.critical_path_compute == pytest.approx(3.0)
+        assert report.critical_path_transfer == pytest.approx(1.0)
+        assert report.critical_path_wait == pytest.approx(0.0)
+        total = (
+            report.critical_path_compute
+            + report.critical_path_transfer
+            + report.critical_path_wait
+        )
+        assert total == pytest.approx(trace.latency)
+
+    def test_to_dict_round_trip_shape(self):
+        trace = make_trace(
+            latency=1.0,
+            op_start={"a": 0.0},
+            op_finish={"a": 1.0},
+            op_launch={"a": 0.0},
+            gpu_busy={0: 1.0},
+        )
+        d = attribute_latency(trace, {"a": 0}).to_dict()
+        assert d["latency_ms"] == pytest.approx(1.0)
+        assert d["completed"] is True
+        assert d["per_gpu"][0]["compute_ms"] == pytest.approx(1.0)
+        assert d["critical_path"][0]["kind"] == "compute"

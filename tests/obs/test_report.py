@@ -1,0 +1,144 @@
+"""Text renderers and the structural trace diff."""
+
+import pytest
+
+from repro.obs import (
+    attribute_latency,
+    diff_traces,
+    render_attribution,
+    render_trace_diff,
+)
+from repro.substrate.engine import ExecutionTrace
+from repro.substrate.mpi import TransferRecord
+
+
+def make_trace(**kwargs):
+    base = dict(
+        latency=0.0,
+        op_launch={},
+        op_start={},
+        op_finish={},
+        transfers=[],
+        gpu_busy={},
+    )
+    base.update(kwargs)
+    return ExecutionTrace(**base)
+
+
+def two_op_trace(b_start=2.0, b_finish=4.0, latency=4.0):
+    return make_trace(
+        latency=latency,
+        op_start={"a": 0.0, "b": b_start},
+        op_finish={"a": 1.0, "b": b_finish},
+        op_launch={"a": 0.0, "b": 0.0},
+        transfers=[
+            TransferRecord(
+                src=0,
+                dst=1,
+                tag="a->b",
+                post_time=1.0,
+                start_time=1.0,
+                finish_time=2.0,
+                num_bytes=4,
+            )
+        ],
+        gpu_busy={0: 1.0, 1: b_finish - b_start},
+    )
+
+
+class TestRenderAttribution:
+    def test_mentions_every_gpu_and_bucket(self):
+        report = attribute_latency(two_op_trace(), {"a": 0, "b": 1})
+        text = render_attribution(report, title="demo")
+        assert text.startswith("demo")
+        assert "end-to-end latency: 4.000 ms (completed)" in text
+        for word in ("compute", "transfer", "overhead", "idle"):
+            assert word in text
+        assert "realized critical path" in text
+        assert "a->b" in text
+
+    def test_partial_trace_is_flagged(self):
+        trace = make_trace(
+            latency=1.0,
+            op_start={"a": 0.0},
+            op_finish={},
+            op_launch={"a": 0.0},
+            gpu_busy={0: 1.0},
+        )
+        report = attribute_latency(trace, {"a": 0})
+        # no FailureEvent object, but completed comes from trace.failure
+        assert "completed" in render_attribution(report)
+
+    def test_zero_latency_report_renders(self):
+        text = render_attribution(attribute_latency(make_trace(), {}))
+        assert "0.000 ms" in text
+
+
+class TestDiffTraces:
+    def test_identical(self):
+        a = two_op_trace()
+        d = diff_traces(a, a)
+        assert d.identical
+        assert d.latency_delta == 0.0
+        assert not d.shifted and not d.only_a and not d.only_b
+        assert "traces are identical" in render_trace_diff(d)
+
+    def test_shifted_operator(self):
+        a = two_op_trace()
+        b = two_op_trace(b_start=2.5, b_finish=4.5, latency=4.5)
+        d = diff_traces(a, b)
+        assert not d.identical
+        assert d.latency_delta == pytest.approx(0.5)
+        assert [op for op, _, _ in d.shifted] == ["b"]
+        [(_, ds, df)] = d.shifted
+        assert ds == pytest.approx(0.5)
+        assert df == pytest.approx(0.5)
+
+    def test_disjoint_operators(self):
+        a = make_trace(
+            latency=1.0,
+            op_start={"a": 0.0},
+            op_finish={"a": 1.0},
+            op_launch={"a": 0.0},
+            gpu_busy={0: 1.0},
+        )
+        b = make_trace(
+            latency=1.0,
+            op_start={"z": 0.0},
+            op_finish={"z": 1.0},
+            op_launch={"z": 0.0},
+            gpu_busy={0: 1.0},
+        )
+        d = diff_traces(a, b)
+        assert d.only_a == ("a",)
+        assert d.only_b == ("z",)
+        text = render_trace_diff(d, name_a="left", name_b="right")
+        assert "only in left: a" in text
+        assert "only in right: z" in text
+
+    def test_to_dict_shape(self):
+        d = diff_traces(two_op_trace(), two_op_trace(b_finish=4.25, latency=4.25))
+        doc = d.to_dict()
+        assert doc["latency_delta_ms"] == pytest.approx(0.25)
+        assert doc["shifted"] == [
+            {"op": "b", "start_delta_ms": 0.0, "finish_delta_ms": 0.25}
+        ]
+
+    def test_render_ranks_largest_shift_first(self):
+        a = make_trace(
+            latency=3.0,
+            op_start={"a": 0.0, "b": 1.0},
+            op_finish={"a": 1.0, "b": 3.0},
+            op_launch={"a": 0.0, "b": 0.0},
+            gpu_busy={0: 3.0},
+        )
+        b = make_trace(
+            latency=5.0,
+            op_start={"a": 0.1, "b": 3.0},
+            op_finish={"a": 1.1, "b": 5.0},
+            op_launch={"a": 0.0, "b": 0.0},
+            gpu_busy={0: 5.0},
+        )
+        text = render_trace_diff(diff_traces(a, b))
+        lines = [ln for ln in text.splitlines() if ln.startswith("  ")]
+        assert lines[0].split()[0] == "b"  # |delta| 2.0 beats a's 0.1

@@ -1,0 +1,84 @@
+"""SweepProgress: deterministic lines, executed-only ETA."""
+
+import io
+
+import repro.sweep.progress as progress_mod
+from repro.sweep.progress import SweepProgress
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def make(total, clock, **kwargs):
+    stream = io.StringIO()
+    p = SweepProgress("fig8", total, stream=stream, max_lines=total or 1, **kwargs)
+    return p, stream
+
+
+def test_counts_and_percent(monkeypatch):
+    clock = FakeClock()
+    monkeypatch.setattr(progress_mod.time, "perf_counter", clock)
+    p, stream = make(4, clock, eta=False)
+    p.update()
+    p.update(cached=True)
+    p.update(deduped=True)
+    p.update()
+    lines = stream.getvalue().splitlines()
+    assert lines[-1] == "[fig8] 4/4 units (100%), 1 cache hits, 1 deduped"
+    assert p.executed == 2
+
+
+def test_no_eta_while_only_cache_hits(monkeypatch):
+    # warm-cache resume: hits complete instantly; an ETA extrapolated
+    # from them would be nonsense, so none is printed until a unit runs
+    clock = FakeClock()
+    monkeypatch.setattr(progress_mod.time, "perf_counter", clock)
+    p, stream = make(10, clock)
+    for _ in range(5):
+        clock.now += 0.001
+        p.update(cached=True)
+    assert "ETA" not in stream.getvalue()
+
+
+def test_eta_uses_executed_rate_only(monkeypatch):
+    # 8 instant cache hits then 1 executed unit taking 2 s: the ETA for
+    # the 1 remaining unit must reflect the 2 s/unit executed rate, not
+    # the ~0.2 s/unit rate the done-count would suggest
+    clock = FakeClock()
+    monkeypatch.setattr(progress_mod.time, "perf_counter", clock)
+    p, stream = make(10, clock)
+    for _ in range(8):
+        p.update(cached=True)
+    clock.now += 2.0
+    p.update()
+    last = stream.getvalue().splitlines()[-1]
+    assert "ETA 2s" in last
+
+
+def test_final_line_has_no_eta(monkeypatch):
+    clock = FakeClock()
+    monkeypatch.setattr(progress_mod.time, "perf_counter", clock)
+    p, stream = make(2, clock)
+    clock.now += 1.0
+    p.update()
+    clock.now += 1.0
+    p.update()
+    assert "ETA" not in stream.getvalue().splitlines()[-1]
+
+
+def test_disabled_progress_prints_nothing():
+    p, stream = make(3, FakeClock(), enabled=False)
+    for _ in range(3):
+        p.update()
+    assert stream.getvalue() == ""
+
+
+def test_zero_total_is_silent():
+    stream = io.StringIO()
+    p = SweepProgress("fig8", 0, stream=stream)
+    assert not p.enabled

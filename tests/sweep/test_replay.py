@@ -1,0 +1,76 @@
+"""Trace replay: measured units reproduce their engine run on demand."""
+
+import json
+
+import pytest
+
+from repro.experiments.realmodels import export_unit_traces
+from repro.lint import lint_chrome_trace
+from repro.sweep import (
+    RandomDagSpec,
+    RealModelSpec,
+    WorkUnit,
+    execute_unit,
+    replay_unit_trace,
+)
+
+UNIT = WorkUnit(
+    figure="fig12",
+    x="inception_v3",
+    instance=0,
+    algorithm="hios-lp",
+    spec=RealModelSpec(model="inception_v3", input_size=299),
+    kind="measured",
+)
+
+
+def test_replay_matches_executed_payload():
+    payload, _ = execute_unit(UNIT)
+    trace, op_gpu = replay_unit_trace(UNIT)
+    assert trace.latency == pytest.approx(payload["measured_ms"])
+    assert set(op_gpu) >= set(trace.op_start)
+    assert set(op_gpu.values()) <= {0, 1}
+
+
+def test_replay_is_deterministic():
+    t1, _ = replay_unit_trace(UNIT)
+    t2, _ = replay_unit_trace(UNIT)
+    assert t1.op_start == t2.op_start
+    assert t1.op_finish == t2.op_finish
+    assert t1.latency == t2.latency
+
+
+def test_replay_rejects_latency_units():
+    unit = WorkUnit(
+        figure="fig8",
+        x=30,
+        instance=0,
+        algorithm="hios-lp",
+        spec=RandomDagSpec(seed=0, num_ops=10, num_layers=3),
+    )
+    with pytest.raises(ValueError, match="measured"):
+        replay_unit_trace(unit)
+
+
+def test_export_unit_traces_writes_lintable_files(tmp_path):
+    latency_only = WorkUnit(
+        figure="fig8",
+        x=30,
+        instance=0,
+        algorithm="hios-lp",
+        spec=RandomDagSpec(seed=0, num_ops=10, num_layers=3),
+    )
+    duplicate = WorkUnit(
+        figure="fig12",
+        x="inception_v3",
+        instance=1,
+        algorithm="hios-lp",
+        spec=RealModelSpec(model="inception_v3", input_size=299),
+        kind="measured",
+    )
+    written = export_unit_traces([UNIT, latency_only, duplicate], tmp_path)
+    # the latency unit is skipped; the duplicate collapses onto one file
+    assert len(written) == 1
+    assert written[0].endswith("fig12-inception_v3-299-hios-lp.trace.json")
+    doc = json.loads(open(written[0]).read())
+    assert not lint_chrome_trace(doc).diagnostics

@@ -290,3 +290,162 @@ class TestLintCommand:
         path.write_text('{"hello": "world"}')
         assert main(["lint", str(path)]) == 2
         assert "cannot classify" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    @pytest.fixture
+    def artifacts(self, tmp_path):
+        import json
+
+        from repro.core import OpGraph, Schedule
+        from repro.substrate import EngineConfig, MultiGpuEngine
+
+        g = OpGraph.from_edges({"a": 1.0, "b": 2.0}, [("a", "b", 0.5)])
+        s = Schedule(2)
+        s.append_op(0, "a")
+        s.append_op(1, "b")
+        cfg = EngineConfig(
+            launch_overhead_ms=0.0,
+            launch_included_in_cost=False,
+            contention_penalty=0.0,
+            transfer_from_edges=True,
+        )
+        trace = MultiGpuEngine(cfg).run(g, s)
+        tpath = tmp_path / "t.json"
+        tpath.write_text(json.dumps(trace.to_dict()))
+        spath = tmp_path / "s.json"
+        spath.write_text(s.to_json())
+        return str(tpath), str(spath), tmp_path
+
+    def test_parser_subcommands(self):
+        args = build_parser().parse_args(
+            ["trace", "export", "t.json", "--schedule", "s.json"]
+        )
+        assert args.trace_command == "export"
+        assert args.process_name == "hios"
+        args = build_parser().parse_args(
+            ["trace", "diff", "a.json", "b.json", "--json"]
+        )
+        assert args.trace_command == "diff"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])  # subcommand required
+        with pytest.raises(SystemExit):
+            # export without --schedule
+            build_parser().parse_args(["trace", "export", "t.json"])
+
+    def test_schedule_flags_parse(self):
+        args = build_parser().parse_args(
+            ["schedule", "--trace-out", "x.json", "--decisions-out", "d.jsonl"]
+        )
+        assert args.trace_out == "x.json"
+        assert args.decisions_out == "d.jsonl"
+        args = build_parser().parse_args(["run", "fig12_inception", "--trace-out", "traces"])
+        assert args.trace_out == "traces"
+
+    def test_export_to_file_lints_clean(self, artifacts, capsys):
+        import json
+
+        tpath, spath, tmp = artifacts
+        out = tmp / "chrome.json"
+        assert (
+            main(
+                ["trace", "export", tpath, "--schedule", spath, "-o", str(out)]
+            )
+            == 0
+        )
+        assert "wrote" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert doc["otherData"]["format"] == "repro.chrometrace/v1"
+        assert main(["lint", str(out)]) == 0
+
+    def test_export_to_stdout(self, artifacts, capsys):
+        import json
+
+        tpath, spath, _ = artifacts
+        assert main(["trace", "export", tpath, "--schedule", spath]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert any(e.get("cat") == "kernel" for e in doc["traceEvents"])
+
+    def test_report_text_and_json(self, artifacts, capsys):
+        import json
+
+        tpath, spath, _ = artifacts
+        assert main(["trace", "report", tpath, "--schedule", spath]) == 0
+        text = capsys.readouterr().out
+        assert "end-to-end latency" in text
+        assert "realized critical path" in text
+        assert main(["trace", "report", tpath, "--schedule", spath, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["completed"] is True
+        total = sum(
+            doc["per_gpu"][0][k]
+            for k in ("compute_ms", "transfer_ms", "overhead_ms", "idle_ms")
+        )
+        assert total == pytest.approx(doc["latency_ms"])
+
+    def test_self_diff_is_identical(self, artifacts, capsys):
+        tpath, _, _ = artifacts
+        assert main(["trace", "diff", tpath, tpath]) == 0
+        assert "traces are identical" in capsys.readouterr().out
+
+    def test_diff_json(self, artifacts, capsys):
+        import json
+
+        tpath, _, _ = artifacts
+        assert main(["trace", "diff", tpath, tpath, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["latency_delta_ms"] == 0.0
+        assert doc["shifted"] == []
+
+    def test_missing_trace_exits_2(self, artifacts, capsys):
+        _, spath, tmp = artifacts
+        code = main(
+            ["trace", "report", str(tmp / "nope.json"), "--schedule", spath]
+        )
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_malformed_trace_exits_2(self, artifacts, capsys):
+        _, spath, tmp = artifacts
+        bad = tmp / "bad.json"
+        bad.write_text('{"format": "repro.trace/v1", "latency": "soon"}')
+        assert main(["trace", "report", str(bad), "--schedule", spath]) == 2
+        assert "malformed trace document" in capsys.readouterr().out
+
+    def test_mismatched_schedule_exits_2(self, artifacts, capsys):
+        from repro.core import Schedule
+
+        tpath, _, tmp = artifacts
+        other = Schedule(2)
+        other.append_op(0, "x")
+        opath = tmp / "other.json"
+        opath.write_text(other.to_json())
+        assert main(["trace", "report", tpath, "--schedule", str(opath)]) == 2
+        assert "does not place" in capsys.readouterr().out
+
+    def test_schedule_command_writes_both_artifacts(self, tmp_path, capsys):
+        import json
+
+        chrome = tmp_path / "chrome.json"
+        decisions = tmp_path / "decisions.jsonl"
+        assert (
+            main(
+                [
+                    "schedule",
+                    "--trace-out",
+                    str(chrome),
+                    "--decisions-out",
+                    str(decisions),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "decision record(s)" in out
+        doc = json.loads(chrome.read_text())
+        assert doc["otherData"]["format"] == "repro.chrometrace/v1"
+        records = [
+            json.loads(line) for line in decisions.read_text().splitlines()
+        ]
+        assert records
+        assert {"lp-path", "window-merge"} <= {r["event"] for r in records}
