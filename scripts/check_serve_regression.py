@@ -1,0 +1,136 @@
+"""CI gate for the serving scenario suite (``repro serve``).
+
+Replays every seeded scenario in :data:`repro.serve.SCENARIOS` and
+compares the resulting ``repro.servereport/v1`` documents against the
+committed baseline ``benchmarks/results/BENCH_serving.json``:
+
+* FAIL if any *counter* (arrivals, admitted, completed, sheds, failed,
+  retries, displaced, repairs, degraded dispatches, deadline misses)
+  differs from the baseline — the simulator is a pure function of the
+  config, so the comparison is exact, not statistical;
+* FAIL if any latency/goodput float drifts beyond a tiny relative
+  tolerance (they are deterministic too; the tolerance only absorbs
+  libm differences across platforms);
+* FAIL if a scenario violates its robustness invariant regardless of
+  the baseline: no admitted query may end ``failed``, and the gpu-loss
+  scenario must actually exercise repair, displacement and re-admission
+  (``repairs >= 1``, ``displaced >= 1``, ``retries >= 1``);
+* FAIL if any scenario's deadline-miss rate exceeds ``--max-miss-rate``
+  (default 0 — the committed scenarios are tuned to meet every SLO).
+
+Refresh the baseline after intentional behaviour changes with::
+
+    PYTHONPATH=src python scripts/check_serve_regression.py --write-baseline
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+from repro.serve import SCENARIOS, run_scenario
+
+BASELINE = pathlib.Path("benchmarks/results/BENCH_serving.json")
+
+COUNTERS = (
+    "arrivals",
+    "admitted",
+    "completed",
+    "shed_queue_full",
+    "shed_deadline",
+    "failed",
+    "deadline_misses",
+    "retries",
+    "displaced",
+    "repairs",
+    "degraded_dispatches",
+)
+FLOATS = ("p50_ms", "p99_ms", "goodput_qps", "deadline_miss_rate", "makespan_ms")
+
+# invariants checked against the *current* run, independent of baseline
+INVARIANTS = {
+    "gpu-loss": {"repairs": 1, "displaced": 1, "retries": 1},
+    "burst-overload": {"degraded_dispatches": None},  # None: just > 0
+}
+
+
+def measure() -> dict:
+    return {name: run_scenario(name).report.to_dict() for name in sorted(SCENARIOS)}
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", type=pathlib.Path, default=BASELINE)
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="run and (over)write the baseline file instead of gating")
+    ap.add_argument("--rel-tol", type=float, default=1e-9,
+                    help="relative tolerance on latency/goodput floats")
+    ap.add_argument("--max-miss-rate", type=float, default=0.0,
+                    help="maximum allowed deadline-miss rate per scenario")
+    args = ap.parse_args(argv)
+
+    current = measure()
+    if args.write_baseline:
+        args.baseline.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline written to {args.baseline}")
+        return _report(current, current, args)
+
+    if not args.baseline.exists():
+        print(f"ERROR: baseline {args.baseline} missing "
+              "(generate with --write-baseline)", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    return _report(baseline, current, args)
+
+
+def _report(baseline: dict, current: dict, args: argparse.Namespace) -> int:
+    failures: list[str] = []
+    for name, cur in current.items():
+        base = baseline.get(name)
+        if base is None:
+            failures.append(f"{name}: no baseline entry (refresh with --write-baseline)")
+            continue
+        diffs = [
+            f"{key} {base[key]} -> {cur[key]}"
+            for key in COUNTERS
+            if cur.get(key) != base.get(key)
+        ]
+        for key in FLOATS:
+            b, c = base.get(key, 0.0), cur.get(key, 0.0)
+            if not math.isclose(b, c, rel_tol=args.rel_tol, abs_tol=args.rel_tol):
+                diffs.append(f"{key} {b} -> {c}")
+        if diffs:
+            failures.append(f"{name}: drifted from baseline ({'; '.join(diffs)})")
+
+        if cur["failed"]:
+            failures.append(f"{name}: {cur['failed']} admitted request(s) failed")
+        if cur["deadline_miss_rate"] > args.max_miss_rate:
+            failures.append(
+                f"{name}: deadline-miss rate {cur['deadline_miss_rate']:.3f} "
+                f"exceeds {args.max_miss_rate:.3f}"
+            )
+        for key, want in INVARIANTS.get(name, {}).items():
+            ok = cur[key] > 0 if want is None else cur[key] == want
+            if not ok:
+                failures.append(
+                    f"{name}: {key}={cur[key]} does not exercise the scenario "
+                    f"(expected {'> 0' if want is None else want})"
+                )
+        print(
+            f"  {name}: completed {cur['completed']}/{cur['arrivals']}  "
+            f"failed {cur['failed']}  repairs {cur['repairs']}  "
+            f"displaced {cur['displaced']}  p99 {cur['p99_ms']:.2f} ms  "
+            f"goodput {cur['goodput_qps']:.2f} qps"
+        )
+    if failures:
+        print("\nserving regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("serving regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

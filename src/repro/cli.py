@@ -29,8 +29,18 @@ Commands
     Latency-under-faults sweep: run several algorithms on one model
     under an injected fault plan (GPU slowdowns/failures, link
     degradation, transfer loss) and tabulate fault-free, faulted and
-    repaired latency.  Fault specs: ``fail:G@T``, ``slow:G@TxF``,
-    ``link:S->D@TxF``, ``loss:P``.
+    repaired latency — repairs now *cascade* across repeated failures.
+    Fault specs: ``fail:G@T``, ``slow:G@TxF``, ``link:S->D@TxF``,
+    ``loss:P[:jitter]``.  Exit 1 when any run ends unrecovered.
+``serve --scenario NAME | --config FILE [--json] [...]``
+    Fault-tolerant online serving simulation (:mod:`repro.serve`):
+    multi-tenant request streams over a shared GPU pool with admission
+    control, deadline shedding, graceful degradation under overload,
+    per-query retry, and cascading repair of mid-flight GPU failures.
+    Prints the SLO report (p50/p99, goodput, deadline-miss rate,
+    shed/retry/repair counters); exports the pool timeline
+    (``--trace-out``) and the per-request decision log
+    (``--decisions-out``).  Exit 1 when any admitted query failed.
 ``lint [FILES...] [--fault SPEC ...] [--json] [--rules]``
     Run the :mod:`repro.lint` rule packs over any mix of JSON artifacts
     (graphs, schedules, traces, Chrome-trace exports, sweep cache
@@ -180,6 +190,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--watchdog", type=float, default=0.0,
         help="engine watchdog horizon in ms (0 = disabled)",
     )
+    faults.add_argument(
+        "--max-repairs", type=int, default=None, metavar="N",
+        help="cap the cascading repair rounds (default: unbounded)",
+    )
+
+    from .serve.scenarios import SCENARIOS
+
+    serve = sub.add_parser(
+        "serve",
+        help="online multi-tenant serving simulation with SLO report",
+        description="Simulate a stream of inference queries from several "
+        "tenants sharing one GPU pool: admission control, deadline "
+        "shedding, degradation under overload, retries, and cascading "
+        "repair of GPU failures. Exit 1 when any admitted query failed.",
+    )
+    src = serve.add_mutually_exclusive_group()
+    src.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="steady-state",
+        help="built-in seeded scenario (default: steady-state)",
+    )
+    src.add_argument(
+        "--config", default=None, metavar="FILE",
+        help="repro.serve/v1 JSON config (linted before the run)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None, help="override the config seed"
+    )
+    serve.add_argument(
+        "--horizon", type=float, default=None, metavar="MS",
+        help="override the arrival horizon in ms",
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="print the repro.servereport/v1 document",
+    )
+    serve.add_argument(
+        "--requests", action="store_true",
+        help="with --json: include every per-request record",
+    )
+    serve.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="export the pool timeline as Chrome/Perfetto trace_event JSON",
+    )
+    serve.add_argument(
+        "--decisions-out", default=None, metavar="PATH",
+        help="capture the admission/dispatch/outcome decision log as JSONL",
+    )
 
     validate = sub.add_parser(
         "validate", help="check a schedule JSON against a priced graph JSON"
@@ -203,7 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="FILE",
         help="JSON documents: repro.opgraph/v1, schedule, repro.trace/v1, "
-        "repro.cache/v1, Chrome trace_event exports",
+        "repro.cache/v1, repro.serve/v1, Chrome trace_event exports",
     )
     lint.add_argument(
         "--fault",
@@ -458,30 +517,43 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     )
 
     rows = []
+    unrecovered = False
     for alg in sorted(set(args.algorithms), key=args.algorithms.index):
         res = schedule_graph(profile, alg)
         clean = clean_engine.run(profile.graph, res.schedule)
-        faulted = repaired = slowdown = "—"
+        faulted = repaired = rounds = slowdown = "—"
         try:
             if args.no_repair:
-                trace, repair = MultiGpuEngine(faulted_cfg).run(
-                    profile.graph, res.schedule
-                ), None
+                trace = MultiGpuEngine(faulted_cfg).run(profile.graph, res.schedule)
+                repairs: tuple = ()
             else:
-                trace, repair = run_with_repair(
-                    profile, res.schedule, config=faulted_cfg, algorithm=alg
+                trace, repairs = run_with_repair(
+                    profile,
+                    res.schedule,
+                    config=faulted_cfg,
+                    algorithm=alg,
+                    max_repairs=args.max_repairs,
+                    strict=False,
                 )
             if trace.failure is None:
                 faulted = f"{trace.latency:.3f}"
                 slowdown = f"{trace.latency / clean.latency:.2f}x"
             else:
-                faulted = f"fail@{trace.failure.time:.3f}"
-                if repair is not None:
+                # with cascading repair the spliced trace carries the
+                # *last* failure; the first repair records the first cut
+                first = repairs[0].failure if repairs else trace.failure
+                faulted = f"fail@{first.time:.3f}"
+                rounds = str(len(repairs))
+                if trace.unfinished_ops(profile.graph.names):
+                    repaired = "unrecovered"
+                    unrecovered = True
+                else:
                     repaired = f"{trace.latency:.3f}"
                     slowdown = f"{trace.latency / clean.latency:.2f}x"
         except (EngineError, FaultError) as exc:
             faulted = f"error: {exc}"
-        rows.append([alg, f"{clean.latency:.3f}", faulted, repaired, slowdown])
+            unrecovered = True
+        rows.append([alg, f"{clean.latency:.3f}", faulted, repaired, rounds, slowdown])
 
     plan_desc = ", ".join(args.fault) if args.fault else "none (fault-free)"
     print(
@@ -490,11 +562,88 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     )
     print(
         format_table(
-            ["algorithm", "fault-free ms", "faulted", "repaired ms", "vs clean"],
+            ["algorithm", "fault-free ms", "faulted", "repaired ms", "rounds", "vs clean"],
             rows,
         )
     )
-    return 0
+    # match `repro lint`: non-zero exit when something is actually wrong
+    # (a failure nobody repaired), so CI can gate on it
+    return 1 if unrecovered else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    from dataclasses import replace
+
+    from .serve.config import ServeConfig, ServeConfigError
+    from .serve.report import serve_timeline
+    from .serve.scenarios import scenario_config
+    from .serve.simulator import ServeError, serve
+
+    if args.config:
+        try:
+            with open(args.config) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {args.config}: {exc}")
+            return 2
+        from .lint import lint_serve_config
+
+        lint_report = lint_serve_config(doc)
+        if lint_report.errors:
+            print(lint_report.to_text())
+            return 2
+        try:
+            config = ServeConfig.from_dict(doc)
+        except ServeConfigError as exc:
+            print(f"error: bad serving config {args.config}: {exc}")
+            return 2
+    else:
+        config = scenario_config(args.scenario)
+    overrides: dict[str, object] = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.horizon is not None:
+        overrides["horizon_ms"] = args.horizon
+    if overrides:
+        try:
+            config = replace(config, **overrides)  # type: ignore[arg-type]
+        except ServeConfigError as exc:
+            print(f"error: {exc}")
+            return 2
+
+    try:
+        if args.decisions_out:
+            from .obs import capture_decisions
+
+            with capture_decisions() as decisions:
+                result = serve(config)
+            decisions.write_jsonl(args.decisions_out)
+            print(f"wrote {len(decisions)} decision record(s) to {args.decisions_out}")
+        else:
+            result = serve(config)
+    except ServeError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    if args.trace_out:
+        from .obs import save_chrome_trace
+
+        timeline, op_gpu = serve_timeline(list(result.records))
+        save_chrome_trace(timeline, op_gpu, args.trace_out, process_name="repro-serve")
+        print(f"wrote serving timeline to {args.trace_out}")
+
+    report = result.report
+    if args.json:
+        doc = report.to_dict()
+        if args.requests:
+            doc["requests"] = [r.to_dict() for r in result.records]
+        print(json.dumps(doc, indent=2))
+    else:
+        print(report.to_text())
+    # failed > 0 means admitted work was lost (retries exhausted / no
+    # GPUs left) — the robustness contract this command exists to check
+    return 1 if report.failed else 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -539,6 +688,8 @@ def _detect_document(data: object) -> str | None:
         return "trace"
     if fmt == "repro.cache/v1" or ("key" in data and "payload" in data):
         return "cache"
+    if fmt == "repro.serve/v1":
+        return "serve"
     if "traceEvents" in data:
         return "chrome"
     if "num_gpus" in data and "gpus" in data:
@@ -571,7 +722,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print("error: nothing to lint (pass JSON files and/or --fault specs)")
         return 2
 
-    graph = schedule = schedule_doc = trace = cache_doc = chrome_doc = None
+    graph = schedule = schedule_doc = trace = cache_doc = chrome_doc = serve_doc = None
     for path in args.files:
         try:
             with open(path) as fh:
@@ -602,11 +753,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             cache_doc = data  # the cache rules report the details
         elif kind == "chrome":
             chrome_doc = data  # the chrome rules report the details
+        elif kind == "serve":
+            serve_doc = data  # the serve rules report the details
         else:
             print(
                 f"error: cannot classify {path}: expected a repro.opgraph/v1, "
-                "repro.trace/v1, repro.cache/v1, Chrome trace_event "
-                "(traceEvents) or schedule (num_gpus/gpus) document"
+                "repro.trace/v1, repro.cache/v1, repro.serve/v1, Chrome "
+                "trace_event (traceEvents) or schedule (num_gpus/gpus) document"
             )
             return 2
 
@@ -626,6 +779,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         plan=plan,
         cache_doc=cache_doc,
         chrome_doc=chrome_doc,
+        serve_doc=serve_doc,
         window=args.window,
         num_gpus=args.gpus,
         horizon=args.horizon,
@@ -756,6 +910,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cache(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "trace":

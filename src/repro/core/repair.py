@@ -18,7 +18,12 @@ Model assumptions (kept deliberately simple, see DESIGN.md):
   during failover;
 * in-flight operators on *any* GPU restart from scratch (the global
   cut keeps the hand-off state consistent);
-* the repaired tail runs fault-free (single-failure model).
+* the repaired tail faces the *remaining* fault plan
+  (:meth:`~repro.substrate.faults.FaultPlan.resume_after`): failures
+  that have not fired yet can strike the tail too, and
+  :func:`run_with_repair` keeps repairing — head, repair, tail, repair,
+  ... — until a tail runs clean or no survivor is left (cascading
+  failures, generalizing the original single-failure model).
 
 The substrate imports :mod:`repro.core`, so everything engine-facing
 here is imported lazily inside the functions that need it.
@@ -70,13 +75,16 @@ class RepairResult:
         return self.result.latency
 
 
-def _surviving_gpus(num_gpus: int, failure: "FailureEvent") -> tuple[int, ...]:
+def _surviving_gpus(
+    num_gpus: int, failure: "FailureEvent", dead: tuple[int, ...] = ()
+) -> tuple[int, ...]:
     if not (0 <= failure.gpu < num_gpus):
         raise RepairError(
             f"failure names GPU {failure.gpu} but the profile has "
             f"{num_gpus} GPU(s)"
         )
-    survivors = tuple(g for g in range(num_gpus) if g != failure.gpu)
+    gone = set(dead) | {failure.gpu}
+    survivors = tuple(g for g in range(num_gpus) if g not in gone)
     if not survivors:
         raise RepairError("no surviving GPU to repair onto")
     return survivors
@@ -86,13 +94,16 @@ def repair_schedule(
     profile: CostProfile,
     failure: "FailureEvent",
     algorithm: str = "hios-lp",
+    dead: tuple[int, ...] = (),
     **kwargs: Any,
 ) -> RepairResult:
     """Re-schedule the unfinished subgraph onto the surviving GPUs.
 
     ``algorithm`` accepts any :data:`repro.core.api.ALGORITHMS` name and
     ``kwargs`` are forwarded to it, mirroring ``schedule_graph``; the
-    default runs HIOS-LP in degraded mode.  Edges from finished
+    default runs HIOS-LP in degraded mode.  ``dead`` names GPUs lost in
+    *earlier* failures of a cascade — they are excluded from the
+    survivor set along with ``failure.gpu``.  Edges from finished
     producers are dropped (their tensors are host-checkpointed and
     re-staged during failover), making their consumers sources of the
     repair subgraph.
@@ -102,7 +113,7 @@ def repair_schedule(
     remaining = failure.unfinished(profile.graph.names)
     if not remaining:
         raise RepairError("nothing to repair: every operator already finished")
-    survivors = _surviving_gpus(profile.num_gpus, failure)
+    survivors = _surviving_gpus(profile.num_gpus, failure, dead)
 
     subgraph = profile.graph.subgraph(remaining)
     speeds = None
@@ -137,17 +148,24 @@ def splice_traces(head: "ExecutionTrace", tail: "ExecutionTrace") -> "ExecutionT
     """Combine a failed partial trace with its repaired tail.
 
     The tail's clock starts at zero; every tail timestamp is shifted by
-    the failure time.  Finished operators keep their pre-failure times,
-    everything else takes the tail's.  The combined trace keeps the
+    the head's failure time.  Finished head operators keep their
+    pre-failure times, everything else takes the tail's.
+
+    The tail may itself be *partial* (a later failure of the cascade):
+    the combined trace then carries the tail's failure shifted onto the
+    head clock, with the finished sets merged — so cascades splice
+    associatively, ``splice(splice(a, b), c) == splice(a, splice(b, c))``,
+    and :func:`run_with_repair` can left-fold one segment at a time.
+    When the tail ran clean the combined trace keeps the head's
     ``failure`` marker so callers can tell a repaired run from a clean
-    one.
+    one (use :meth:`~repro.substrate.engine.ExecutionTrace.unfinished_ops`
+    to tell "fully repaired" from "gave up mid-cascade").
     """
     from ..substrate.engine import ExecutionTrace  # local import avoids a cycle
+    from ..substrate.faults import FailureEvent  # local import avoids a cycle
 
     if head.failure is None:
         raise RepairError("head trace did not fail; nothing to splice")
-    if tail.failure is not None:
-        raise RepairError("tail trace failed too; cannot splice a partial tail")
     at = head.failure.time
     done = head.failure.finished
 
@@ -173,6 +191,15 @@ def splice_traces(head: "ExecutionTrace", tail: "ExecutionTrace") -> "ExecutionT
     gpu_busy = dict(head.gpu_busy)
     for g, busy in tail.gpu_busy.items():
         gpu_busy[g] = gpu_busy.get(g, 0.0) + busy
+    if tail.failure is None:
+        failure = head.failure
+    else:
+        failure = FailureEvent(
+            gpu=tail.failure.gpu,
+            time=at + tail.failure.time,
+            finished=done | tail.failure.finished,
+            in_flight=tail.failure.in_flight,
+        )
     return ExecutionTrace(
         latency=at + tail.latency,
         op_launch=op_launch,
@@ -180,7 +207,7 @@ def splice_traces(head: "ExecutionTrace", tail: "ExecutionTrace") -> "ExecutionT
         op_finish=op_finish,
         transfers=transfers,
         gpu_busy=gpu_busy,
-        failure=head.failure,
+        failure=failure,
     )
 
 
@@ -189,23 +216,62 @@ def run_with_repair(
     schedule: Schedule,
     config: "EngineConfig | None" = None,
     algorithm: str = "hios-lp",
+    max_repairs: int | None = None,
+    strict: bool = True,
     **kwargs: Any,
-) -> "tuple[ExecutionTrace, RepairResult | None]":
-    """Execute ``schedule`` under ``config``; on a GPU failure, repair
-    and finish on the survivors.
+) -> "tuple[ExecutionTrace, tuple[RepairResult, ...]]":
+    """Execute ``schedule`` under ``config``; on GPU failures, keep
+    repairing onto the survivors until a tail runs clean.
 
-    Returns ``(trace, repair)``: a clean run returns its trace and
-    ``None``; a failed run returns the spliced head+tail trace and the
-    :class:`RepairResult` that produced the tail.  The tail executes
-    with the faults stripped from the config (single-failure model).
+    Returns ``(trace, repairs)``: a clean run returns its trace and an
+    empty tuple; a failed run returns the spliced trace of every
+    segment plus one :class:`RepairResult` per repair round, in order.
+
+    This generalizes the original single-failure contract (which
+    stripped *all* faults from the tail and returned at most one
+    repair): each tail now executes under
+    :meth:`~repro.substrate.faults.FaultPlan.resume_after` — the
+    original plan re-anchored to the tail clock with the dead GPU's
+    specs dropped — so later failures strike the tail and trigger
+    further repair rounds (*cascading repair*).  The loop ends when a
+    tail completes, every operator turns out to have finished before
+    the cut, ``max_repairs`` rounds are exhausted, or no survivor is
+    left.  In the last two cases ``strict=True`` (default) raises
+    :class:`RepairError`; ``strict=False`` instead returns the partial
+    spliced trace — its ``failure`` marker set and
+    ``trace.unfinished_ops(...)`` non-empty — so online callers (the
+    serving simulator) can re-admit the displaced work elsewhere.
     """
     from ..substrate.engine import MultiGpuEngine  # local import avoids a cycle
 
     engine = MultiGpuEngine(config)
-    head = engine.run(profile.graph, schedule)
-    if head.failure is None:
-        return head, None
-    repair = repair_schedule(profile, head.failure, algorithm=algorithm, **kwargs)
-    tail_engine = MultiGpuEngine(replace(engine.config, faults=None))
-    tail = tail_engine.run(repair.subgraph, repair.schedule)
-    return splice_traces(head, tail), repair
+    cfg = engine.config
+    trace = engine.run(profile.graph, schedule)
+    repairs: list[RepairResult] = []
+    dead: list[int] = []
+    # a spliced trace keeps its failure marker even once fully repaired,
+    # so the loop keys on completeness, not on the marker
+    while trace.failure is not None and trace.unfinished_ops(profile.graph.names):
+        failure = trace.failure
+        if max_repairs is not None and len(repairs) >= max_repairs:
+            if strict:
+                raise RepairError(
+                    f"repair budget exhausted: {len(repairs)} round(s) done "
+                    f"and GPU {failure.gpu} failed again at t={failure.time:.3f}"
+                )
+            break
+        try:
+            repair = repair_schedule(
+                profile, failure, algorithm=algorithm, dead=tuple(dead), **kwargs
+            )
+        except RepairError:
+            if strict:
+                raise
+            break
+        dead.append(failure.gpu)
+        plan = cfg.faults.resume_after(failure.time, dead=dead) if cfg.faults else None
+        tail_engine = MultiGpuEngine(replace(cfg, faults=plan if plan else None))
+        tail = tail_engine.run(repair.subgraph, repair.schedule)
+        repairs.append(repair)
+        trace = splice_traces(trace, tail)
+    return trace, tuple(repairs)

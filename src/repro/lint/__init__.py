@@ -1,7 +1,7 @@
 """``repro.lint`` — rule-based static verification of HIOS artifacts.
 
 The subsystem behind ``repro lint``: a small diagnostic framework
-(:class:`Rule`, :class:`Diagnostic`, :class:`Linter`) plus six rule
+(:class:`Rule`, :class:`Diagnostic`, :class:`Linter`) plus seven rule
 packs covering every artifact the scheduler pipeline produces or
 consumes:
 
@@ -21,6 +21,9 @@ cache     sweep result-cache entries (``C0xx``: format marker, schema
 chrome    exported Chrome/Perfetto trace-event documents (``T1xx``:
           object form, exporter format marker, event structure, flow
           pairing, named tracks, failure-instant marker)
+serve     serving-scenario configs (``V0xx``: format marker, tenant and
+          arrival shape, pool/lease arithmetic, registered algorithms,
+          parseable fault specs, policy-knob sanity)
 ========  ==================================================================
 
 Unlike ``Schedule.validate()`` — now a thin wrapper over the
@@ -37,6 +40,7 @@ from .api import (
     lint_graph,
     lint_schedule,
     lint_schedule_document,
+    lint_serve_config,
     lint_trace,
 )
 from .diagnostics import Diagnostic, LintReport, Severity
@@ -57,6 +61,7 @@ from . import chrome_rules as _chrome_rules  # noqa: F401
 from . import fault_rules as _fault_rules  # noqa: F401
 from . import graph_rules as _graph_rules  # noqa: F401
 from . import schedule_rules as _schedule_rules  # noqa: F401
+from . import serve_rules as _serve_rules  # noqa: F401
 from . import trace_rules as _trace_rules  # noqa: F401
 
 __all__ = [
@@ -75,6 +80,7 @@ __all__ = [
     "lint_graph",
     "lint_schedule",
     "lint_schedule_document",
+    "lint_serve_config",
     "lint_trace",
     "rule",
     "rule_catalog",

@@ -28,6 +28,7 @@ __all__ = [
     "lint_fault_plan",
     "lint_cache_document",
     "lint_chrome_trace",
+    "lint_serve_config",
 ]
 
 
@@ -102,6 +103,19 @@ def lint_cache_document(
 ) -> LintReport:
     """Run the cache rule pack over one sweep result-cache entry."""
     ctx = LintContext(cache_doc=data)
+    return _linter(errors_only).run(ctx)
+
+
+def lint_serve_config(
+    data: Mapping[str, Any], *, errors_only: bool = False
+) -> LintReport:
+    """Run the serve rule pack over one ``repro.serve/v1`` config doc.
+
+    ``data`` is the raw mapping (e.g. parsed JSON) — linting never
+    constructs a :class:`repro.serve.config.ServeConfig`, so malformed
+    documents are reported instead of raising.
+    """
+    ctx = LintContext(serve_doc=data)
     return _linter(errors_only).run(ctx)
 
 

@@ -3,7 +3,8 @@
 A :class:`Rule` is a pure function from a :class:`LintContext` to zero
 or more :class:`Finding` values, tagged with a stable ID, a severity and
 the *subjects* it needs (``graph``, ``schedule``, ``schedule_doc``,
-``trace``, ``plan``, ``cache_doc``, ``chrome_doc``).  The :class:`Linter` runs every
+``trace``, ``plan``, ``cache_doc``, ``chrome_doc``, ``serve_doc``).
+The :class:`Linter` runs every
 registered rule whose subjects the context provides and returns a
 :class:`~repro.lint.diagnostics.LintReport` — it never raises on a
 finding, so one run surfaces *every* problem at once.
@@ -47,6 +48,7 @@ SUBJECTS = (
     "plan",
     "cache_doc",
     "chrome_doc",
+    "serve_doc",
 )
 
 
@@ -81,6 +83,7 @@ class LintContext:
     plan: "FaultPlan | None" = None
     cache_doc: Mapping[str, Any] | None = None
     chrome_doc: Mapping[str, Any] | None = None
+    serve_doc: Mapping[str, Any] | None = None
     window: int | None = None
     num_gpus: int | None = None
     horizon: float | None = None

@@ -1,0 +1,347 @@
+"""Serving-config rules (``V0xx``): ``repro.serve/v1`` document hygiene.
+
+Serving scenarios are committed as JSON next to the benchmark baselines
+they produced, and CI replays them bit-for-bit — so a malformed config
+is not a runtime inconvenience, it silently changes what the regression
+gate is comparing.  These rules check the raw document *before*
+:class:`repro.serve.config.ServeConfig` ever constructs: the format
+marker, tenant shape and arrival processes, pool/lease arithmetic,
+registered algorithms, parseable fault specs within pool range, and
+policy-knob sanity (an unreachable overload threshold, a zero-retry
+config facing injected GPU failures).
+
+The pack works on the plain mapping only — it never imports
+:mod:`repro.serve` — so ``repro lint`` can classify foreign documents
+without executing scenario code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator, Mapping
+
+from ..core.api import ALGORITHMS
+from .diagnostics import Severity
+from .framework import Finding, LintContext, rule
+
+__all__: list[str] = []
+
+SERVE_CONFIG_FORMAT = "repro.serve/v1"
+
+
+def _num(value: Any) -> float | None:
+    """The value as a float, or ``None`` when it is not a finite number."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    if not math.isfinite(value):
+        return None
+    return float(value)
+
+
+def _int(value: Any) -> int | None:
+    if isinstance(value, bool) or not isinstance(value, int):
+        return None
+    return value
+
+
+@rule(
+    "V001",
+    severity=Severity.ERROR,
+    pack="serve",
+    title="serving config must carry the serve format marker",
+    requires=("serve_doc",),
+    hint=f"the simulator only accepts documents with format "
+    f"{SERVE_CONFIG_FORMAT!r}",
+)
+def check_format(ctx: LintContext) -> Iterator[Finding]:
+    doc = ctx.serve_doc
+    assert doc is not None
+    fmt = doc.get("format")
+    if fmt != SERVE_CONFIG_FORMAT:
+        yield Finding(
+            f"format is {fmt!r}, expected {SERVE_CONFIG_FORMAT!r}",
+            location="format",
+        )
+
+
+@rule(
+    "V002",
+    severity=Severity.ERROR,
+    pack="serve",
+    title="tenants must be a non-empty list with unique names",
+    requires=("serve_doc",),
+    hint="every tenant entry is a mapping with at least 'name' and "
+    "'model'; duplicate names would merge two arrival streams",
+)
+def check_tenants(ctx: LintContext) -> Iterator[Finding]:
+    doc = ctx.serve_doc
+    assert doc is not None
+    tenants = doc.get("tenants")
+    if not isinstance(tenants, list) or not tenants:
+        yield Finding(
+            f"tenants is {type(tenants).__name__ if tenants is not None else None}"
+            ", expected a non-empty array",
+            location="tenants",
+        )
+        return
+    seen: set[str] = set()
+    for i, t in enumerate(tenants):
+        if not isinstance(t, Mapping):
+            yield Finding(
+                f"tenants[{i}] is {type(t).__name__}, expected a mapping",
+                location=f"tenants[{i}]",
+            )
+            continue
+        name = t.get("name")
+        if not isinstance(name, str) or not name:
+            yield Finding(
+                f"tenants[{i}].name is {name!r}, expected a non-empty string",
+                location=f"tenants[{i}].name",
+            )
+        elif name in seen:
+            yield Finding(
+                f"duplicate tenant name {name!r}",
+                location=f"tenants[{i}].name",
+            )
+        else:
+            seen.add(name)
+        model = t.get("model")
+        if not isinstance(model, str) or not model:
+            yield Finding(
+                f"tenants[{i}].model is {model!r}, expected a model name",
+                location=f"tenants[{i}].model",
+            )
+
+
+@rule(
+    "V003",
+    severity=Severity.ERROR,
+    pack="serve",
+    title="tenant arrival processes must be well-formed",
+    requires=("serve_doc",),
+    hint="each tenant needs rate_qps > 0 and/or explicit arrivals_ms; "
+    "times are non-negative finite milliseconds, deadlines positive",
+)
+def check_arrivals(ctx: LintContext) -> Iterator[Finding]:
+    doc = ctx.serve_doc
+    assert doc is not None
+    tenants = doc.get("tenants")
+    if not isinstance(tenants, list):
+        return
+    for i, t in enumerate(tenants):
+        if not isinstance(t, Mapping):
+            continue
+        rate = _num(t.get("rate_qps", 0.0))
+        if rate is None or rate < 0:
+            yield Finding(
+                f"tenants[{i}].rate_qps is {t.get('rate_qps')!r}, expected a "
+                "non-negative finite number",
+                location=f"tenants[{i}].rate_qps",
+            )
+            rate = 0.0
+        arrivals = t.get("arrivals_ms", [])
+        if not isinstance(arrivals, list):
+            yield Finding(
+                f"tenants[{i}].arrivals_ms is {type(arrivals).__name__}, "
+                "expected an array of times",
+                location=f"tenants[{i}].arrivals_ms",
+            )
+            arrivals = []
+        else:
+            for j, at in enumerate(arrivals):
+                v = _num(at)
+                if v is None or v < 0:
+                    yield Finding(
+                        f"tenants[{i}].arrivals_ms[{j}] is {at!r}, expected a "
+                        "non-negative finite time",
+                        location=f"tenants[{i}].arrivals_ms[{j}]",
+                    )
+        if rate == 0.0 and not arrivals:
+            yield Finding(
+                f"tenants[{i}] generates no requests (rate_qps 0 and no "
+                "arrivals_ms)",
+                location=f"tenants[{i}]",
+            )
+        deadline = _num(t.get("deadline_ms", 1000.0))
+        if deadline is None or deadline <= 0:
+            yield Finding(
+                f"tenants[{i}].deadline_ms is {t.get('deadline_ms')!r}, "
+                "expected a positive finite number",
+                location=f"tenants[{i}].deadline_ms",
+            )
+
+
+@rule(
+    "V004",
+    severity=Severity.ERROR,
+    pack="serve",
+    title="pool and lease sizes must be consistent",
+    requires=("serve_doc",),
+    hint="1 <= degraded_gpus <= gpus_per_query <= num_gpus, and the "
+    "horizon must be a positive finite duration",
+)
+def check_pool(ctx: LintContext) -> Iterator[Finding]:
+    doc = ctx.serve_doc
+    assert doc is not None
+    num_gpus = _int(doc.get("num_gpus", 4))
+    if num_gpus is None or num_gpus < 1:
+        yield Finding(
+            f"num_gpus is {doc.get('num_gpus')!r}, expected a positive integer",
+            location="num_gpus",
+        )
+        return
+    per_query = _int(doc.get("gpus_per_query", 2))
+    if per_query is None or not (1 <= per_query <= num_gpus):
+        yield Finding(
+            f"gpus_per_query is {doc.get('gpus_per_query')!r}, expected an "
+            f"integer in [1, {num_gpus}]",
+            location="gpus_per_query",
+        )
+        per_query = num_gpus
+    degraded = _int(doc.get("degraded_gpus", 1))
+    if degraded is None or not (1 <= degraded <= per_query):
+        yield Finding(
+            f"degraded_gpus is {doc.get('degraded_gpus')!r}, expected an "
+            f"integer in [1, {per_query}]",
+            location="degraded_gpus",
+        )
+    horizon = _num(doc.get("horizon_ms", 1000.0))
+    if horizon is None or horizon <= 0:
+        yield Finding(
+            f"horizon_ms is {doc.get('horizon_ms')!r}, expected a positive "
+            "finite duration",
+            location="horizon_ms",
+        )
+
+
+@rule(
+    "V005",
+    severity=Severity.ERROR,
+    pack="serve",
+    title="scheduling algorithms must be registered",
+    requires=("serve_doc",),
+    hint=f"known algorithms: {', '.join(sorted(ALGORITHMS))}",
+)
+def check_algorithms(ctx: LintContext) -> Iterator[Finding]:
+    doc = ctx.serve_doc
+    assert doc is not None
+    for field in ("algorithm", "degraded_algorithm"):
+        alg = doc.get(field)
+        if alg is not None and alg not in ALGORITHMS:
+            yield Finding(
+                f"{field} is {alg!r}, not a registered algorithm",
+                location=field,
+            )
+
+
+@rule(
+    "V006",
+    severity=Severity.ERROR,
+    pack="serve",
+    title="fault specs must parse and target pool GPUs",
+    requires=("serve_doc",),
+    hint="faults use the compact spec strings (fail:G@T, slow:G@TxF, "
+    "link:S->D@TxF, loss:P[:jitter]) with GPU indices inside the pool",
+)
+def check_faults(ctx: LintContext) -> Iterator[Finding]:
+    from ..substrate.faults import FaultError, FaultPlan
+
+    doc = ctx.serve_doc
+    assert doc is not None
+    faults = doc.get("faults", [])
+    if not isinstance(faults, list):
+        yield Finding(
+            f"faults is {type(faults).__name__}, expected an array of spec "
+            "strings",
+            location="faults",
+        )
+        return
+    num_gpus = _int(doc.get("num_gpus", 4))
+    for i, spec in enumerate(faults):
+        if not isinstance(spec, str):
+            yield Finding(
+                f"faults[{i}] is {spec!r}, expected a spec string",
+                location=f"faults[{i}]",
+            )
+            continue
+        try:
+            plan = FaultPlan.from_strings([spec])
+            if num_gpus is not None and num_gpus >= 1:
+                plan.validate_for(num_gpus)
+        except FaultError as exc:
+            yield Finding(str(exc), location=f"faults[{i}]")
+
+
+@rule(
+    "V007",
+    severity=Severity.WARNING,
+    pack="serve",
+    title="overload threshold should be reachable",
+    requires=("serve_doc",),
+    hint="with overload_queue >= queue_capacity the queue sheds before "
+    "degradation can ever engage; degraded knobs are then dead config",
+)
+def check_overload_reachable(ctx: LintContext) -> Iterator[Finding]:
+    doc = ctx.serve_doc
+    assert doc is not None
+    capacity = _int(doc.get("queue_capacity", 16))
+    overload = _int(doc.get("overload_queue", 8))
+    if capacity is None or capacity < 1:
+        yield Finding(
+            f"queue_capacity is {doc.get('queue_capacity')!r}, expected a "
+            "positive integer",
+            location="queue_capacity",
+        )
+        return
+    if overload is None or overload < 0:
+        yield Finding(
+            f"overload_queue is {doc.get('overload_queue')!r}, expected a "
+            "non-negative integer",
+            location="overload_queue",
+        )
+        return
+    if overload >= capacity:
+        yield Finding(
+            f"overload_queue {overload} >= queue_capacity {capacity}: "
+            "degradation can never engage before admission sheds",
+            location="overload_queue",
+        )
+
+
+@rule(
+    "V008",
+    severity=Severity.WARNING,
+    pack="serve",
+    title="retry budget should cover injected GPU failures",
+    requires=("serve_doc",),
+    hint="a query displaced by a GPU failure needs max_retries >= 1 to "
+    "be re-admitted; with 0 it fails outright",
+)
+def check_retry_budget(ctx: LintContext) -> Iterator[Finding]:
+    doc = ctx.serve_doc
+    assert doc is not None
+    retries = _int(doc.get("max_retries", 2))
+    if retries is None or retries < 0:
+        yield Finding(
+            f"max_retries is {doc.get('max_retries')!r}, expected a "
+            "non-negative integer",
+            location="max_retries",
+        )
+        return
+    backoff = _num(doc.get("retry_backoff_ms", 5.0))
+    if backoff is None or backoff < 0:
+        yield Finding(
+            f"retry_backoff_ms is {doc.get('retry_backoff_ms')!r}, expected "
+            "a non-negative finite number",
+            location="retry_backoff_ms",
+        )
+    faults = doc.get("faults", [])
+    has_failures = isinstance(faults, list) and any(
+        isinstance(s, str) and s.startswith("fail:") for s in faults
+    )
+    if retries == 0 and has_failures:
+        yield Finding(
+            "max_retries is 0 while the fault plan injects GPU failures: "
+            "displaced queries will fail instead of being re-admitted",
+            location="max_retries",
+        )

@@ -1,0 +1,73 @@
+"""``repro.serve`` — fault-tolerant online multi-tenant serving simulator.
+
+Every other experiment in this repository schedules *one* inference in
+isolation.  This package simulates the production situation the
+ROADMAP's north star describes: a continuous stream of queries from
+multiple tenants sharing one GPU pool, each query running its own HIOS
+schedule on a dynamically leased GPU subset, while the machine
+misbehaves underneath.
+
+The moving parts:
+
+* :mod:`~repro.serve.config` — :class:`ServeConfig` /
+  :class:`TenantSpec`, the declarative, seeded description of a serving
+  scenario (``repro.serve/v1`` JSON contract, linted by the ``V0xx``
+  rule pack);
+* :mod:`~repro.serve.arrivals` — seeded Poisson and trace-driven
+  request arrival processes over a mixed model zoo;
+* :mod:`~repro.serve.zoo` — the serving model zoo (small layered DAGs
+  plus the paper's Fig. 4 worked example), with memoized per-lease-size
+  cost profiles;
+* :mod:`~repro.serve.pool` — the shared GPU pool: leases, releases and
+  fail-stop bookkeeping;
+* :mod:`~repro.serve.simulator` — the discrete-event serving loop:
+  admission control with a bounded queue, deadline-aware shedding,
+  graceful degradation under overload (fewer GPUs, cheaper scheduler),
+  per-query retry with seeded backoff, and mid-flight GPU loss handled
+  by cascading repair (:func:`repro.core.repair.run_with_repair`) with
+  displaced queries re-admitted;
+* :mod:`~repro.serve.report` — :class:`ServeReport` SLO metrics
+  (p50/p99 latency, goodput, deadline-miss rate, shed/retry/repair
+  counters; ``repro.servereport/v1``) and the serve-timeline Chrome
+  trace export;
+* :mod:`~repro.serve.scenarios` — the seeded end-to-end scenarios
+  (steady-state, burst-overload, gpu-loss) gated bit-for-bit in CI
+  against ``benchmarks/results/BENCH_serving.json``.
+
+Every run is a pure function of its :class:`ServeConfig`: the same
+config produces a bit-identical :class:`ServeReport` on every machine.
+"""
+
+from .arrivals import Request, build_arrivals, poisson_arrivals, trace_arrivals
+from .config import ServeConfig, ServeConfigError, TenantSpec
+from .pool import GpuPool, PoolError
+from .report import RequestRecord, ServeReport, TenantReport, serve_timeline
+from .scenarios import SCENARIOS, run_scenario, scenario_config
+from .simulator import ServeError, ServeResult, ServeSimulator, serve
+from .zoo import MODEL_ZOO, zoo_graph, zoo_profile
+
+__all__ = [
+    "GpuPool",
+    "MODEL_ZOO",
+    "PoolError",
+    "Request",
+    "RequestRecord",
+    "SCENARIOS",
+    "ServeConfig",
+    "ServeConfigError",
+    "ServeError",
+    "ServeReport",
+    "ServeResult",
+    "ServeSimulator",
+    "TenantReport",
+    "TenantSpec",
+    "build_arrivals",
+    "poisson_arrivals",
+    "run_scenario",
+    "scenario_config",
+    "serve",
+    "serve_timeline",
+    "trace_arrivals",
+    "zoo_graph",
+    "zoo_profile",
+]

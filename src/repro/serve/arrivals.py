@@ -1,0 +1,83 @@
+"""Seeded request-arrival processes for the serving simulator.
+
+Two generators compose per tenant: a Poisson process (``rate_qps``)
+whose inter-arrival gaps are exponential draws from a per-tenant
+``random.Random`` seeded by ``f"{seed}:arrivals:{tenant}"`` — so adding
+or removing one tenant never perturbs another tenant's stream — and
+explicit trace arrivals (``arrivals_ms``) for scripted bursts.  The
+merged stream is sorted by ``(arrival_ms, id)`` and request ids are
+assigned per tenant in arrival order, making the whole workload a pure
+function of the :class:`~repro.serve.config.ServeConfig`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .config import ServeConfig, TenantSpec
+
+__all__ = ["Request", "build_arrivals", "poisson_arrivals", "trace_arrivals"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference query: a tenant's model invoked at ``arrival_ms``.
+
+    ``deadline_ms`` is absolute (arrival + the tenant's SLO); ``id`` is
+    unique across the run (``{tenant}-q{NNNN}``).
+    """
+
+    id: str
+    tenant: str
+    model: str
+    arrival_ms: float
+    deadline_ms: float
+    priority: int = 0
+
+
+def poisson_arrivals(
+    tenant: TenantSpec, horizon_ms: float, seed: int
+) -> list[float]:
+    """Arrival times of the tenant's Poisson stream within the horizon."""
+    if tenant.rate_qps <= 0:
+        return []
+    rng = random.Random(f"{seed}:arrivals:{tenant.name}")
+    gap_ms = 1000.0 / tenant.rate_qps
+    times: list[float] = []
+    t = rng.expovariate(1.0) * gap_ms
+    while t < horizon_ms:
+        times.append(t)
+        t += rng.expovariate(1.0) * gap_ms
+    return times
+
+
+def trace_arrivals(tenant: TenantSpec, horizon_ms: float) -> list[float]:
+    """The tenant's explicit arrivals that fall within the horizon."""
+    return [t for t in tenant.arrivals_ms if t < horizon_ms]
+
+
+def build_arrivals(config: ServeConfig) -> list[Request]:
+    """The full request stream of a serving run, sorted by arrival.
+
+    Ties are broken by request id, so the stream — and with it the whole
+    simulation — is deterministic.
+    """
+    requests: list[Request] = []
+    for tenant in config.tenants:
+        times = poisson_arrivals(tenant, config.horizon_ms, config.seed)
+        times.extend(trace_arrivals(tenant, config.horizon_ms))
+        times.sort()
+        for i, t in enumerate(times):
+            requests.append(
+                Request(
+                    id=f"{tenant.name}-q{i:04d}",
+                    tenant=tenant.name,
+                    model=tenant.model,
+                    arrival_ms=t,
+                    deadline_ms=t + tenant.deadline_ms,
+                    priority=tenant.priority,
+                )
+            )
+    requests.sort(key=lambda r: (r.arrival_ms, r.id))
+    return requests

@@ -1,0 +1,84 @@
+"""The shared GPU pool: exclusive leases and fail-stop bookkeeping.
+
+Queries lease GPU subsets exclusively — the engine's contention model
+covers streams *within* one GPU, not co-located independent queries —
+so the pool is plain set arithmetic: ``free``, ``dead``, and a map of
+active leases.  Leases always take the lowest free indices, which keeps
+placement (and therefore the whole simulation) deterministic.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GpuPool", "PoolError"]
+
+
+class PoolError(RuntimeError):
+    """Raised on impossible pool operations (double lease, bad release)."""
+
+
+class GpuPool:
+    """Tracks which pool GPUs are free, leased, or dead.
+
+    ``fail`` marks a GPU dead wherever it is; a lease holding a dead
+    GPU keeps it listed (the query's fault plan handles the failure),
+    but ``release`` never returns dead GPUs to the free set.
+    """
+
+    def __init__(self, num_gpus: int) -> None:
+        if num_gpus < 1:
+            raise PoolError("pool needs at least one GPU")
+        self.num_gpus = num_gpus
+        self.free: set[int] = set(range(num_gpus))
+        self.dead: set[int] = set()
+        self.leases: dict[str, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_free(self) -> int:
+        return len(self.free)
+
+    @property
+    def num_alive(self) -> int:
+        return self.num_gpus - len(self.dead)
+
+    def holder_of(self, gpu: int) -> str | None:
+        """The lease holding ``gpu``, if any."""
+        for holder, gpus in self.leases.items():
+            if gpu in gpus:
+                return holder
+        return None
+
+    # ------------------------------------------------------------------
+    def lease(self, holder: str, count: int) -> tuple[int, ...]:
+        """Lease the ``count`` lowest free GPUs to ``holder``."""
+        if holder in self.leases:
+            raise PoolError(f"{holder!r} already holds a lease")
+        if count < 1:
+            raise PoolError("lease needs at least one GPU")
+        if count > len(self.free):
+            raise PoolError(
+                f"cannot lease {count} GPU(s): only {len(self.free)} free"
+            )
+        gpus = tuple(sorted(self.free)[:count])
+        self.free.difference_update(gpus)
+        self.leases[holder] = gpus
+        return gpus
+
+    def release(self, holder: str) -> tuple[int, ...]:
+        """Return ``holder``'s surviving GPUs to the free set."""
+        try:
+            gpus = self.leases.pop(holder)
+        except KeyError:
+            raise PoolError(f"{holder!r} holds no lease") from None
+        self.free.update(g for g in gpus if g not in self.dead)
+        return gpus
+
+    def fail(self, gpu: int) -> str | None:
+        """Fail-stop ``gpu``; returns the lease that held it, if any."""
+        if not (0 <= gpu < self.num_gpus):
+            raise PoolError(f"GPU {gpu} out of range")
+        if gpu in self.dead:
+            return None
+        self.dead.add(gpu)
+        self.free.discard(gpu)
+        return self.holder_of(gpu)

@@ -1,0 +1,449 @@
+"""The discrete-event serving loop.
+
+One event heap drives the whole run, ordered by
+``(time, priority, seq)``:
+
+* **pool failures** (priority 0) — ``fail:G@T`` specs on the *pool*
+  clock mark GPU ``G`` dead for everyone;
+* **query outcomes** (priority 1) — a dispatched query completes,
+  aborts (transfer retry budget exhausted) or is displaced (its whole
+  lease fail-stopped); the lease is released;
+* **arrivals / re-admissions** (priority 2) — new requests enter
+  admission control, retried requests re-enter the queue.
+
+After every event the dispatcher drains the queue: highest priority
+first (FIFO within a priority), leasing the ``gpus_per_query`` lowest
+free GPUs — or, when the backlog exceeds ``overload_queue``, the
+degraded lease size and algorithm.  A request whose *predicted*
+completion would miss its deadline is shed instead of dispatched.
+
+Fault handling is **look-ahead at dispatch**: the pool's remaining
+faults are projected onto the lease (pool GPU indices → lease-local
+indices, pool clock → query clock) into a per-query
+:class:`~repro.substrate.faults.FaultPlan`, and the query executes
+under :func:`repro.core.repair.run_with_repair` with ``strict=False`` —
+mid-flight GPU loss triggers cascading repair on the rest of the lease,
+and only when the *whole* lease is gone does the query come back
+displaced, to be re-admitted after a seeded backoff.
+
+Everything — arrivals, placement, faults, backoff jitter — is a pure
+function of the :class:`~repro.serve.config.ServeConfig`, so a run
+replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import random
+from dataclasses import dataclass, replace
+from typing import Any
+
+from ..core.api import schedule_graph
+from ..core.repair import run_with_repair
+from ..core.schedule import Schedule
+from ..costmodel.profile import CostProfile
+from ..obs.declog import emit
+from ..substrate.engine import EngineConfig
+from ..substrate.faults import (
+    FaultError,
+    FaultPlan,
+    FaultSpec,
+    GpuFailure,
+    GpuSlowdown,
+    LinkDegradation,
+)
+from .arrivals import Request, build_arrivals
+from .config import ServeConfig
+from .pool import GpuPool
+from .report import RequestRecord, ServeReport
+from .zoo import MODEL_ZOO, zoo_profile
+
+__all__ = ["ServeError", "ServeResult", "ServeSimulator", "serve"]
+
+#: Algorithms that accept the sliding-window kwarg.
+_WINDOW_ALGS = frozenset({"hios-lp", "hios-mr", "hios-lp-ls"})
+
+# event priorities: pool failures reshape the world before outcomes
+# release leases, and both happen before same-instant (re-)admissions
+_PRIO_FAIL = 0
+_PRIO_OUTCOME = 1
+_PRIO_ARRIVAL = 2
+
+
+class ServeError(RuntimeError):
+    """Raised when the serving loop reaches an inconsistent state."""
+
+
+def _query_seed(seed: int, qid: str, attempt: int) -> int:
+    """Stable per-(query, attempt) seed so retries redraw their losses."""
+    digest = hashlib.sha256(f"{seed}:{qid}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class _QueueEntry:
+    request: Request
+    attempt: int = 1
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Everything a serving run produced."""
+
+    config: ServeConfig
+    report: ServeReport
+    records: tuple[RequestRecord, ...]
+
+    def record_of(self, request_id: str) -> RequestRecord:
+        for rec in self.records:
+            if rec.id == request_id:
+                return rec
+        raise KeyError(request_id)
+
+
+class ServeSimulator:
+    """Runs one serving scenario; see the module docstring for the loop."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        for t in config.tenants:
+            if t.model not in MODEL_ZOO:
+                raise ServeError(
+                    f"tenant {t.name!r} serves unknown model {t.model!r}; "
+                    f"the zoo has {sorted(MODEL_ZOO)}"
+                )
+        self.config = config
+        self._plan = FaultPlan.from_strings(config.faults, seed=config.seed)
+        self._base_engine = EngineConfig(
+            launch_overhead_ms=0.0,
+            launch_included_in_cost=False,
+            contention_penalty=0.06,
+            transfer_from_edges=True,
+        )
+        # (model, lease size, algorithm) -> (profile, schedule, predicted)
+        self._schedules: dict[tuple[str, int, str], tuple[CostProfile, Schedule, float]] = {}
+
+    # ------------------------------------------------------------------
+    # scheduling (memoized — the zoo is small and leases repeat)
+    # ------------------------------------------------------------------
+    def _alg_kwargs(self, algorithm: str) -> dict[str, Any]:
+        if algorithm in _WINDOW_ALGS:
+            return {"window": self.config.window}
+        return {}
+
+    def _planned(self, model: str, k: int, algorithm: str) -> tuple[CostProfile, Schedule, float]:
+        key = (model, k, algorithm)
+        cached = self._schedules.get(key)
+        if cached is None:
+            profile = zoo_profile(model, k)
+            result = schedule_graph(profile, algorithm, **self._alg_kwargs(algorithm))
+            cached = (profile, result.schedule, result.latency)
+            self._schedules[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def run(self) -> ServeResult:
+        cfg = self.config
+        pool = GpuPool(cfg.num_gpus)
+        requests = build_arrivals(cfg)
+        records = {
+            r.id: RequestRecord(
+                id=r.id,
+                tenant=r.tenant,
+                model=r.model,
+                priority=r.priority,
+                arrival_ms=r.arrival_ms,
+                deadline_ms=r.deadline_ms,
+            )
+            for r in requests
+        }
+        queue: list[_QueueEntry] = []
+        heap: list[tuple[float, int, int, str, Any]] = []
+        seq = 0
+
+        def push(time: float, prio: int, kind: str, payload: Any) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (time, prio, seq, kind, payload))
+            seq += 1
+
+        for r in requests:
+            push(r.arrival_ms, _PRIO_ARRIVAL, "arrival", _QueueEntry(r))
+        for f in self._plan.failures():
+            push(f.at, _PRIO_FAIL, "gpu-fail", f.gpu)
+
+        retries = 0
+        displaced = 0
+        degraded_dispatches = 0
+        gpu_busy: dict[int, float] = {}
+        in_flight: dict[str, tuple[_QueueEntry, tuple[int, ...]]] = {}
+
+        # ------------------------------------------------------------------
+        def fail_request(now: float, entry: _QueueEntry, reason: str) -> None:
+            rec = records[entry.request.id]
+            rec.status = "failed"
+            rec.reason = reason
+            emit("serve-fail", t=now, request=entry.request.id, reason=reason)
+
+        def retry_or_fail(now: float, entry: _QueueEntry, reason: str) -> None:
+            nonlocal retries
+            if entry.attempt > cfg.max_retries:
+                fail_request(now, entry, f"{reason}: retries exhausted")
+                return
+            ceiling = cfg.retry_backoff_ms * (2 ** (entry.attempt - 1))
+            delay = ceiling
+            if cfg.retry_jitter:
+                rng = random.Random(
+                    f"{cfg.seed}:retry:{entry.request.id}:{entry.attempt}"
+                )
+                delay = ceiling * rng.random()
+            retries += 1
+            emit(
+                "serve-retry",
+                t=now,
+                request=entry.request.id,
+                attempt=entry.attempt + 1,
+                delay_ms=delay,
+                reason=reason,
+            )
+            push(
+                now + delay,
+                _PRIO_ARRIVAL,
+                "requeue",
+                _QueueEntry(entry.request, attempt=entry.attempt + 1),
+            )
+
+        def dispatch(now: float) -> None:
+            nonlocal degraded_dispatches
+            while queue:
+                if pool.num_alive == 0:
+                    for entry in queue:
+                        fail_request(now, entry, "no GPUs left in the pool")
+                    queue.clear()
+                    return
+                overloaded = len(queue) > cfg.overload_queue
+                queue.sort(
+                    key=lambda e: (
+                        -e.request.priority,
+                        e.request.arrival_ms,
+                        e.request.id,
+                    )
+                )
+                k = cfg.degraded_gpus if overloaded else cfg.gpus_per_query
+                k = min(k, pool.num_alive)
+                if pool.num_free < k:
+                    return
+                entry = queue.pop(0)
+                req = entry.request
+                rec = records[req.id]
+                algorithm = cfg.degraded_algorithm if overloaded else cfg.algorithm
+                profile, schedule, predicted = self._planned(req.model, k, algorithm)
+                if cfg.shed_late and now + predicted > req.deadline_ms:
+                    rec.status = "shed-deadline"
+                    rec.reason = (
+                        f"predicted finish {now + predicted:.3f} ms past "
+                        f"deadline {req.deadline_ms:.3f} ms"
+                    )
+                    emit(
+                        "serve-shed",
+                        t=now,
+                        request=req.id,
+                        reason="deadline",
+                        predicted_ms=predicted,
+                    )
+                    continue
+                lease = pool.lease(req.id, k)
+                in_flight[req.id] = (entry, lease)
+                rec.dispatched_ms = now
+                rec.gpus = lease
+                rec.algorithm = algorithm
+                rec.attempts += 1
+                if overloaded:
+                    rec.degraded = True
+                    degraded_dispatches += 1
+                emit(
+                    "serve-dispatch",
+                    t=now,
+                    request=req.id,
+                    gpus=list(lease),
+                    algorithm=algorithm,
+                    degraded=overloaded,
+                    attempt=entry.attempt,
+                    predicted_ms=predicted,
+                )
+                self._execute(
+                    now, entry, lease, profile, schedule, predicted, algorithm, push, gpu_busy
+                )
+
+        # ------------------------------------------------------------------
+        while heap:
+            now, _prio, _seq, kind, payload = heapq.heappop(heap)
+            if kind == "gpu-fail":
+                holder = pool.fail(payload)
+                emit("serve-gpu-fail", t=now, gpu=payload, holder=holder)
+            elif kind == "arrival":
+                entry = payload
+                rec = records[entry.request.id]
+                if len(queue) >= cfg.queue_capacity:
+                    rec.status = "shed-queue"
+                    rec.reason = f"queue full ({cfg.queue_capacity})"
+                    emit(
+                        "serve-shed",
+                        t=now,
+                        request=entry.request.id,
+                        reason="queue-full",
+                    )
+                else:
+                    queue.append(entry)
+                    emit(
+                        "serve-admit",
+                        t=now,
+                        request=entry.request.id,
+                        tenant=entry.request.tenant,
+                        queued=len(queue),
+                    )
+            elif kind == "requeue":
+                # re-admissions bypass the capacity check: the work was
+                # already admitted once and should not be double-punished
+                # for a fault that was not its fault
+                queue.append(payload)
+                emit(
+                    "serve-admit",
+                    t=now,
+                    request=payload.request.id,
+                    tenant=payload.request.tenant,
+                    queued=len(queue),
+                    readmitted=True,
+                )
+            elif kind in ("complete", "abort", "displace"):
+                entry, extra = payload
+                qid = entry.request.id
+                if qid not in in_flight:
+                    raise ServeError(f"outcome for {qid!r} without a lease")
+                _, lease = in_flight.pop(qid)
+                pool.release(qid)
+                rec = records[qid]
+                rec.released_ms = now
+                if kind == "complete":
+                    num_repairs = extra
+                    rec.status = "completed"
+                    rec.completed_ms = now
+                    rec.latency_ms = now - rec.arrival_ms
+                    rec.repairs += num_repairs
+                    rec.deadline_met = now <= rec.deadline_ms
+                    emit(
+                        "serve-complete",
+                        t=now,
+                        request=qid,
+                        latency_ms=rec.latency_ms,
+                        repairs=num_repairs,
+                        deadline_met=rec.deadline_met,
+                    )
+                elif kind == "abort":
+                    emit("serve-abort", t=now, request=qid, reason=extra)
+                    retry_or_fail(now, entry, extra)
+                else:  # displace: the whole lease fail-stopped
+                    num_repairs = extra
+                    rec.repairs += num_repairs
+                    rec.displaced += 1
+                    displaced += 1
+                    emit(
+                        "serve-displaced",
+                        t=now,
+                        request=qid,
+                        gpus=list(lease),
+                        repairs=num_repairs,
+                    )
+                    retry_or_fail(now, entry, "lease lost to GPU failure")
+            else:  # pragma: no cover - defensive
+                raise ServeError(f"unknown event kind {kind!r}")
+            dispatch(now)
+
+        for entry in queue:  # pragma: no cover - defensive (heap drained first)
+            fail_request(cfg.horizon_ms, entry, "starved at end of run")
+
+        report = ServeReport.from_records(
+            list(records.values()),
+            retries=retries,
+            displaced=displaced,
+            degraded_dispatches=degraded_dispatches,
+            gpu_busy_ms=gpu_busy,
+            horizon_ms=cfg.horizon_ms,
+        )
+        return ServeResult(
+            config=cfg,
+            report=report,
+            records=tuple(records.values()),
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        now: float,
+        entry: _QueueEntry,
+        lease: tuple[int, ...],
+        profile: CostProfile,
+        schedule: Schedule,
+        predicted: float,
+        algorithm: str,
+        push: Any,
+        gpu_busy: dict[int, float],
+    ) -> None:
+        """Run the query on its lease and push its outcome event."""
+        cfg = self.config
+        specs: list[FaultSpec] = []
+        local = {g: i for i, g in enumerate(lease)}
+        for f in self._plan.failures():
+            if f.gpu in local and f.at >= now:
+                specs.append(GpuFailure(gpu=local[f.gpu], at=f.at - now))
+        for s in self._plan.slowdowns():
+            if s.gpu in local:
+                specs.append(
+                    GpuSlowdown(gpu=local[s.gpu], at=max(0.0, s.at - now), factor=s.factor)
+                )
+        for d in self._plan.degradations():
+            if d.src in local and d.dst in local:
+                specs.append(
+                    LinkDegradation(
+                        src=local[d.src],
+                        dst=local[d.dst],
+                        at=max(0.0, d.at - now),
+                        bw_factor=d.bw_factor,
+                    )
+                )
+        specs.extend(self._plan.losses())
+        qseed = _query_seed(cfg.seed, entry.request.id, entry.attempt)
+        qplan = FaultPlan(specs, seed=qseed)
+        engine_cfg = replace(self._base_engine, faults=qplan if specs else None)
+        try:
+            trace, repairs = run_with_repair(
+                profile,
+                schedule,
+                config=engine_cfg,
+                algorithm=algorithm,
+                strict=False,
+                **self._alg_kwargs(algorithm),
+            )
+        except FaultError as exc:
+            # transfer retry budget exhausted mid-run: the lease was held
+            # for about the predicted duration before the abort surfaced
+            push(now + predicted, _PRIO_OUTCOME, "abort", (entry, str(exc)))
+            return
+        for g_local, busy in trace.gpu_busy.items():
+            gpu = lease[g_local]
+            gpu_busy[gpu] = gpu_busy.get(gpu, 0.0) + busy
+        if trace.unfinished_ops(profile.graph.names):
+            if trace.failure is None:  # pragma: no cover - defensive
+                raise ServeError(f"incomplete trace without failure for {entry.request.id!r}")
+            push(
+                now + trace.failure.time,
+                _PRIO_OUTCOME,
+                "displace",
+                (entry, len(repairs)),
+            )
+            return
+        push(now + trace.latency, _PRIO_OUTCOME, "complete", (entry, len(repairs)))
+
+
+def serve(config: ServeConfig) -> ServeResult:
+    """Run one serving scenario (the one-call entry point)."""
+    return ServeSimulator(config).run()

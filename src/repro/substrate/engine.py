@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import asdict, dataclass
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from ..core.graph import OpGraph
 from ..core.schedule import Schedule
@@ -134,6 +134,16 @@ class ExecutionTrace:
     @property
     def num_transfers(self) -> int:
         return len(self.transfers)
+
+    def unfinished_ops(self, names: Iterable[str]) -> list[str]:
+        """The operators of ``names`` with no recorded finish, in order.
+
+        Empty for a completed run *and* for a spliced repair trace that
+        recovered every operator (such traces keep their ``failure``
+        marker, so ``failure is None`` alone cannot tell "repaired" from
+        "gave up mid-repair").
+        """
+        return [v for v in names if v not in self.op_finish]
 
     @property
     def bytes_transferred(self) -> int:

@@ -20,6 +20,10 @@ fault model:
   their first attempt) or probabilistic (``prob`` — each attempt is
   lost with probability ``prob``, drawn from a per-message hash of the
   plan seed so a plan replays identically regardless of event order).
+  ``jitter=True`` switches the backoff to seeded *full jitter* (a
+  uniform draw in ``[0, backoff_ms * 2**k)``) so many messages retrying
+  at once do not re-collide in lockstep; the default stays the pure
+  deterministic exponential.
 
 A :class:`FaultPlan` bundles specs with a seed and is immutable: the
 same plan run twice produces bit-identical traces.  An *empty* plan is
@@ -30,7 +34,7 @@ fault-free runs bit-identical to the pre-fault engine.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Union
 
 __all__ = [
@@ -115,6 +119,13 @@ class TransferLoss:
     with the given probability (seeded per message by the plan).  A
     message that loses more than ``max_retries`` attempts raises
     :class:`FaultError` — the watchdog/diagnostic path, not a hang.
+
+    With ``jitter=True`` the re-post delay becomes seeded *full jitter*:
+    a uniform draw in ``[0, backoff_ms * 2**(attempt-1))`` hashed from
+    the plan seed, message tag and attempt number — deterministic replay
+    per plan, but decorrelated across messages, so a burst of
+    simultaneous losses does not retry in lockstep (retry storms in the
+    serving simulator would otherwise re-synchronize on the channel).
     """
 
     prob: float = 0.0
@@ -122,6 +133,7 @@ class TransferLoss:
     max_retries: int = 8
     timeout_ms: float = 0.5
     backoff_ms: float = 0.1
+    jitter: bool = False
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.prob < 1.0):
@@ -132,6 +144,19 @@ class TransferLoss:
             raise FaultError("need at least one retry")
         if self.timeout_ms < 0 or self.backoff_ms < 0:
             raise FaultError("negative timeout/backoff")
+
+    def backoff_delay(self, seed: int, tag: str, attempt: int) -> float:
+        """Delay between detecting the loss of attempt #``attempt`` and
+        re-posting the message.
+
+        Pure exponential by default; with ``jitter`` the ceiling is
+        scaled by a uniform draw seeded on ``(seed, tag, attempt)`` so
+        the delay replays identically run after run.
+        """
+        ceiling = self.backoff_ms * (2 ** (attempt - 1))
+        if not self.jitter:
+            return ceiling
+        return ceiling * random.Random(f"{seed}:backoff:{tag}:{attempt}").random()
 
 
 FaultSpec = Union[GpuSlowdown, GpuFailure, LinkDegradation, TransferLoss]
@@ -255,6 +280,44 @@ class FaultPlan:
         return None
 
     # ------------------------------------------------------------------
+    # re-anchoring (cascading repair / serving tails)
+    # ------------------------------------------------------------------
+    def resume_after(self, cut: float, dead: Iterable[int] = ()) -> "FaultPlan":
+        """The plan a *tail* run (clock restarted at zero) still faces
+        after a fail-stop cut the original run at ``cut``.
+
+        ``dead`` lists GPUs that already fail-stopped; every spec
+        targeting them is dropped (they host nothing and carry no
+        traffic in the tail).  Surviving specs are re-anchored to the
+        tail clock: events at or before the cut re-fire at ``t=0``
+        (slowdowns and link degradations are persistent state), later
+        events shift left by ``cut``, and failures that already fired
+        (``at < cut`` — the engine halts at the first one) disappear.
+        :class:`TransferLoss` is time-independent and kept verbatim,
+        seed included, so tail replays stay deterministic.
+        """
+        if cut < 0:
+            raise FaultError(f"negative resume cut {cut}")
+        gone = frozenset(dead)
+        specs: list[FaultSpec] = []
+        for sp in self.specs:
+            if isinstance(sp, GpuSlowdown):
+                if sp.gpu in gone:
+                    continue
+                specs.append(replace(sp, at=max(0.0, sp.at - cut)))
+            elif isinstance(sp, GpuFailure):
+                if sp.gpu in gone or sp.at < cut:
+                    continue
+                specs.append(replace(sp, at=sp.at - cut))
+            elif isinstance(sp, LinkDegradation):
+                if sp.src in gone or sp.dst in gone:
+                    continue
+                specs.append(replace(sp, at=max(0.0, sp.at - cut)))
+            else:  # TransferLoss: no clock to shift
+                specs.append(sp)
+        return FaultPlan(specs, seed=self.seed)
+
+    # ------------------------------------------------------------------
     # parsing (CLI / config files)
     # ------------------------------------------------------------------
     @classmethod
@@ -271,7 +334,8 @@ def parse_fault(text: str) -> FaultSpec:
     * ``fail:G@T`` — :class:`GpuFailure` of GPU ``G`` at ``T``
     * ``slow:G@TxF`` — :class:`GpuSlowdown` of GPU ``G`` at ``T`` to factor ``F``
     * ``link:S->D@TxF`` — :class:`LinkDegradation` of ``S -> D`` at ``T`` to ``F``
-    * ``loss:P`` — :class:`TransferLoss` with probability ``P``
+    * ``loss:P`` — :class:`TransferLoss` with probability ``P``; append
+      ``:jitter`` for seeded full-jitter backoff (``loss:P:jitter``)
     """
     kind, _, rest = text.partition(":")
     try:
@@ -290,10 +354,16 @@ def parse_fault(text: str) -> FaultSpec:
                 src=int(src), dst=int(dst), at=float(at), bw_factor=float(factor)
             )
         if kind == "loss":
-            return TransferLoss(prob=float(rest))
+            prob, _, mode = rest.partition(":")
+            if mode not in ("", "jitter"):
+                raise FaultError(
+                    f"malformed fault spec {text!r}: unknown loss mode "
+                    f"{mode!r} (only ':jitter' is recognized)"
+                )
+            return TransferLoss(prob=float(prob), jitter=bool(mode))
     except (ValueError, TypeError) as exc:
         raise FaultError(f"malformed fault spec {text!r}: {exc}") from exc
     raise FaultError(
         f"unknown fault kind {kind!r} in {text!r}; "
-        "expected fail:G@T, slow:G@TxF, link:S->D@TxF or loss:P"
+        "expected fail:G@T, slow:G@TxF, link:S->D@TxF or loss:P[:jitter]"
     )

@@ -138,7 +138,7 @@ class SimFabric:
                     self._busy_until[chan] = max(
                         self._busy_until.get(chan, 0.0), detect
                     )
-                start = detect + loss.backoff_ms * (2 ** (attempt - 1))
+                start = detect + loss.backoff_delay(self.faults.seed, tag, attempt)
                 attempt += 1
         if duration is None:
             bw = 1.0 if self.faults is None else self.faults.bw_factor(src, dst, start)

@@ -1,5 +1,6 @@
 """Degraded-mode schedule repair: the fail-stop acceptance scenario,
-trace splicing, and repair-input validation."""
+cascading multi-failure repair, trace splicing (including its edge
+cases and associativity), and repair-input validation."""
 
 from dataclasses import replace
 
@@ -52,23 +53,25 @@ class TestAcceptance:
         plan = FaultPlan([GpuFailure(gpu=1, at=clean.latency * 0.4)], seed=7)
         cfg = _config(faults=plan)
 
-        repaired, repair = run_with_repair(profile, schedule, config=cfg)
-        assert repair is not None
+        repaired, repairs = run_with_repair(profile, schedule, config=cfg)
+        assert len(repairs) == 1
+        (repair,) = repairs
         assert repaired.failure is not None
         assert repair.survivors == (0, 2, 3)
         assert repair.algorithm == "hios-lp"
         assert 1 not in repair.schedule.used_gpus()
         # every operator is accounted for exactly once
         assert set(repaired.op_finish) == set(profile.graph.names)
+        assert repaired.unfinished_ops(profile.graph.names) == []
         # finished ops keep their pre-failure times
         for op in repaired.failure.finished:
             assert repaired.op_finish[op] == clean.op_finish[op] or op in clean.op_finish
 
-        fallback, fb_repair = run_with_repair(
+        fallback, fb_repairs = run_with_repair(
             profile, schedule, config=cfg, algorithm="sequential"
         )
-        assert fb_repair is not None
-        assert len(fb_repair.schedule.used_gpus()) == 1
+        assert len(fb_repairs) == 1
+        assert len(fb_repairs[0].schedule.used_gpus()) == 1
         assert repaired.latency < fallback.latency
 
     def test_seeded_plan_reproduces_identical_trace(self, scenario):
@@ -78,13 +81,101 @@ class TestAcceptance:
         t1, r1 = run_with_repair(profile, schedule, config=cfg)
         t2, r2 = run_with_repair(profile, schedule, config=cfg)
         assert t1 == t2  # dataclass equality: every timestamp and record
-        assert r1.schedule == r2.schedule
+        assert [r.schedule for r in r1] == [r.schedule for r in r2]
 
-    def test_clean_run_returns_no_repair(self, scenario):
+    def test_clean_run_returns_no_repairs(self, scenario):
         profile, schedule, clean = scenario
-        trace, repair = run_with_repair(profile, schedule, config=_config())
-        assert repair is None
+        trace, repairs = run_with_repair(profile, schedule, config=_config())
+        assert repairs == ()
         assert trace == clean
+
+
+class TestCascade:
+    """Repeated failures: the tail faces the remaining plan
+    (resume_after) and run_with_repair keeps repairing until a tail
+    runs clean — the generalization past the single-failure model."""
+
+    def test_two_failures_complete_via_two_rounds(self, scenario):
+        profile, schedule, clean = scenario
+        plan = FaultPlan(
+            [
+                GpuFailure(gpu=1, at=clean.latency * 0.3),
+                GpuFailure(gpu=2, at=clean.latency * 0.6),
+            ],
+            seed=7,
+        )
+        trace, repairs = run_with_repair(profile, schedule, config=_config(faults=plan))
+        assert len(repairs) == 2
+        assert repairs[0].survivors == (0, 2, 3)
+        assert repairs[1].survivors == (0, 3)  # GPU 1 stays excluded
+        assert trace.unfinished_ops(profile.graph.names) == []
+        assert set(trace.op_finish) == set(profile.graph.names)
+        # the spliced trace carries the *last* failure marker
+        assert trace.failure is not None
+        assert trace.failure.gpu == 2
+
+    def test_cascade_is_deterministic(self, scenario):
+        profile, schedule, clean = scenario
+        plan = FaultPlan(
+            [
+                GpuFailure(gpu=1, at=clean.latency * 0.3),
+                GpuFailure(gpu=2, at=clean.latency * 0.6),
+            ],
+            seed=7,
+        )
+        t1, _ = run_with_repair(profile, schedule, config=_config(faults=plan))
+        t2, _ = run_with_repair(profile, schedule, config=_config(faults=plan))
+        assert t1 == t2
+
+    def test_max_repairs_strict_raises(self, scenario):
+        profile, schedule, clean = scenario
+        plan = FaultPlan(
+            [
+                GpuFailure(gpu=1, at=clean.latency * 0.3),
+                GpuFailure(gpu=2, at=clean.latency * 0.6),
+            ],
+            seed=7,
+        )
+        with pytest.raises(RepairError, match="budget exhausted"):
+            run_with_repair(
+                profile, schedule, config=_config(faults=plan), max_repairs=1
+            )
+
+    def test_max_repairs_lenient_returns_partial(self, scenario):
+        profile, schedule, clean = scenario
+        plan = FaultPlan(
+            [
+                GpuFailure(gpu=1, at=clean.latency * 0.3),
+                GpuFailure(gpu=2, at=clean.latency * 0.6),
+            ],
+            seed=7,
+        )
+        trace, repairs = run_with_repair(
+            profile, schedule, config=_config(faults=plan), max_repairs=1, strict=False
+        )
+        assert len(repairs) == 1
+        assert trace.failure is not None
+        assert trace.unfinished_ops(profile.graph.names)
+
+    def test_all_gpus_lost_strict_raises_lenient_returns(self):
+        profile = random_dag_profile(seed=3, num_ops=30, num_layers=5, num_gpus=2)
+        res = schedule_graph(profile, "hios-lp")
+        clean = MultiGpuEngine(_config()).run(profile.graph, res.schedule)
+        plan = FaultPlan(
+            [
+                GpuFailure(gpu=0, at=clean.latency * 0.2),
+                GpuFailure(gpu=1, at=clean.latency * 0.5),
+            ],
+            seed=3,
+        )
+        with pytest.raises(RepairError, match="no surviving"):
+            run_with_repair(profile, res.schedule, config=_config(faults=plan))
+        trace, repairs = run_with_repair(
+            profile, res.schedule, config=_config(faults=plan), strict=False
+        )
+        assert len(repairs) == 1  # onto the last GPU, which then died too
+        assert trace.failure is not None
+        assert trace.unfinished_ops(profile.graph.names)
 
 
 class TestRepairSchedule:
@@ -97,6 +188,14 @@ class TestRepairSchedule:
         assert set(repair.subgraph.names) == set(expected)
         assert set(repair.schedule.operators()) == set(expected)
         assert repair.predicted_tail_latency > 0
+
+    def test_dead_gpus_excluded_from_survivors(self, scenario):
+        profile, schedule, clean = scenario
+        failure = FailureEvent(
+            gpu=2, time=1.0, finished=frozenset(), in_flight=frozenset()
+        )
+        repair = repair_schedule(profile, failure, dead=(1,))
+        assert repair.survivors == (0, 3)
 
     def test_nothing_to_repair(self):
         profile = random_dag_profile(seed=0, num_ops=8, num_layers=2, num_gpus=2)
@@ -146,22 +245,148 @@ class TestSplice:
         with pytest.raises(RepairError, match="did not fail"):
             splice_traces(clean, clean)
 
-    def test_splice_rejects_failed_tail(self, scenario):
-        profile, schedule, clean = scenario
-        plan = FaultPlan([GpuFailure(gpu=1, at=clean.latency * 0.4)])
-        head = MultiGpuEngine(_config(faults=plan)).run(profile.graph, schedule)
-        with pytest.raises(RepairError, match="tail trace failed"):
-            splice_traces(head, head)
-
     def test_spliced_timestamps_are_shifted(self, scenario):
         profile, schedule, clean = scenario
         at = clean.latency * 0.4
         plan = FaultPlan([GpuFailure(gpu=1, at=at)])
-        combined, repair = run_with_repair(
+        combined, repairs = run_with_repair(
             profile, schedule, config=_config(faults=plan)
         )
         assert combined.latency >= at
-        for op in repair.subgraph.names:
+        for op in repairs[0].subgraph.names:
             assert combined.op_start[op] >= at - 1e-9
         for op in combined.failure.finished:
             assert combined.op_finish[op] <= at + 1e-9
+
+    def test_failure_at_time_zero(self, scenario):
+        """A fail-stop at t=0: the head finishes nothing, the whole
+        graph re-runs on the survivors, and the splice is a pure shift
+        by zero."""
+        profile, schedule, clean = scenario
+        plan = FaultPlan([GpuFailure(gpu=1, at=0.0)])
+        trace, repairs = run_with_repair(profile, schedule, config=_config(faults=plan))
+        assert len(repairs) == 1
+        assert repairs[0].failure.time == 0.0
+        assert repairs[0].failure.finished == frozenset()
+        assert set(repairs[0].subgraph.names) == set(profile.graph.names)
+        assert trace.unfinished_ops(profile.graph.names) == []
+
+    def test_head_with_zero_finished_ops_on_failed_gpu(self, scenario):
+        """Failing a GPU before it completes anything still splices: the
+        head contributes only what *other* GPUs finished."""
+        profile, schedule, clean = scenario
+        ops_on_1 = [op for op in schedule.operators() if schedule.gpu_of(op) == 1]
+        first_finish = min(clean.op_finish[op] for op in ops_on_1)
+        plan = FaultPlan([GpuFailure(gpu=1, at=first_finish * 0.5)])
+        head = MultiGpuEngine(_config(faults=plan)).run(profile.graph, schedule)
+        assert not (head.failure.finished & set(ops_on_1))
+        trace, repairs = run_with_repair(profile, schedule, config=_config(faults=plan))
+        assert len(repairs) == 1
+        assert trace.unfinished_ops(profile.graph.names) == []
+        assert set(ops_on_1) <= set(repairs[0].subgraph.names)
+
+    def test_double_splice_is_associative(self, scenario):
+        """splice(splice(a, b), c) == splice(a, splice(b, c)) — the
+        property that lets run_with_repair left-fold a cascade one
+        segment at a time."""
+        profile, schedule, clean = scenario
+        plan = FaultPlan(
+            [
+                GpuFailure(gpu=1, at=clean.latency * 0.3),
+                GpuFailure(gpu=2, at=clean.latency * 0.6),
+            ],
+            seed=7,
+        )
+        cfg = _config(faults=plan)
+        engine = MultiGpuEngine(cfg)
+        a = engine.run(profile.graph, schedule)
+        r1 = repair_schedule(profile, a.failure)
+        tail_plan = plan.resume_after(a.failure.time, dead=[a.failure.gpu])
+        b = MultiGpuEngine(replace(cfg, faults=tail_plan)).run(
+            r1.subgraph, r1.schedule
+        )
+        assert b.failure is not None  # the second failure struck the tail
+        r2 = repair_schedule(
+            profile,
+            splice_traces(a, b).failure,
+            dead=(a.failure.gpu,),
+        )
+        tail2_plan = tail_plan.resume_after(
+            b.failure.time, dead=[a.failure.gpu, b.failure.gpu]
+        )
+        c = MultiGpuEngine(replace(cfg, faults=tail2_plan)).run(
+            r2.subgraph, r2.schedule
+        )
+        assert c.failure is None
+
+        left = splice_traces(splice_traces(a, b), c)
+        right = splice_traces(a, splice_traces(b, c))
+        # equal up to float rounding: the two orders sum the same shifts
+        assert left.latency == pytest.approx(right.latency)
+        assert set(left.op_finish) == set(right.op_finish)
+        for op, t in left.op_finish.items():
+            assert t == pytest.approx(right.op_finish[op])
+        assert left.failure == right.failure
+        # and the left-fold matches what run_with_repair produced exactly
+        folded, repairs = run_with_repair(profile, schedule, config=cfg)
+        assert len(repairs) == 2
+        assert folded == left
+
+    def test_splice_partial_tail_merges_failure_state(self, scenario):
+        profile, schedule, clean = scenario
+        plan = FaultPlan(
+            [
+                GpuFailure(gpu=1, at=clean.latency * 0.3),
+                GpuFailure(gpu=2, at=clean.latency * 0.6),
+            ],
+            seed=7,
+        )
+        cfg = _config(faults=plan)
+        a = MultiGpuEngine(cfg).run(profile.graph, schedule)
+        r1 = repair_schedule(profile, a.failure)
+        tail_plan = plan.resume_after(a.failure.time, dead=[a.failure.gpu])
+        b = MultiGpuEngine(replace(cfg, faults=tail_plan)).run(
+            r1.subgraph, r1.schedule
+        )
+        combined = splice_traces(a, b)
+        assert combined.failure.gpu == b.failure.gpu
+        assert combined.failure.time == pytest.approx(
+            a.failure.time + b.failure.time
+        )
+        assert combined.failure.finished == a.failure.finished | b.failure.finished
+        assert combined.failure.in_flight == b.failure.in_flight
+
+
+class TestResumeAfter:
+    def test_dead_specs_dropped_and_clock_shifted(self):
+        plan = FaultPlan.from_strings(
+            ["fail:1@5", "fail:2@9", "slow:0@2x0.5", "loss:0.1"], seed=4
+        )
+        tail = plan.resume_after(5.0, dead=[1])
+        kinds = [type(sp).__name__ for sp in tail.specs]
+        assert kinds == ["GpuFailure", "GpuSlowdown", "TransferLoss"]
+        fail, slow, loss = tail.specs
+        assert (fail.gpu, fail.at) == (2, 4.0)  # 9 - 5
+        assert (slow.gpu, slow.at) == (0, 0.0)  # persistent state re-fires at 0
+        assert loss.prob == 0.1  # kept verbatim
+        assert tail.seed == 4
+
+    def test_already_fired_failures_disappear(self):
+        plan = FaultPlan.from_strings(["fail:0@1", "fail:1@3"], seed=0)
+        tail = plan.resume_after(2.0, dead=[0])
+        assert [type(sp).__name__ for sp in tail.specs] == ["GpuFailure"]
+        assert tail.specs[0].at == 1.0
+
+    def test_same_instant_failure_refires_at_zero(self):
+        # a failure at exactly the cut on a *surviving* GPU re-fires at
+        # t=0 in the tail (at < cut drops, at == cut keeps)
+        plan = FaultPlan.from_strings(["fail:0@5", "fail:1@5"], seed=0)
+        tail = plan.resume_after(5.0, dead=[0])
+        assert len(tail.specs) == 1
+        assert tail.specs[0].gpu == 1
+        assert tail.specs[0].at == 0.0
+
+    def test_negative_cut_rejected(self):
+        plan = FaultPlan.from_strings(["fail:0@5"], seed=0)
+        with pytest.raises(Exception, match="negative resume cut"):
+            plan.resume_after(-1.0)

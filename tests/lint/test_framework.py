@@ -60,13 +60,15 @@ class TestRegistry:
         rules = all_rules()
         assert len(rules) >= 18
         packs = {r.pack for r in rules}
-        assert packs == {"graph", "schedule", "trace", "faults", "cache", "chrome"}
+        assert packs == {
+            "graph", "schedule", "trace", "faults", "cache", "chrome", "serve",
+        }
 
     def test_rule_ids_unique_and_well_formed(self):
         ids = [r.id for r in all_rules()]
         assert len(ids) == len(set(ids))
         for rid in ids:
-            assert rid[0] in "GSTFC" and rid[1:].isdigit() and len(rid) == 4
+            assert rid[0] in "GSTFCV" and rid[1:].isdigit() and len(rid) == 4
 
     def test_get_rule(self):
         assert get_rule("G001").pack == "graph"

@@ -1,0 +1,153 @@
+"""Tests for the serve rule pack (V0xx) on repro.serve/v1 documents."""
+
+import pytest
+
+from repro.lint import lint_serve_config
+from repro.serve import scenario_config
+
+
+def doc(**overrides):
+    """A minimal clean serving document, with overrides applied."""
+    base = {
+        "format": "repro.serve/v1",
+        "num_gpus": 4,
+        "gpus_per_query": 2,
+        "degraded_gpus": 1,
+        "horizon_ms": 500.0,
+        "queue_capacity": 16,
+        "overload_queue": 8,
+        "max_retries": 2,
+        "tenants": [
+            {"name": "a", "model": "tiny", "rate_qps": 10.0, "deadline_ms": 100.0}
+        ],
+    }
+    base.update(overrides)
+    return base
+
+
+def fired(document):
+    return set(lint_serve_config(document).rule_ids())
+
+
+def test_clean_document():
+    assert fired(doc()) == set()
+
+
+@pytest.mark.parametrize("name", ["steady-state", "burst-overload", "gpu-loss"])
+def test_real_scenarios_are_clean(name):
+    assert fired(scenario_config(name).to_dict()) == set()
+
+
+class TestV001Format:
+    def test_wrong_marker(self):
+        assert "V001" in fired(doc(format="repro.cache/v1"))
+
+    def test_missing_marker(self):
+        d = doc()
+        del d["format"]
+        assert "V001" in fired(d)
+
+
+class TestV002Tenants:
+    def test_empty_list(self):
+        assert "V002" in fired(doc(tenants=[]))
+
+    def test_not_a_list(self):
+        assert "V002" in fired(doc(tenants="everyone"))
+
+    def test_duplicate_names(self):
+        t = {"name": "a", "model": "tiny", "rate_qps": 1.0}
+        assert "V002" in fired(doc(tenants=[t, dict(t)]))
+
+    def test_missing_model(self):
+        assert "V002" in fired(doc(tenants=[{"name": "a", "rate_qps": 1.0}]))
+
+
+class TestV003Arrivals:
+    def test_negative_rate(self):
+        assert "V003" in fired(
+            doc(tenants=[{"name": "a", "model": "tiny", "rate_qps": -1.0}])
+        )
+
+    def test_no_request_source(self):
+        assert "V003" in fired(doc(tenants=[{"name": "a", "model": "tiny"}]))
+
+    def test_bad_arrival_time(self):
+        assert "V003" in fired(
+            doc(
+                tenants=[
+                    {"name": "a", "model": "tiny", "arrivals_ms": [1.0, "soon"]}
+                ]
+            )
+        )
+
+    def test_bad_deadline(self):
+        assert "V003" in fired(
+            doc(
+                tenants=[
+                    {
+                        "name": "a",
+                        "model": "tiny",
+                        "rate_qps": 1.0,
+                        "deadline_ms": 0,
+                    }
+                ]
+            )
+        )
+
+
+class TestV004Pool:
+    def test_lease_exceeds_pool(self):
+        assert "V004" in fired(doc(num_gpus=2, gpus_per_query=3))
+
+    def test_degraded_exceeds_lease(self):
+        assert "V004" in fired(doc(gpus_per_query=2, degraded_gpus=3))
+
+    def test_bad_horizon(self):
+        assert "V004" in fired(doc(horizon_ms=-5))
+
+
+class TestV005Algorithms:
+    def test_unknown_algorithm(self):
+        assert "V005" in fired(doc(algorithm="magic"))
+        assert "V005" in fired(doc(degraded_algorithm="magic"))
+
+    def test_absent_fields_use_defaults(self):
+        assert "V005" not in fired(doc())
+
+
+class TestV006Faults:
+    def test_unparseable_spec(self):
+        assert "V006" in fired(doc(faults=["bogus:1@2"]))
+
+    def test_out_of_pool_target(self):
+        assert "V006" in fired(doc(num_gpus=2, faults=["fail:5@1"]))
+
+    def test_valid_specs_pass(self):
+        assert "V006" not in fired(
+            doc(faults=["fail:1@10", "slow:0@5x0.5", "loss:0.1:jitter"])
+        )
+
+
+class TestV007OverloadReachable:
+    def test_unreachable_threshold_warns(self):
+        report = lint_serve_config(doc(queue_capacity=4, overload_queue=8))
+        assert "V007" in set(report.rule_ids())
+        assert not report.errors  # warning, not error
+
+    def test_errors_only_drops_warning(self):
+        report = lint_serve_config(
+            doc(queue_capacity=4, overload_queue=8), errors_only=True
+        )
+        assert "V007" not in set(report.rule_ids())
+
+
+class TestV008RetryBudget:
+    def test_zero_retries_with_failures_warns(self):
+        assert "V008" in fired(doc(max_retries=0, faults=["fail:1@10"]))
+
+    def test_zero_retries_without_failures_ok(self):
+        assert "V008" not in fired(doc(max_retries=0))
+
+    def test_bad_backoff(self):
+        assert "V008" in fired(doc(retry_backoff_ms=-1.0))

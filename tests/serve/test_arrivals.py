@@ -1,0 +1,88 @@
+"""Tests for the seeded request-arrival processes."""
+
+import pytest
+
+from repro.serve import (
+    ServeConfig,
+    TenantSpec,
+    build_arrivals,
+    poisson_arrivals,
+    trace_arrivals,
+)
+
+
+def _tenant(**kwargs):
+    defaults = dict(name="t", model="tiny", rate_qps=20.0, deadline_ms=100.0)
+    defaults.update(kwargs)
+    return TenantSpec(**defaults)
+
+
+class TestPoisson:
+    def test_deterministic_per_seed(self):
+        t = _tenant()
+        assert poisson_arrivals(t, 1000.0, seed=5) == poisson_arrivals(t, 1000.0, seed=5)
+        assert poisson_arrivals(t, 1000.0, seed=5) != poisson_arrivals(t, 1000.0, seed=6)
+
+    def test_rate_zero_yields_nothing(self):
+        t = _tenant(rate_qps=0.0, arrivals_ms=(1.0,))
+        assert poisson_arrivals(t, 1000.0, seed=0) == []
+
+    def test_times_sorted_within_horizon(self):
+        times = poisson_arrivals(_tenant(), 500.0, seed=3)
+        assert times == sorted(times)
+        assert all(0 <= t < 500.0 for t in times)
+
+    def test_tenant_isolation(self):
+        """One tenant's stream never depends on the other tenants."""
+        a = _tenant(name="a")
+        assert poisson_arrivals(a, 1000.0, seed=5) != poisson_arrivals(
+            _tenant(name="b"), 1000.0, seed=5
+        )
+        solo = ServeConfig(tenants=(a,), horizon_ms=1000.0, seed=5)
+        pair = ServeConfig(
+            tenants=(a, _tenant(name="b")), horizon_ms=1000.0, seed=5
+        )
+        times = lambda cfg: [  # noqa: E731 - tiny local helper
+            r.arrival_ms for r in build_arrivals(cfg) if r.tenant == "a"
+        ]
+        assert times(solo) == times(pair)
+
+
+class TestTrace:
+    def test_horizon_filter(self):
+        t = _tenant(rate_qps=0.0, arrivals_ms=(1.0, 99.0, 100.0, 250.0))
+        assert trace_arrivals(t, 100.0) == [1.0, 99.0]
+
+
+class TestBuildArrivals:
+    def test_sorted_with_ids_and_absolute_deadlines(self):
+        cfg = ServeConfig(
+            tenants=(
+                _tenant(name="a", deadline_ms=50.0),
+                _tenant(
+                    name="b",
+                    rate_qps=0.0,
+                    arrivals_ms=(10.0, 5.0),
+                    deadline_ms=80.0,
+                ),
+            ),
+            horizon_ms=400.0,
+            seed=1,
+        )
+        reqs = build_arrivals(cfg)
+        assert [r.arrival_ms for r in reqs] == sorted(r.arrival_ms for r in reqs)
+        b = [r for r in reqs if r.tenant == "b"]
+        # ids number each tenant's stream in arrival order
+        assert [r.id for r in b] == ["b-q0000", "b-q0001"]
+        assert [r.arrival_ms for r in b] == [5.0, 10.0]
+        assert b[0].deadline_ms == pytest.approx(85.0)
+        a = [r for r in reqs if r.tenant == "a"]
+        for r in a:
+            assert r.deadline_ms == pytest.approx(r.arrival_ms + 50.0)
+
+    def test_poisson_and_trace_compose(self):
+        t = _tenant(arrivals_ms=(0.5,))
+        cfg = ServeConfig(tenants=(t,), horizon_ms=300.0, seed=2)
+        reqs = build_arrivals(cfg)
+        n_poisson = len(poisson_arrivals(t, 300.0, seed=2))
+        assert len(reqs) == n_poisson + 1

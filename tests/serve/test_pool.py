@@ -1,0 +1,65 @@
+"""Tests for the shared GPU pool's lease/fail bookkeeping."""
+
+import pytest
+
+from repro.serve import GpuPool, PoolError
+
+
+class TestLease:
+    def test_lowest_free_indices(self):
+        pool = GpuPool(4)
+        assert pool.lease("a", 2) == (0, 1)
+        assert pool.lease("b", 1) == (2,)
+        assert pool.num_free == 1
+
+    def test_release_frees_for_reuse(self):
+        pool = GpuPool(4)
+        pool.lease("a", 2)
+        pool.lease("b", 2)
+        assert pool.release("a") == (0, 1)
+        assert pool.lease("c", 2) == (0, 1)
+
+    def test_double_lease_rejected(self):
+        pool = GpuPool(2)
+        pool.lease("a", 1)
+        with pytest.raises(PoolError, match="already holds"):
+            pool.lease("a", 1)
+
+    def test_insufficient_gpus_rejected(self):
+        pool = GpuPool(2)
+        pool.lease("a", 1)
+        with pytest.raises(PoolError, match="only 1 free"):
+            pool.lease("b", 2)
+
+    def test_release_without_lease_rejected(self):
+        with pytest.raises(PoolError, match="holds no lease"):
+            GpuPool(2).release("ghost")
+
+
+class TestFail:
+    def test_fail_returns_holder_and_shrinks_pool(self):
+        pool = GpuPool(4)
+        pool.lease("a", 2)  # (0, 1)
+        assert pool.fail(1) == "a"
+        assert pool.num_alive == 3
+        # the lease still lists the dead GPU until released
+        assert pool.leases["a"] == (0, 1)
+        assert pool.release("a") == (0, 1)
+        # but the dead GPU never returns to the free set
+        assert pool.free == {0, 2, 3}
+
+    def test_fail_free_gpu_returns_none(self):
+        pool = GpuPool(2)
+        assert pool.fail(1) is None
+        assert pool.num_free == 1
+        assert pool.fail(1) is None  # idempotent
+
+    def test_fail_out_of_range(self):
+        with pytest.raises(PoolError, match="out of range"):
+            GpuPool(2).fail(7)
+
+    def test_holder_of(self):
+        pool = GpuPool(3)
+        pool.lease("a", 2)
+        assert pool.holder_of(0) == "a"
+        assert pool.holder_of(2) is None

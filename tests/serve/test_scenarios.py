@@ -1,0 +1,95 @@
+"""The seeded scenario suite: exact counters, bit-reproducibility, and
+the gpu-loss acceptance criterion (mid-flight pool failure -> cascading
+repair -> displacement -> re-admission -> zero lost queries)."""
+
+import pytest
+
+from repro.serve import SCENARIOS, run_scenario, scenario_config
+
+
+class TestCatalog:
+    def test_names(self):
+        assert sorted(SCENARIOS) == ["burst-overload", "gpu-loss", "steady-state"]
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            scenario_config("nope")
+
+    def test_configs_round_trip_through_json(self):
+        from repro.serve import ServeConfig
+
+        for name in SCENARIOS:
+            cfg = scenario_config(name)
+            assert ServeConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestSteadyState:
+    def test_exact_counters(self):
+        report = run_scenario("steady-state").report
+        assert report.arrivals == 26
+        assert report.admitted == 26
+        assert report.completed == 26
+        assert report.shed_queue_full == 0
+        assert report.shed_deadline == 0
+        assert report.failed == 0
+        assert report.deadline_misses == 0
+        assert report.retries == 0
+        assert report.displaced == 0
+        assert report.repairs == 0
+        assert report.degraded_dispatches == 0
+
+
+class TestBurstOverload:
+    def test_exact_counters(self):
+        report = run_scenario("burst-overload").report
+        assert report.arrivals == 50
+        assert report.admitted == 33
+        assert report.completed == 30
+        assert report.shed_queue_full == 17
+        assert report.shed_deadline == 3
+        assert report.failed == 0
+        assert report.deadline_misses == 0
+        # the burst pushed past overload_queue: degraded dispatches ran
+        assert report.degraded_dispatches == 9
+
+    def test_degradation_kept_misses_at_zero(self):
+        report = run_scenario("burst-overload").report
+        assert report.deadline_miss_rate == 0.0
+        assert report.goodput_qps > 0
+
+
+class TestGpuLoss:
+    """The robustness acceptance scenario: two pool GPUs die while
+    queries are in flight; nothing admitted is ever lost."""
+
+    def test_exact_counters(self):
+        report = run_scenario("gpu-loss").report
+        assert report.arrivals == 27
+        assert report.admitted == 27
+        assert report.completed == 27  # every admitted query finished
+        assert report.failed == 0
+        assert report.shed_queue_full == 0
+        assert report.shed_deadline == 0
+        assert report.deadline_misses == 0
+        # the first failure was repaired in place, the second wiped the
+        # lease: one displacement, one retry, one repair round
+        assert report.repairs == 1
+        assert report.displaced == 1
+        assert report.retries == 1
+
+    def test_displaced_query_readmitted_elsewhere(self):
+        result = run_scenario("gpu-loss")
+        rec = result.record_of("search-q0008")
+        assert rec.status == "completed"
+        assert rec.displaced == 1
+        assert rec.attempts == 2  # original dispatch + re-admission
+        assert rec.repairs == 1
+        # the retry landed on the surviving half of the pool
+        assert rec.gpus == (2, 3)
+        assert rec.deadline_met is True
+
+    def test_bit_reproducible(self):
+        assert (
+            run_scenario("gpu-loss").report.to_dict()
+            == run_scenario("gpu-loss").report.to_dict()
+        )

@@ -1,0 +1,178 @@
+"""Behavioural tests of the serving loop on small crafted configs."""
+
+import pytest
+
+from repro.serve import (
+    MODEL_ZOO,
+    ServeConfig,
+    ServeError,
+    TenantSpec,
+    serve,
+    zoo_graph,
+    zoo_profile,
+)
+
+
+def _tenant(**kwargs):
+    defaults = dict(name="t", model="tiny", rate_qps=0.0, deadline_ms=200.0)
+    defaults.update(kwargs)
+    return TenantSpec(**defaults)
+
+
+class TestZoo:
+    def test_zoo_contents(self):
+        assert {"tiny", "chain12", "wide24", "deep40"} <= set(MODEL_ZOO)
+        for name in MODEL_ZOO:
+            assert zoo_graph(name).names
+
+    def test_unknown_model_raises_with_listing(self):
+        with pytest.raises(KeyError, match="tiny"):
+            zoo_graph("nope")
+
+    def test_profile_is_cached(self):
+        assert zoo_profile("tiny", 2) is zoo_profile("tiny", 2)
+        assert zoo_profile("tiny", 2).num_gpus == 2
+
+
+class TestSimulator:
+    def test_unknown_tenant_model_rejected(self):
+        cfg = ServeConfig(tenants=(_tenant(model="resnet999", arrivals_ms=(1.0,)),))
+        with pytest.raises(ServeError, match="unknown model"):
+            serve(cfg)
+
+    def test_single_query_completes_with_service_latency(self):
+        cfg = ServeConfig(
+            tenants=(_tenant(arrivals_ms=(5.0,)),),
+            num_gpus=2,
+            gpus_per_query=2,
+            horizon_ms=100.0,
+        )
+        result = serve(cfg)
+        rec = result.record_of("t-q0000")
+        assert rec.status == "completed"
+        assert rec.dispatched_ms == 5.0
+        assert rec.gpus == (0, 1)
+        assert rec.attempts == 1
+        assert rec.latency_ms == pytest.approx(rec.completed_ms - rec.arrival_ms)
+        assert result.report.completed == 1
+
+    def test_record_of_unknown_id(self):
+        cfg = ServeConfig(tenants=(_tenant(arrivals_ms=(1.0,)),))
+        with pytest.raises(KeyError):
+            serve(cfg).record_of("ghost")
+
+    def test_queue_capacity_sheds_excess(self):
+        # 6 simultaneous arrivals, 1 running + 2 queued; the rest shed
+        cfg = ServeConfig(
+            tenants=(_tenant(arrivals_ms=(1.0,) * 6),),
+            num_gpus=2,
+            gpus_per_query=2,
+            queue_capacity=2,
+            overload_queue=16,
+            horizon_ms=400.0,
+        )
+        report = serve(cfg).report
+        assert report.shed_queue_full == 3
+        assert report.completed == 3
+        assert report.failed == 0
+
+    def test_priority_orders_dispatch(self):
+        cfg = ServeConfig(
+            tenants=(
+                _tenant(name="lo", arrivals_ms=(1.0,), priority=0),
+                _tenant(name="hi", arrivals_ms=(1.0,), priority=5),
+            ),
+            num_gpus=2,
+            gpus_per_query=2,
+            horizon_ms=200.0,
+        )
+        result = serve(cfg)
+        hi = result.record_of("hi-q0000")
+        lo = result.record_of("lo-q0000")
+        assert hi.dispatched_ms == 1.0
+        assert lo.dispatched_ms > hi.dispatched_ms
+
+    def test_overload_degrades_gpus_and_algorithm(self):
+        cfg = ServeConfig(
+            tenants=(_tenant(arrivals_ms=(1.0,) * 5, deadline_ms=2000.0),),
+            num_gpus=2,
+            gpus_per_query=2,
+            queue_capacity=16,
+            overload_queue=1,
+            degraded_gpus=1,
+            degraded_algorithm="sequential",
+            horizon_ms=2000.0,
+        )
+        result = serve(cfg)
+        assert result.report.degraded_dispatches > 0
+        degraded = [r for r in result.records if r.degraded]
+        for rec in degraded:
+            assert len(rec.gpus) == 1
+            assert rec.algorithm == "sequential"
+
+    def test_shed_late_drops_doomed_requests(self):
+        # the second query cannot start before its deadline passes
+        cfg = ServeConfig(
+            tenants=(_tenant(arrivals_ms=(1.0, 1.5), deadline_ms=3.0),),
+            num_gpus=2,
+            gpus_per_query=2,
+            horizon_ms=100.0,
+        )
+        report = serve(cfg).report
+        assert report.shed_deadline >= 1
+        cfg_keep = ServeConfig(
+            tenants=(_tenant(arrivals_ms=(1.0, 1.5), deadline_ms=3.0),),
+            num_gpus=2,
+            gpus_per_query=2,
+            shed_late=False,
+            horizon_ms=100.0,
+        )
+        kept = serve(cfg_keep).report
+        assert kept.shed_deadline == 0
+        assert kept.completed == 2
+        assert kept.deadline_misses >= 1
+
+    def test_pool_wipeout_fails_queued_work(self):
+        cfg = ServeConfig(
+            tenants=(_tenant(arrivals_ms=(1.0, 30.0), deadline_ms=500.0),),
+            num_gpus=1,
+            gpus_per_query=1,
+            degraded_gpus=1,
+            faults=("fail:0@20",),
+            max_retries=1,
+            horizon_ms=200.0,
+        )
+        report = serve(cfg).report
+        # GPU 0 is the whole pool: everything after the failure dies
+        assert report.failed >= 1
+        assert report.completed == 0
+
+    def test_retry_survives_single_gpu_loss(self):
+        # query on (0,1) loses GPU 1 mid-flight -> cascading repair on 0
+        cfg = ServeConfig(
+            tenants=(_tenant(arrivals_ms=(1.0,), deadline_ms=500.0),),
+            num_gpus=3,
+            gpus_per_query=2,
+            faults=("fail:1@2",),
+            horizon_ms=300.0,
+        )
+        result = serve(cfg)
+        rec = result.record_of("t-q0000")
+        assert rec.status == "completed"
+        assert rec.repairs == 1
+        assert rec.attempts == 1  # repaired in place, no re-admission
+
+    def test_bit_reproducible(self):
+        cfg = ServeConfig(
+            tenants=(
+                _tenant(name="a", rate_qps=30.0),
+                _tenant(name="b", rate_qps=10.0, priority=1),
+            ),
+            num_gpus=4,
+            horizon_ms=400.0,
+            seed=13,
+            faults=("fail:2@120",),
+        )
+        d1 = serve(cfg).report.to_dict()
+        d2 = serve(cfg).report.to_dict()
+        assert d1 == d2

@@ -98,6 +98,32 @@ class TestPlan:
         assert plan.lost("x->y", 1) is None
 
 
+class TestBackoffJitter:
+    def test_default_backoff_is_pure_exponential(self):
+        loss = TransferLoss(prob=0.1, backoff_ms=0.1)
+        assert loss.backoff_delay(0, "a->b", 1) == pytest.approx(0.1)
+        assert loss.backoff_delay(0, "a->b", 2) == pytest.approx(0.2)
+        assert loss.backoff_delay(0, "a->b", 3) == pytest.approx(0.4)
+        # seed and tag are irrelevant without jitter
+        assert loss.backoff_delay(7, "x->y", 2) == pytest.approx(0.2)
+
+    def test_jitter_stays_below_ceiling(self):
+        loss = TransferLoss(prob=0.1, backoff_ms=0.1, jitter=True)
+        for attempt in (1, 2, 3, 4):
+            ceiling = 0.1 * 2 ** (attempt - 1)
+            delay = loss.backoff_delay(42, "a->b", attempt)
+            assert 0.0 <= delay < ceiling
+
+    def test_jitter_is_deterministic_per_seed_tag_attempt(self):
+        loss = TransferLoss(prob=0.1, backoff_ms=0.1, jitter=True)
+        assert loss.backoff_delay(42, "a->b", 2) == loss.backoff_delay(42, "a->b", 2)
+        # decorrelated across tags, attempts and seeds
+        d = loss.backoff_delay(42, "a->b", 2)
+        assert loss.backoff_delay(42, "c->d", 2) != d
+        assert loss.backoff_delay(42, "a->b", 3) != d
+        assert loss.backoff_delay(43, "a->b", 2) != d
+
+
 class TestParsing:
     def test_parse_all_kinds(self):
         assert parse_fault("fail:1@5.0") == GpuFailure(gpu=1, at=5.0)
@@ -106,6 +132,11 @@ class TestParsing:
             src=0, dst=1, at=3.0, bw_factor=0.25
         )
         assert parse_fault("loss:0.1") == TransferLoss(prob=0.1)
+
+    def test_parse_loss_jitter_suffix(self):
+        assert parse_fault("loss:0.1:jitter") == TransferLoss(prob=0.1, jitter=True)
+        with pytest.raises(FaultError, match="jitter"):
+            parse_fault("loss:0.1:chaos")
 
     def test_parse_rejects_garbage(self):
         for bad in ("nope:1@2", "fail:x@y", "slow:0@1", "link:0@1x0.5", ""):

@@ -30,12 +30,31 @@ class TestParser:
         assert args.seed == 0
         assert args.watchdog == 0.0
         assert not args.no_repair
+        assert args.max_repairs is None
 
     def test_faults_repeatable_spec(self):
         args = build_parser().parse_args(
             ["faults", "--fault", "fail:1@2.0", "--fault", "loss:0.1"]
         )
         assert args.fault == ["fail:1@2.0", "loss:0.1"]
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.scenario == "steady-state"
+        assert args.config is None
+        assert args.seed is None
+        assert args.horizon is None
+        assert not args.json
+
+    def test_serve_scenario_and_config_are_exclusive(self):
+        args = build_parser().parse_args(["serve", "--scenario", "gpu-loss"])
+        assert args.scenario == "gpu-loss"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--scenario", "nope"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--scenario", "gpu-loss", "--config", "c.json"]
+            )
 
 
 class TestCommands:
@@ -149,7 +168,28 @@ class TestFaultsCommand:
         out = capsys.readouterr().out
         assert "fail@1.000" in out
         assert "repaired ms" in out
+        assert "rounds" in out
         assert "fail:1@1.0" in out
+
+    def test_cascade_reports_rounds(self, capsys):
+        assert (
+            main(
+                self.ARGS
+                + [
+                    "--algorithms",
+                    "hios-lp",
+                    "--fault",
+                    "fail:1@0.5",
+                    "--fault",
+                    "fail:2@0.9",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fail@0.500" in out
+        # both failures struck, so two repair rounds ran
+        assert any("2" in line for line in out.splitlines() if "hios-lp" in line)
 
     def test_fault_free_when_no_spec(self, capsys):
         assert main(self.ARGS + ["--algorithms", "sequential"]) == 0
@@ -157,20 +197,135 @@ class TestFaultsCommand:
         assert "none (fault-free)" in out
         assert "fail@" not in out
 
-    def test_no_repair_reports_failure_only(self, capsys):
+    def test_no_repair_reports_failure_and_exits_1(self, capsys):
         assert (
             main(
                 self.ARGS
                 + ["--algorithms", "sequential", "--fault", "fail:1@1.0", "--no-repair"]
             )
-            == 0
+            == 1
         )
         out = capsys.readouterr().out
         assert "fail@1.000" in out
+        assert "unrecovered" in out
+
+    def test_exhausted_budget_exits_1(self, capsys):
+        # two failures but a budget of one repair: unrecovered, exit 1
+        assert (
+            main(
+                self.ARGS
+                + [
+                    "--algorithms",
+                    "hios-lp",
+                    "--fault",
+                    "fail:1@0.5",
+                    "--fault",
+                    "fail:2@0.9",
+                    "--max-repairs",
+                    "1",
+                ]
+            )
+            == 1
+        )
+        assert "unrecovered" in capsys.readouterr().out
 
     def test_bad_spec_exits_2(self, capsys):
         assert main(["faults", "--fault", "bogus:1@2"]) == 2
         assert "error" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_steady_state_text_report(self, capsys):
+        assert main(["serve", "--scenario", "steady-state"]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert "tenant search" in out and "tenant feed" in out
+
+    def test_json_report_carries_format_marker(self, capsys):
+        import json
+
+        assert main(["serve", "--scenario", "gpu-loss", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "repro.servereport/v1"
+        assert doc["failed"] == 0
+        assert doc["repairs"] >= 1
+        assert "requests" not in doc
+
+    def test_json_requests_included_on_demand(self, capsys):
+        import json
+
+        assert main(["serve", "--scenario", "steady-state", "--json", "--requests"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["requests"]) == doc["arrivals"]
+
+    def test_config_file_round_trip(self, tmp_path, capsys):
+        import json
+
+        from repro.serve import scenario_config
+
+        path = tmp_path / "serve.json"
+        path.write_text(json.dumps(scenario_config("steady-state").to_dict()))
+        assert main(["serve", "--config", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["completed"] == 26
+
+    def test_bad_config_exits_2(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "repro.serve/v1", "tenants": []}))
+        assert main(["serve", "--config", str(path)]) == 2
+        assert "V00" in capsys.readouterr().out
+
+    def test_seed_override_changes_arrivals(self, capsys):
+        import json
+
+        assert main(["serve", "--scenario", "steady-state", "--json"]) == 0
+        base = json.loads(capsys.readouterr().out)
+        assert main(["serve", "--scenario", "steady-state", "--seed", "99", "--json"]) == 0
+        reseeded = json.loads(capsys.readouterr().out)
+        # reseeding redraws the Poisson streams, so the report shifts
+        assert base != reseeded
+        assert base["makespan_ms"] != reseeded["makespan_ms"]
+
+    def test_artifacts_written_and_lint_clean(self, tmp_path, capsys):
+        import json
+
+        chrome = tmp_path / "chrome.json"
+        decisions = tmp_path / "decisions.jsonl"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scenario",
+                    "gpu-loss",
+                    "--trace-out",
+                    str(chrome),
+                    "--decisions-out",
+                    str(decisions),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "decision record(s)" in out
+        doc = json.loads(chrome.read_text())
+        assert doc["otherData"]["format"] == "repro.chrometrace/v1"
+        events = {
+            json.loads(line)["event"] for line in decisions.read_text().splitlines()
+        }
+        assert {"serve-admit", "serve-dispatch", "serve-gpu-fail"} <= events
+        assert main(["lint", str(chrome)]) == 0
+
+    def test_serve_config_lints_from_file(self, tmp_path, capsys):
+        import json
+
+        from repro.serve import scenario_config
+
+        path = tmp_path / "serve.json"
+        path.write_text(json.dumps(scenario_config("burst-overload").to_dict()))
+        assert main(["lint", str(path)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
 
 
 class TestCompareCommand:

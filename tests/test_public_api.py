@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.costmodel",
     "repro.lint",
     "repro.substrate",
+    "repro.serve",
     "repro.models",
     "repro.experiments",
     "repro.utils",
