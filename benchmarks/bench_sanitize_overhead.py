@@ -1,0 +1,91 @@
+"""Runtime-sanitizer overhead bench (``HIOS_SANITIZE=1``).
+
+The TSan-style engine sanitizer cross-checks every launch/start/finish
+and transfer send/recv against the precomputed happens-before graph —
+an O(in-degree) dictionary probe per event.  The contract (see
+``docs/linting.md``) is that a sanitized run costs **less than 2x** the
+unsanitized engine wall time on the heaviest real-model workload,
+nasnet@1024, so the suite can afford to leave it on by default.
+
+Prints the measured ratio and persists it to
+``benchmarks/results/BENCH_sanitize_overhead.json``.
+"""
+
+import json
+import statistics
+import time
+
+from conftest import RESULTS_DIR
+
+ROUNDS = 5
+MODEL = "nasnet"
+SIZE = 1024
+CEILING = 2.0
+
+
+def _median_wall(engine, graph, schedule, rounds=ROUNDS):
+    # warmup: pays the one-time HB-graph compilation (memoized per
+    # placement) so the timed rounds measure the steady state the
+    # 2x contract is about
+    engine.run(graph, schedule)
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        trace = engine.run(graph, schedule)
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples), trace
+
+
+def measure():
+    from dataclasses import replace
+
+    from repro.core.api import schedule_graph
+    from repro.experiments.realmodels import MODEL_BUILDERS, default_profiler
+    from repro.substrate import MultiGpuEngine
+
+    profiler = default_profiler(num_gpus=2)
+    profile = profiler.profile(MODEL_BUILDERS[MODEL](SIZE))
+    schedule = schedule_graph(profile, "hios-lp", window=3).schedule
+
+    base_cfg = replace(profiler.engine().config, sanitize=False)
+    plain, trace_plain = _median_wall(
+        MultiGpuEngine(base_cfg), profile.graph, schedule
+    )
+    checked, trace_checked = _median_wall(
+        MultiGpuEngine(replace(base_cfg, sanitize=True)),
+        profile.graph,
+        schedule,
+    )
+    assert trace_checked == trace_plain  # observation must not perturb
+    return {
+        "model": f"{MODEL}@{SIZE}",
+        "operators": len(profile.graph),
+        "rounds": ROUNDS,
+        "engine_median_s": plain,
+        "sanitized_median_s": checked,
+        "overhead_ratio": checked / plain,
+    }
+
+
+def test_sanitizer_overhead_under_2x(benchmark, results_dir, capsys):
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(
+            f"\n{result['model']} ({result['operators']} operators): "
+            f"engine {result['engine_median_s'] * 1000:.1f} ms, "
+            f"sanitized {result['sanitized_median_s'] * 1000:.1f} ms, "
+            f"ratio {result['overhead_ratio']:.2f}x (ceiling {CEILING}x)\n"
+        )
+    (results_dir / "BENCH_sanitize_overhead.json").write_text(
+        json.dumps(result, indent=2) + "\n"
+    )
+    assert result["overhead_ratio"] < CEILING
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(RESULTS_DIR.parent.parent / "src"))
+    out = measure()
+    print(json.dumps(out, indent=2))
+    sys.exit(0 if out["overhead_ratio"] < CEILING else 1)

@@ -1,0 +1,101 @@
+"""CI gate: the checked-in artifacts must be happens-before clean.
+
+Runs the full static analyzer (``repro.sanitize.analyze``) over every
+schedule artifact under ``benchmarks/results/lint/`` — against the
+committed Inception-v3 graph and, where one exists, the committed
+execution trace — and the vector-clock lease checker over the timeline
+of every seeded serving scenario:
+
+* FAIL if any schedule deadlocks, races, or its committed trace is not
+  a linearization of the happens-before graph;
+* FAIL if any serve scenario's realized timeline violates the exclusive
+  GPU-lease order (overlapping spans on one GPU);
+* warnings (transfer hazards) and info findings (nondeterminism) are
+  printed but do not gate — they are properties of the schedule shape,
+  not defects.
+
+The analysis model mirrors the engine configuration the artifacts were
+produced with (``scripts/make_lint_artifacts.py``'s profiler).  Run
+from the repository root::
+
+    PYTHONPATH=src python scripts/check_sanitize_clean.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.graphio import graph_from_dict  # noqa: E402
+from repro.core.schedule import Schedule  # noqa: E402
+from repro.experiments.realmodels import default_profiler  # noqa: E402
+from repro.sanitize import ExecModel, analyze, timeline_findings  # noqa: E402
+from repro.serve import SCENARIOS, run_scenario  # noqa: E402
+from repro.serve.report import serve_timeline  # noqa: E402
+from repro.substrate.engine import ExecutionTrace  # noqa: E402
+
+ARTIFACTS = pathlib.Path("benchmarks/results/lint")
+
+
+def check_artifacts() -> list[str]:
+    failures: list[str] = []
+    graph_doc = json.loads((ARTIFACTS / "graph_inception_299.json").read_text())
+    graph = graph_from_dict(graph_doc)
+    model = ExecModel.from_engine_config(default_profiler(num_gpus=2).engine().config)
+
+    for sched_path in sorted(ARTIFACTS.glob("schedule_*.json")):
+        schedule = Schedule.from_dict(json.loads(sched_path.read_text()))
+        trace_path = ARTIFACTS / sched_path.name.replace("schedule_", "trace_")
+        traces = []
+        if trace_path.exists():
+            traces.append(
+                ExecutionTrace.from_dict(json.loads(trace_path.read_text()))
+            )
+        report = analyze(graph, schedule, model, traces=traces)
+        suffix = f" + {trace_path.name}" if traces else ""
+        print(
+            f"  {sched_path.name}{suffix}: "
+            f"{report.stats['events']} events, {report.stats['edges']} edges, "
+            f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+        )
+        for finding in report.findings:
+            marker = "FAIL" if finding.severity == "error" else finding.severity
+            print(f"    [{marker}] {finding.kind}: {finding.message}")
+        failures.extend(
+            f"{sched_path.name}: {f.kind}: {f.message}" for f in report.errors
+        )
+    return failures
+
+
+def check_scenarios() -> list[str]:
+    failures: list[str] = []
+    for name in sorted(SCENARIOS):
+        timeline, op_gpu = serve_timeline(run_scenario(name).records)
+        findings = timeline_findings(timeline, op_gpu)
+        print(
+            f"  scenario {name}: {len(op_gpu)} lease span(s), "
+            f"{len(findings)} violation(s)"
+        )
+        failures.extend(f"scenario {name}: {f.message}" for f in findings)
+    return failures
+
+
+def main() -> int:
+    print("sanitizing checked-in schedule/trace artifacts:")
+    failures = check_artifacts()
+    print("sanitizing serve scenario timelines:")
+    failures.extend(check_scenarios())
+    if failures:
+        print("\nsanitize gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("sanitize gate passed: all artifacts happens-before clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

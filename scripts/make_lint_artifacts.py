@@ -2,11 +2,12 @@
 """Regenerate the checked-in lint artifacts.
 
 Writes a priced Inception-v3 graph, two schedules, one execution trace,
-its Chrome ``trace_event`` export and one sweep result-cache entry under
-``benchmarks/results/lint/`` — the documents CI feeds to ``repro lint``
-so the JSON contracts (``repro.opgraph/v1``, the schedule document,
-``repro.trace/v1``, ``repro.chrometrace/v1``, ``repro.cache/v1``) stay
-lint-clean as the code evolves.  Run from the repository root:
+its Chrome ``trace_event`` export, its happens-before analysis report
+and one sweep result-cache entry under ``benchmarks/results/lint/`` —
+the documents CI feeds to ``repro lint`` so the JSON contracts
+(``repro.opgraph/v1``, the schedule document, ``repro.trace/v1``,
+``repro.chrometrace/v1``, ``repro.hbreport/v1``, ``repro.cache/v1``)
+stay lint-clean as the code evolves.  Run from the repository root:
 
     PYTHONPATH=src python scripts/make_lint_artifacts.py
 """
@@ -23,6 +24,7 @@ from repro.core.api import schedule_graph  # noqa: E402
 from repro.core.graphio import graph_to_dict  # noqa: E402
 from repro.experiments.realmodels import MODEL_BUILDERS, default_profiler  # noqa: E402
 from repro.obs import chrome_trace_document  # noqa: E402
+from repro.sanitize import ExecModel, analyze  # noqa: E402
 from repro.sweep import RandomDagSpec, ResultCache, WorkUnit, execute_unit  # noqa: E402
 
 MODEL = "inception_v3"
@@ -71,6 +73,21 @@ def main() -> int:
             print(
                 f"wrote {chrome_path} "
                 f"({len(chrome_doc['traceEvents'])} trace events)"
+            )
+
+            engine = profiler.engine()
+            report = analyze(
+                profile.graph,
+                result.schedule,
+                ExecModel.from_engine_config(engine.config),
+                traces=[trace],
+            )
+            hb_path = out / f"hbreport_{stem}_{alg}.json"
+            hb_path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+            print(
+                f"wrote {hb_path} ({report.stats['events']} events, "
+                f"{report.stats['edges']} edges, "
+                f"{len(report.findings)} finding(s))"
             )
 
     # one representative sweep cache entry, written through the real cache

@@ -262,7 +262,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="FILE",
         help="JSON documents: repro.opgraph/v1, schedule, repro.trace/v1, "
-        "repro.cache/v1, repro.serve/v1, Chrome trace_event exports",
+        "repro.cache/v1, repro.serve/v1, repro.hbreport/v1, Chrome "
+        "trace_event exports",
     )
     lint.add_argument(
         "--fault",
@@ -285,6 +286,57 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--json", action="store_true", help="machine-readable output")
     lint.add_argument(
         "--rules", action="store_true", help="print the rule catalog and exit"
+    )
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="happens-before analysis: static deadlock/race detection "
+        "and trace linearization checks",
+        description="Compile a (graph, schedule) pair into an explicit "
+        "happens-before graph under the engine's execution model, run "
+        "the static detectors (deadlock witness cycle, cross-GPU and "
+        "stream-level ordering hazards, nondeterminism), and verify any "
+        "supplied repro.trace/v1 documents — or named serve scenarios — "
+        "against it with the vector-clock checker. Exit 1 on any "
+        "error-severity finding.",
+    )
+    sanitize.add_argument(
+        "files",
+        nargs="*",
+        metavar="FILE",
+        help="JSON documents, auto-detected: one repro.opgraph/v1 graph, "
+        "one schedule, and any number of repro.trace/v1 traces",
+    )
+    sanitize.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="repeatable: run a named serve scenario and check its pool "
+        "timeline for lease-order linearization",
+    )
+    sanitize.add_argument(
+        "--overlap-launch", action="store_true",
+        help="model the overlap-launch engine mode (data edges gate "
+        "kernel start instead of host launch)",
+    )
+    sanitize.add_argument(
+        "--max-streams", type=int, default=0, metavar="N",
+        help="streams per GPU in the model (0 = serial device, the "
+        "engine default)",
+    )
+    sanitize.add_argument(
+        "--no-data-wait", action="store_true",
+        help="audit mode: drop per-message synchronization from the "
+        "model (expects to flag every cross-GPU edge)",
+    )
+    sanitize.add_argument(
+        "--eps", type=float, default=1e-6,
+        help="timestamp tolerance for the trace checks",
+    )
+    sanitize.add_argument(
+        "--json", action="store_true",
+        help="emit the repro.hbreport/v1 document",
     )
 
     trace = sub.add_parser(
@@ -690,6 +742,8 @@ def _detect_document(data: object) -> str | None:
         return "cache"
     if fmt == "repro.serve/v1":
         return "serve"
+    if fmt == "repro.hbreport/v1":
+        return "hb"
     if "traceEvents" in data:
         return "chrome"
     if "num_gpus" in data and "gpus" in data:
@@ -722,7 +776,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print("error: nothing to lint (pass JSON files and/or --fault specs)")
         return 2
 
-    graph = schedule = schedule_doc = trace = cache_doc = chrome_doc = serve_doc = None
+    graph = schedule = schedule_doc = trace = None
+    cache_doc = chrome_doc = serve_doc = hb_doc = None
     for path in args.files:
         try:
             with open(path) as fh:
@@ -755,11 +810,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             chrome_doc = data  # the chrome rules report the details
         elif kind == "serve":
             serve_doc = data  # the serve rules report the details
+        elif kind == "hb":
+            hb_doc = data  # the hb rules report the details
         else:
             print(
                 f"error: cannot classify {path}: expected a repro.opgraph/v1, "
-                "repro.trace/v1, repro.cache/v1, repro.serve/v1, Chrome "
-                "trace_event (traceEvents) or schedule (num_gpus/gpus) document"
+                "repro.trace/v1, repro.cache/v1, repro.serve/v1, "
+                "repro.hbreport/v1, Chrome trace_event (traceEvents) or "
+                "schedule (num_gpus/gpus) document"
             )
             return 2
 
@@ -780,6 +838,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         cache_doc=cache_doc,
         chrome_doc=chrome_doc,
         serve_doc=serve_doc,
+        hb_doc=hb_doc,
         window=args.window,
         num_gpus=args.gpus,
         horizon=args.horizon,
@@ -792,6 +851,110 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(report.to_text())
     return 0 if not report.errors else 1
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.graph import GraphError
+    from .core.graphio import graph_from_dict
+    from .core.schedule import Schedule, ScheduleError
+    from .sanitize import ExecModel, analyze, timeline_findings
+    from .substrate.engine import EngineError, ExecutionTrace
+
+    graph = schedule = None
+    traces = []
+    for path in args.files:
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {path}: {exc}")
+            return 2
+        kind = _detect_document(data)
+        if kind == "graph":
+            try:
+                graph = graph_from_dict(data)
+            except (GraphError, ValueError) as exc:
+                print(f"error: malformed graph document {path}: {exc}")
+                return 2
+        elif kind == "schedule":
+            try:
+                schedule = Schedule.from_dict(data)
+            except ScheduleError as exc:
+                print(f"error: malformed schedule document {path}: {exc}")
+                return 2
+        elif kind == "trace":
+            try:
+                traces.append(ExecutionTrace.from_dict(data))
+            except EngineError as exc:
+                print(f"error: malformed trace document {path}: {exc}")
+                return 2
+        else:
+            print(
+                f"error: cannot classify {path}: sanitize takes a "
+                "repro.opgraph/v1 graph, a schedule (num_gpus/gpus) and "
+                "repro.trace/v1 traces"
+            )
+            return 2
+    if (graph is None) != (schedule is None):
+        print("error: sanitize needs the graph and the schedule together")
+        return 2
+    if graph is None and not args.scenario:
+        print(
+            "error: nothing to analyze (pass a graph+schedule pair "
+            "and/or --scenario NAME)"
+        )
+        return 2
+    if traces and graph is None:
+        print("error: trace checks need the graph and schedule they ran under")
+        return 2
+
+    report = None
+    if graph is not None and schedule is not None:
+        model = ExecModel(
+            overlap_launch=args.overlap_launch,
+            max_streams=args.max_streams,
+            data_wait=not args.no_data_wait,
+        )
+        report = analyze(
+            graph, schedule, model, traces=traces, eps=args.eps
+        )
+
+    scenario_extra = []
+    if args.scenario:
+        from dataclasses import replace
+
+        from .sanitize.api import SanitizeReport
+        from .serve.report import serve_timeline
+        from .serve.scenarios import SCENARIOS, run_scenario
+
+        for name in args.scenario:
+            if name not in SCENARIOS:
+                print(
+                    f"error: unknown scenario {name!r}; choose from "
+                    f"{sorted(SCENARIOS)}"
+                )
+                return 2
+            timeline, op_gpu = serve_timeline(run_scenario(name).records)
+            for finding in timeline_findings(timeline, op_gpu, eps=args.eps):
+                scenario_extra.append(
+                    replace(finding, message=f"scenario {name!r}: {finding.message}")
+                )
+        if report is None:
+            report = SanitizeReport(findings=(), model=ExecModel(), stats={})
+    assert report is not None
+    if scenario_extra:
+        report = report.with_findings(scenario_extra)
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.to_text())
+        if args.scenario and report.ok:
+            names = ", ".join(args.scenario)
+            print(f"serve timeline(s) linearizable: {names}")
+    return 0 if report.ok else 1
 
 
 def _load_trace_doc(path: str):
@@ -906,6 +1069,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_validate(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "sanitize":
+        return _cmd_sanitize(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "faults":

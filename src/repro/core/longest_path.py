@@ -25,7 +25,7 @@ unscheduled vertex set (two passes), well below the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet
+from typing import AbstractSet, Iterator
 
 from .graph import GraphError, OpGraph
 
@@ -45,7 +45,7 @@ class ValidPath:
     def __len__(self) -> int:
         return len(self.vertices)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self.vertices)
 
 

@@ -1,7 +1,7 @@
 """``repro.lint`` — rule-based static verification of HIOS artifacts.
 
 The subsystem behind ``repro lint``: a small diagnostic framework
-(:class:`Rule`, :class:`Diagnostic`, :class:`Linter`) plus seven rule
+(:class:`Rule`, :class:`Diagnostic`, :class:`Linter`) plus eight rule
 packs covering every artifact the scheduler pipeline produces or
 consumes:
 
@@ -24,6 +24,9 @@ chrome    exported Chrome/Perfetto trace-event documents (``T1xx``:
 serve     serving-scenario configs (``V0xx``: format marker, tenant and
           arrival shape, pool/lease arithmetic, registered algorithms,
           parseable fault specs, policy-knob sanity)
+hb        happens-before analysis reports (``H0xx``: hbreport format
+          marker, finding taxonomy, witness-step shape, summary
+          consistency, and no unresolved errors in checked-in reports)
 ========  ==================================================================
 
 Unlike ``Schedule.validate()`` — now a thin wrapper over the
@@ -38,6 +41,7 @@ from .api import (
     lint_chrome_trace,
     lint_fault_plan,
     lint_graph,
+    lint_hb_report,
     lint_schedule,
     lint_schedule_document,
     lint_serve_config,
@@ -60,6 +64,7 @@ from . import cache_rules as _cache_rules  # noqa: F401
 from . import chrome_rules as _chrome_rules  # noqa: F401
 from . import fault_rules as _fault_rules  # noqa: F401
 from . import graph_rules as _graph_rules  # noqa: F401
+from . import hb_rules as _hb_rules  # noqa: F401
 from . import schedule_rules as _schedule_rules  # noqa: F401
 from . import serve_rules as _serve_rules  # noqa: F401
 from . import trace_rules as _trace_rules  # noqa: F401
@@ -78,6 +83,7 @@ __all__ = [
     "lint_chrome_trace",
     "lint_fault_plan",
     "lint_graph",
+    "lint_hb_report",
     "lint_schedule",
     "lint_schedule_document",
     "lint_serve_config",

@@ -29,6 +29,7 @@ __all__ = [
     "lint_cache_document",
     "lint_chrome_trace",
     "lint_serve_config",
+    "lint_hb_report",
 ]
 
 
@@ -116,6 +117,20 @@ def lint_serve_config(
     documents are reported instead of raising.
     """
     ctx = LintContext(serve_doc=data)
+    return _linter(errors_only).run(ctx)
+
+
+def lint_hb_report(
+    data: Mapping[str, Any], *, errors_only: bool = False
+) -> LintReport:
+    """Run the hb rule pack over one ``repro.hbreport/v1`` document.
+
+    ``data`` is the JSON-object form ``repro sanitize --json`` emits
+    (:meth:`repro.sanitize.SanitizeReport.to_dict`).  Linting never
+    reconstructs the report, so malformed documents are diagnosed
+    instead of raising.
+    """
+    ctx = LintContext(hb_doc=data)
     return _linter(errors_only).run(ctx)
 
 

@@ -3,17 +3,19 @@
 A :class:`Rule` is a pure function from a :class:`LintContext` to zero
 or more :class:`Finding` values, tagged with a stable ID, a severity and
 the *subjects* it needs (``graph``, ``schedule``, ``schedule_doc``,
-``trace``, ``plan``, ``cache_doc``, ``chrome_doc``, ``serve_doc``).
-The :class:`Linter` runs every
+``trace``, ``plan``, ``cache_doc``, ``chrome_doc``, ``serve_doc``,
+``hb_doc``).  The :class:`Linter` runs every
 registered rule whose subjects the context provides and returns a
 :class:`~repro.lint.diagnostics.LintReport` — it never raises on a
 finding, so one run surfaces *every* problem at once.
 
-Rule packs (:mod:`~repro.lint.graph_rules`,
+All eight rule packs (:mod:`~repro.lint.graph_rules`,
 :mod:`~repro.lint.schedule_rules`, :mod:`~repro.lint.trace_rules`,
 :mod:`~repro.lint.fault_rules`, :mod:`~repro.lint.cache_rules`,
-:mod:`~repro.lint.chrome_rules`) register themselves at import time via
-the :func:`rule` decorator; importing :mod:`repro.lint` loads all six.
+:mod:`~repro.lint.chrome_rules`, :mod:`~repro.lint.serve_rules`,
+:mod:`~repro.lint.hb_rules`) register themselves at import time via
+the :func:`rule` decorator; importing :mod:`repro.lint` loads every
+registered pack.
 """
 
 from __future__ import annotations
@@ -49,6 +51,7 @@ SUBJECTS = (
     "cache_doc",
     "chrome_doc",
     "serve_doc",
+    "hb_doc",
 )
 
 
@@ -84,6 +87,7 @@ class LintContext:
     cache_doc: Mapping[str, Any] | None = None
     chrome_doc: Mapping[str, Any] | None = None
     serve_doc: Mapping[str, Any] | None = None
+    hb_doc: Mapping[str, Any] | None = None
     window: int | None = None
     num_gpus: int | None = None
     horizon: float | None = None

@@ -14,6 +14,12 @@ import the substrate — partial failure traces lint fine: operators cut
 off mid-flight are exempt from finish-side checks and producers that
 finished *before* the failure are treated as host-checkpointed (their
 outputs re-stage for free, the repair model of ``repro.core.repair``).
+
+The pairwise-causality rules (``T004``/``T005``) delegate to the
+requirement layer of the vector-clock checker
+(:mod:`repro.sanitize.vclock`) — one implementation serves both the
+lint pack and ``repro sanitize``'s full linearization check, with the
+findings (messages, locations, order) unchanged.
 """
 
 from __future__ import annotations
@@ -115,22 +121,20 @@ def check_launch_before_start(ctx: LintContext) -> Iterator[Finding]:
 def check_causality(ctx: LintContext) -> Iterator[Finding]:
     graph, trace = ctx.graph, ctx.trace
     assert graph is not None and trace is not None
-    for u, v, _w in graph.edges():
-        start_v = trace.op_start.get(v)
-        if start_v is None:
-            continue
-        fin_u = trace.op_finish.get(u)
-        if fin_u is None:
+    from ..sanitize.vclock import dependency_violations
+
+    for vio in dependency_violations(graph, trace, eps=ctx.eps):
+        if vio.t_src is None:
             yield Finding(
-                f"operator {v!r} starts at {start_v} but its producer {u!r} "
-                "never finished",
-                location=f"edge:{u}->{v}",
+                f"operator {vio.v!r} starts at {vio.t_dst} but its "
+                f"producer {vio.u!r} never finished",
+                location=f"edge:{vio.u}->{vio.v}",
             )
-        elif start_v < fin_u - ctx.eps:
+        else:
             yield Finding(
-                f"operator {v!r} starts at {start_v} before its producer "
-                f"{u!r} finishes at {fin_u}",
-                location=f"edge:{u}->{v}",
+                f"operator {vio.v!r} starts at {vio.t_dst} before its "
+                f"producer {vio.u!r} finishes at {vio.t_src}",
+                location=f"edge:{vio.u}->{vio.v}",
             )
 
 
@@ -146,24 +150,21 @@ def check_causality(ctx: LintContext) -> Iterator[Finding]:
 def check_transfer_causality(ctx: LintContext) -> Iterator[Finding]:
     graph, schedule, trace = ctx.graph, ctx.schedule, ctx.trace
     assert graph is not None and schedule is not None and trace is not None
-    checkpointed = _failure_finished(ctx)
-    for u, v, w in graph.edges():
-        if w <= 0.0 or u in checkpointed:
-            continue  # checkpointed outputs re-stage for free after repair
-        if u not in schedule or v not in schedule:
-            continue
-        if schedule.gpu_of(u) == schedule.gpu_of(v):
-            continue
-        start_v, fin_u = trace.op_start.get(v), trace.op_finish.get(u)
-        if start_v is None or fin_u is None:
-            continue  # T004 reports missing producers
-        if start_v < fin_u + w - ctx.eps:
-            yield Finding(
-                f"operator {v!r} starts at {start_v} but the transfer from "
-                f"{u!r} (finish {fin_u} + t(u,v) {w}) only completes at "
-                f"{fin_u + w}",
-                location=f"edge:{u}->{v}",
-            )
+    from ..sanitize.vclock import transfer_violations
+
+    # checkpointed outputs re-stage for free after repair; T004 reports
+    # missing producers — both exemptions live in the shared checker
+    for vio in transfer_violations(
+        graph, schedule, trace, eps=ctx.eps, checkpointed=_failure_finished(ctx)
+    ):
+        fin_u = vio.t_src
+        assert fin_u is not None  # transfer violations always have one
+        yield Finding(
+            f"operator {vio.v!r} starts at {vio.t_dst} but the transfer "
+            f"from {vio.u!r} (finish {fin_u} + t(u,v) {vio.transfer}) "
+            f"only completes at {fin_u + vio.transfer}",
+            location=f"edge:{vio.u}->{vio.v}",
+        )
 
 
 @rule(

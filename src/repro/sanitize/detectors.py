@@ -1,0 +1,344 @@
+"""Static detectors over the happens-before graph.
+
+* :func:`find_deadlock` — a cycle in the *enforced* order is a wait
+  cycle the engine can never leave; the minimal witness cycle is
+  reported **before** any engine run (replacing watchdog-only
+  discovery).
+* :func:`find_races` — a *required* ordering (dependency / transfer)
+  that enforced-order reachability does not imply: some legal
+  interleaving starts the consumer before its input exists.  Same-GPU
+  races are stream-level WAR/WAW hazards (dependent operators sharing
+  a stage); cross-GPU races mean no synchronization covers the
+  transfer at all.
+* :func:`find_transfer_hazards` — cross-GPU orderings that hold *only*
+  through the per-kernel data wait (eager-launch mode): safe on the
+  simulated engine, but a backend replaying the schedule without
+  per-message synchronization would race.  Warning severity.
+* :func:`find_nondeterminism` — the schedule admits multiple realized
+  orders: concurrent same-stage kernels contend for the device and
+  unordered same-channel transfers serialize in arrival order, so
+  latency varies across legal interleavings.  Informational.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .hbgraph import EDGE_KINDS, HbGraph, Requirement, ev_send, ev_start
+from .vclock import HbClocks
+
+__all__ = [
+    "WitnessCycle",
+    "Race",
+    "TransferHazard",
+    "NondetReport",
+    "find_deadlock",
+    "find_races",
+    "find_transfer_hazards",
+    "find_nondeterminism",
+]
+
+
+@dataclass(frozen=True)
+class WitnessCycle:
+    """A minimal wait cycle: ``events[i]`` must precede ``events[i+1]``
+    because of ``kinds[i]`` (indices mod the cycle length)."""
+
+    events: tuple[str, ...]  # pre-rendered labels (with GPU annotations)
+    kinds: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def describe(self) -> str:
+        lines = [f"witness cycle ({len(self.events)} events):"]
+        n = len(self.events)
+        for i, label in enumerate(self.events):
+            lines.append(f"  {label}")
+            kind = self.kinds[i]
+            closing = " (closing the cycle)" if i == n - 1 else ""
+            lines.append(f"    --[{EDGE_KINDS[kind]}]-->{closing}")
+        lines.append(f"  {self.events[0]}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Race:
+    """A required ordering no enforced edge implies."""
+
+    requirement: Requirement
+    same_stage: bool
+
+    def describe(self) -> str:
+        req = self.requirement
+        if req.cross:
+            return (
+                f"nothing orders start({req.v!r}) after finish({req.u!r}) + "
+                f"transfer {req.transfer:g}: the cross-GPU dependency "
+                f"{req.u}->{req.v} is unsynchronized"
+            )
+        where = (
+            "they share a stage and no stream lane serializes them"
+            if self.same_stage
+            else "no stage barrier or stream lane orders them"
+        )
+        return (
+            f"stream-level WAR/WAW hazard: {req.v!r} depends on {req.u!r} "
+            f"on the same GPU but {where}"
+        )
+
+
+@dataclass(frozen=True)
+class TransferHazard:
+    """A cross-GPU ordering held together only by the per-kernel data
+    wait (eager-launch mode)."""
+
+    requirement: Requirement
+
+    def describe(self) -> str:
+        req = self.requirement
+        return (
+            f"transfer {req.u}->{req.v} is ordered only by the per-kernel "
+            "data wait: a backend replaying this schedule without "
+            "per-message synchronization can start the consumer early"
+        )
+
+
+@dataclass(frozen=True)
+class NondetReport:
+    """How many legal interleavings the schedule admits."""
+
+    kernel_pairs: int
+    channel_pairs: int
+    exemplars: tuple[str, ...]
+
+    def describe(self) -> str:
+        text = (
+            f"schedule admits multiple realized orders: "
+            f"{self.kernel_pairs} unordered same-stage kernel pair(s) "
+            f"(device contention varies) and {self.channel_pairs} "
+            f"unordered same-channel transfer pair(s) (delivery order "
+            f"varies)"
+        )
+        if self.exemplars:
+            text += "; e.g. " + "; ".join(self.exemplars)
+        return text
+
+
+# ----------------------------------------------------------------------
+# deadlock
+# ----------------------------------------------------------------------
+def _sccs(hb: HbGraph) -> list[list[int]]:
+    """Tarjan's strongly connected components, iteratively."""
+    n = hb.num_events
+    index = [0] * n
+    low = [0] * n
+    on_stack = [False] * n
+    visited = [False] * n
+    stack: list[int] = []
+    sccs: list[list[int]] = []
+    counter = 1
+    for root in range(n):
+        if visited[root]:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, ei = work.pop()
+            if ei == 0:
+                visited[node] = True
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            edges = hb.out_edges(node)
+            recursed = False
+            for k in range(ei, len(edges)):
+                nxt = edges[k][0]
+                if not visited[nxt]:
+                    work.append((node, k + 1))
+                    work.append((nxt, 0))
+                    recursed = True
+                    break
+                if on_stack[nxt]:
+                    low[node] = min(low[node], index[nxt])
+            if recursed:
+                continue
+            if low[node] == index[node]:
+                comp: list[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp.append(w)
+                    if w == node:
+                        break
+                if len(comp) > 1:
+                    sccs.append(comp)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs
+
+
+def _shortest_cycle(hb: HbGraph, comp: list[int]) -> tuple[list[int], list[str]]:
+    """BFS shortest cycle inside one SCC (events + edge kinds)."""
+    members = set(comp)
+    best: tuple[list[int], list[str]] | None = None
+    # BFS from each member (capped: SCCs are tiny in practice and the
+    # cycle is minimal over the sources tried)
+    for source in comp[:64]:
+        parent: dict[int, tuple[int, str]] = {source: (-1, "")}
+        queue = deque([source])
+        found: tuple[int, str] | None = None
+        while queue and found is None:
+            node = queue.popleft()
+            for nxt, kind in hb.out_edges(node):
+                if nxt not in members:
+                    continue
+                if nxt == source:
+                    found = (node, kind)
+                    break
+                if nxt not in parent:
+                    parent[nxt] = (node, kind)
+                    queue.append(nxt)
+        if found is None:
+            continue  # pragma: no cover - SCC members always cycle
+        tail, closing_kind = found
+        nodes = [tail]
+        kinds = [closing_kind]
+        while nodes[-1] != source:
+            prev, kind = parent[nodes[-1]]
+            nodes.append(prev)
+            kinds.append(kind)
+        nodes.reverse()
+        kinds.reverse()
+        # kinds[i] is now the edge nodes[i] -> nodes[i+1 mod n]
+        if best is None or len(nodes) < len(best[0]):
+            best = (nodes, kinds)
+            if len(nodes) == 2:
+                break
+    assert best is not None
+    return best
+
+
+def find_deadlock(hb: HbGraph) -> WitnessCycle | None:
+    """The minimal witness cycle of the enforced order, or ``None``.
+
+    Any cycle here is a genuine wait cycle: every enforced edge models
+    something the engine actually blocks on (host launch order, stage
+    barriers, stream lanes, MPI recv/sends), so the run would sit in
+    the stall watchdog forever.  Minimality: the smallest strongly
+    connected component is searched for its shortest cycle.
+    """
+    sccs = _sccs(hb)
+    if not sccs:
+        return None
+    comp = min(sccs, key=len)
+    nodes, kinds = _shortest_cycle(hb, comp)
+    return WitnessCycle(
+        events=tuple(hb.label(i) for i in nodes), kinds=tuple(kinds)
+    )
+
+
+# ----------------------------------------------------------------------
+# races and hazards
+# ----------------------------------------------------------------------
+def find_races(
+    hb: HbGraph, clocks: HbClocks, schedule_stage_of: dict[str, tuple[int, int]]
+) -> list[Race]:
+    """Requirements not implied by enforced-order reachability."""
+    races: list[Race] = []
+    for req in hb.requirements:
+        if not clocks.precedes_events(req.src, req.dst):
+            same_stage = (
+                not req.cross
+                and schedule_stage_of.get(req.u) == schedule_stage_of.get(req.v)
+            )
+            races.append(Race(requirement=req, same_stage=same_stage))
+    return races
+
+
+def find_transfer_hazards(hb: HbGraph, clocks: HbClocks) -> list[TransferHazard]:
+    """Cross-GPU requirements that hold in the full enforced order but
+    not once the per-kernel ``data`` waits are removed."""
+    if not any(req.cross for req in hb.requirements):
+        return []
+    stripped = hb.without_kinds(frozenset({"data"}))
+    try:
+        weak = HbClocks(stripped)
+    except ValueError:  # pragma: no cover - full graph cyclic ⇒ caught earlier
+        return []
+    hazards: list[TransferHazard] = []
+    for req in hb.requirements:
+        if not req.cross:
+            continue
+        if not clocks.precedes_events(req.src, req.dst):
+            continue  # already a race, not a mere hazard
+        if not weak.precedes_events(req.src, req.dst):
+            hazards.append(TransferHazard(requirement=req))
+    return hazards
+
+
+# ----------------------------------------------------------------------
+# nondeterminism
+# ----------------------------------------------------------------------
+_PAIR_BUDGET = 1_000_000
+
+
+def find_nondeterminism(
+    hb: HbGraph,
+    clocks: HbClocks,
+    stages: list[tuple[int, tuple[str, ...]]],
+) -> NondetReport | None:
+    """Count unordered same-stage kernel pairs and unordered
+    same-channel transfer pairs.  ``stages`` is ``(gpu, ops)`` per
+    stage.  Returns ``None`` when the realized order is unique."""
+    exemplars: list[str] = []
+    kernel_pairs = 0
+    budget = _PAIR_BUDGET
+    for _gpu, ops in stages:
+        named = [op for op in ops if op in hb.gpu_of]
+        for i, a in enumerate(named):
+            ia = hb.index.get(ev_start(a))
+            if ia is None:
+                continue
+            for b in named[i + 1 :]:
+                ib = hb.index.get(ev_start(b))
+                if ib is None or budget <= 0:
+                    continue
+                budget -= 1
+                if clocks.concurrent(ia, ib):
+                    kernel_pairs += 1
+                    if len(exemplars) < 3:
+                        exemplars.append(f"kernels {a!r} and {b!r} overlap")
+    channel_pairs = 0
+    channels: dict[tuple[int, int], list[tuple[str, str]]] = {}
+    for req in hb.requirements:
+        if req.cross:
+            channels.setdefault(
+                (hb.gpu_of[req.u], hb.gpu_of[req.v]), []
+            ).append((req.u, req.v))
+    for (gs, gd), messages in sorted(channels.items()):
+        for i, (u1, v1) in enumerate(messages):
+            ia = hb.index.get(ev_send(u1, v1))
+            if ia is None:
+                continue
+            for u2, v2 in messages[i + 1 :]:
+                ib = hb.index.get(ev_send(u2, v2))
+                if ib is None or budget <= 0:
+                    continue
+                budget -= 1
+                if clocks.concurrent(ia, ib):
+                    channel_pairs += 1
+                    if len(exemplars) < 3:
+                        exemplars.append(
+                            f"transfers {u1}->{v1} and {u2}->{v2} race "
+                            f"for channel GPU {gs}->{gd}"
+                        )
+    if kernel_pairs == 0 and channel_pairs == 0:
+        return None
+    return NondetReport(
+        kernel_pairs=kernel_pairs,
+        channel_pairs=channel_pairs,
+        exemplars=tuple(exemplars),
+    )

@@ -76,6 +76,15 @@ class EngineConfig:
     delivery or kernel completion while no kernel is running; beyond it
     the engine raises a diagnostic :class:`EngineError` instead of
     jumping ahead.
+
+    ``sanitize`` controls the TSan-style happens-before sanitizer
+    (:mod:`repro.sanitize.runtime`): ``True`` forces it on, ``False``
+    off, and ``None`` (the default) defers to the ``HIOS_SANITIZE``
+    environment variable.  When active, the run first fails fast on
+    statically deadlocked schedules (with a witness cycle, before the
+    event loop ever starts) and then cross-checks every launch, kernel
+    start/finish and transfer post/delivery against the happens-before
+    model, raising with a causal chain on any contradiction.
     """
 
     launch_overhead_ms: float = 0.007
@@ -91,6 +100,7 @@ class EngineConfig:
     link: LinkModel = NVLINK_BRIDGE
     faults: FaultPlan | None = None
     watchdog_horizon_ms: float = 0.0
+    sanitize: bool | None = None
 
     def __post_init__(self) -> None:
         if self.launch_overhead_ms < 0:
@@ -267,6 +277,14 @@ class MultiGpuEngine:
         plan = cfg.faults if cfg.faults else None
         if plan is not None:
             plan.validate_for(M)
+        # TSan-style happens-before sanitizer (HIOS_SANITIZE / cfg.sanitize).
+        # Imported lazily: repro.sanitize depends on this module for its
+        # exception hierarchy.  Construction statically detects deadlocked
+        # schedules and raises with a witness cycle before the event loop
+        # (and in particular the stall watchdog) is ever reached.
+        from ..sanitize.runtime import sanitizer_for
+
+        sanitizer = sanitizer_for(graph, schedule, cfg)
         fabric = SimFabric(
             max(M, 1), cfg.link, serialize=cfg.fabric_serializes, faults=plan
         )
@@ -368,6 +386,8 @@ class MultiGpuEngine:
             settle(g, t)
             started.add(op)
             op_start[op] = t
+            if sanitizer is not None:
+                sanitizer.observe_start(op, t)
             running[g][op] = exec_duration(op, g)
             recompute_slowdown(g)
 
@@ -427,6 +447,8 @@ class MultiGpuEngine:
             recompute_slowdown(g)
             op_finish[op] = t
             finished.add(op)
+            if sanitizer is not None:
+                sanitizer.observe_finish(op, t)
             unfinished -= 1
             succ = stream_succ.get(op)
             if succ is not None:
@@ -455,6 +477,12 @@ class MultiGpuEngine:
                         tag=f"{op}->{s}",
                     )
                 events.push(delivery, "data_arrival", (s, op))
+                if sanitizer is not None:
+                    # transfer events are reported at post time with
+                    # their real timestamps; observation is idempotent
+                    # so the later data_arrival needs no second report
+                    sanitizer.observe_send(op, s, post_at)
+                    sanitizer.observe_recv(op, s, delivery)
                 cursor = delivery
                 last_delivery = max(last_delivery, delivery)
             if blocking and last_delivery > t:
@@ -523,6 +551,8 @@ class MultiGpuEngine:
                     g, op = ev.payload
                     op_launch[op] = ev.time
                     launched.add(op)
+                    if sanitizer is not None:
+                        sanitizer.observe_launch(op, ev.time)
                     last_progress = now
                     if cfg.overlap_launch and remote_pending[op] > 0:
                         awaiting_data.add(op)

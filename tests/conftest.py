@@ -6,8 +6,17 @@ the error-severity lint rules, so a regression in any algorithm's
 output feasibility fails loudly at the point of emission.  Tests that
 need the hook off (e.g. to assert the opt-out) override the variable
 locally with ``monkeypatch``.
+
+Also turns on ``HIOS_SANITIZE``: every engine run in the suite streams
+its events through the TSan-style happens-before sanitizer
+(:mod:`repro.sanitize.runtime`), so an engine change that breaks an
+ordering guarantee — or a scheduler emitting a racy schedule — raises
+with a causal chain at the exact event that contradicts the model.
+Tests exercising the legacy dynamic diagnostics (stall watchdog,
+deadlock stall report) opt out per-run with ``sanitize=False``.
 """
 
 import os
 
 os.environ.setdefault("HIOS_DEBUG_LINT", "1")
+os.environ.setdefault("HIOS_SANITIZE", "1")

@@ -62,13 +62,14 @@ class TestRegistry:
         packs = {r.pack for r in rules}
         assert packs == {
             "graph", "schedule", "trace", "faults", "cache", "chrome", "serve",
+            "hb",
         }
 
     def test_rule_ids_unique_and_well_formed(self):
         ids = [r.id for r in all_rules()]
         assert len(ids) == len(set(ids))
         for rid in ids:
-            assert rid[0] in "GSTFCV" and rid[1:].isdigit() and len(rid) == 4
+            assert rid[0] in "GSTFCVH" and rid[1:].isdigit() and len(rid) == 4
 
     def test_get_rule(self):
         assert get_rule("G001").pack == "graph"

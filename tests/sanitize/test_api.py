@@ -1,0 +1,158 @@
+"""The ``analyze`` entry point and the ``repro.hbreport/v1`` document."""
+
+import json
+
+from repro.core import OpGraph, Schedule, Stage
+from repro.sanitize import (
+    FINDING_KINDS,
+    HBREPORT_FORMAT,
+    ExecModel,
+    SanitizeFinding,
+    SanitizeReport,
+    analyze,
+)
+
+from .conftest import make_engine
+
+
+class TestAnalyzeClean:
+    def test_report_shape(self, diamond, diamond_schedule):
+        report = analyze(diamond, diamond_schedule)
+        assert report.ok
+        assert report.findings == ()
+        assert report.stats["operators"] == 4
+        assert report.stats["gpus"] == 2
+        assert report.stats["events"] > 0
+        assert report.stats["edges"] > 0
+        assert report.stats["requirements"] == 4  # the diamond's edges
+
+    def test_traces_fold_into_the_report(self, diamond, diamond_schedule):
+        trace = make_engine().run(diamond, diamond_schedule)
+        report = analyze(diamond, diamond_schedule, traces=[trace])
+        assert report.ok
+
+    def test_to_text_clean(self, diamond, diamond_schedule):
+        text = analyze(diamond, diamond_schedule).to_text()
+        assert "happens-before analysis" in text
+        assert "clean: no hazards found" in text
+
+
+class TestAnalyzeDeadlock:
+    def test_deadlock_finding_with_witness_steps(self, deadlock_pair):
+        graph, schedule = deadlock_pair
+        report = analyze(graph, schedule)
+        assert not report.ok
+        (finding,) = report.findings
+        assert finding.kind == "deadlock" and finding.severity == "error"
+        assert "cyclic wait" in finding.message
+        assert len(finding.witness) >= 2
+        # every witness step names a real enforced-edge kind
+        kinds = {edge for _, edge in finding.witness}
+        assert kinds <= {
+            "op", "program", "stage", "stream", "send", "chain",
+            "xfer", "host", "data", "lease", "dep", "transfer",
+        }
+
+    def test_deadlock_subsumes_other_detectors(self, deadlock_pair):
+        graph, schedule = deadlock_pair
+        # even with hazard-prone model knobs, the deadlock is the only
+        # finding (reachability is ill-defined on a cyclic graph)
+        report = analyze(
+            graph, schedule, ExecModel(overlap_launch=True, max_streams=4)
+        )
+        assert [f.kind for f in report.findings] == ["deadlock"]
+
+    def test_deadlock_renders_witness_arrows(self, deadlock_pair):
+        graph, schedule = deadlock_pair
+        text = analyze(graph, schedule).to_text()
+        assert "ERROR [deadlock]" in text
+        assert "--[" in text and "]-->" in text
+        assert "summary: 1 error(s)" in text
+
+
+class TestFindingOrdering:
+    def test_with_findings_sorts_by_severity(self):
+        report = SanitizeReport(findings=(), model=ExecModel(), stats={})
+        merged = report.with_findings(
+            [
+                SanitizeFinding("nondeterminism", "info", "i"),
+                SanitizeFinding("race", "error", "e"),
+                SanitizeFinding("transfer-hazard", "warning", "w"),
+            ]
+        )
+        assert [f.severity for f in merged.findings] == [
+            "error",
+            "warning",
+            "info",
+        ]
+        assert merged.errors == (merged.findings[0],)
+        assert merged.warnings == (merged.findings[1],)
+        assert not merged.ok
+
+    def test_warnings_and_info_keep_ok(self):
+        report = SanitizeReport(
+            findings=(), model=ExecModel(), stats={}
+        ).with_findings(
+            [
+                SanitizeFinding("transfer-hazard", "warning", "w"),
+                SanitizeFinding("nondeterminism", "info", "i"),
+            ]
+        )
+        assert report.ok  # only errors flip ok
+
+
+class TestTaxonomy:
+    def test_finding_kinds_cover_every_analyze_kind(self):
+        assert FINDING_KINDS == {
+            "deadlock": "error",
+            "race": "error",
+            "linearization": "error",
+            "timeline": "error",
+            "transfer-hazard": "warning",
+            "nondeterminism": "info",
+        }
+
+    def test_mixed_severity_report(self):
+        # overlap mode on a split chain: data-edge hazard (warning) +
+        # nondeterministic kernel pairs (info), but no error
+        g = OpGraph.from_edges(
+            {"a": 1.0, "b": 1.0, "c": 1.0}, [("a", "b", 0.5)]
+        )
+        s = Schedule(2, [Stage(0, ("a", "c")), Stage(1, ("b",))])
+        report = analyze(
+            g, s, ExecModel(overlap_launch=True, max_streams=2)
+        )
+        kinds = {f.kind for f in report.findings}
+        assert "transfer-hazard" in kinds
+        assert "nondeterminism" in kinds
+        assert report.ok
+
+
+class TestHbReportDocument:
+    def test_to_dict_round_trips_json(self, diamond, diamond_schedule):
+        doc = analyze(diamond, diamond_schedule).to_dict()
+        assert doc == json.loads(json.dumps(doc))
+        assert doc["format"] == HBREPORT_FORMAT
+        assert set(doc["model"]) == {
+            "overlap_launch",
+            "send_blocking",
+            "max_streams",
+            "data_wait",
+        }
+        assert doc["summary"] == {"errors": 0, "warnings": 0, "info": 0}
+
+    def test_witness_serialized_as_steps(self, deadlock_pair):
+        graph, schedule = deadlock_pair
+        doc = analyze(graph, schedule).to_dict()
+        (finding,) = doc["findings"]
+        assert finding["witness"]
+        for step in finding["witness"]:
+            assert set(step) == {"event", "edge"}
+
+    def test_summary_counts_match_findings(self, deadlock_pair):
+        graph, schedule = deadlock_pair
+        doc = analyze(graph, schedule).to_dict()
+        sev = [f["severity"] for f in doc["findings"]]
+        assert doc["summary"]["errors"] == sev.count("error")
+        assert doc["summary"]["warnings"] == sev.count("warning")
+        assert doc["summary"]["info"] == sev.count("info")

@@ -1,0 +1,180 @@
+"""Static detectors: deadlock witness, races, hazards, nondeterminism."""
+
+from repro.core import OpGraph, Schedule, Stage
+from repro.sanitize import (
+    ExecModel,
+    HbClocks,
+    HbGraph,
+    build_hb_graph,
+    find_deadlock,
+    find_nondeterminism,
+    find_races,
+    find_transfer_hazards,
+)
+from repro.sanitize.hbgraph import ev_finish, ev_launch, ev_start
+
+
+def clocks_and_stages(graph, schedule, model=None):
+    hb = build_hb_graph(graph, schedule, model)
+    clocks = HbClocks(hb)
+    stage_of = {
+        op: (schedule.gpu_of(op), schedule.stage_index_of(op))
+        for op in hb.gpu_of
+    }
+    stages = [
+        (g, st.ops)
+        for g in range(schedule.num_gpus)
+        for st in schedule.stages_on(g)
+    ]
+    return hb, clocks, stage_of, stages
+
+
+class TestDeadlock:
+    def test_clean_schedule_has_no_cycle(self, diamond, diamond_schedule):
+        hb = build_hb_graph(diamond, diamond_schedule)
+        assert find_deadlock(hb) is None
+
+    def test_cyclic_wait_yields_witness(self, deadlock_pair):
+        graph, schedule = deadlock_pair
+        hb = build_hb_graph(graph, schedule)
+        cycle = find_deadlock(hb)
+        assert cycle is not None
+        assert len(cycle.events) == len(cycle.kinds)
+        # the witness walks real enforced orderings, GPU-annotated
+        assert any("program" == k for k in cycle.kinds)
+        assert any("on GPU" in e or "on channel" in e for e in cycle.events)
+
+    def test_witness_describe_renders_arrows(self, deadlock_pair):
+        graph, schedule = deadlock_pair
+        cycle = find_deadlock(build_hb_graph(graph, schedule))
+        text = cycle.describe()
+        assert "witness cycle" in text
+        assert "-->" in text and "(closing the cycle)" in text
+        # the cycle closes back on its first event
+        assert text.strip().endswith(cycle.events[0])
+
+    def test_witness_is_minimal_cycle(self):
+        """With a 2-cycle and a 3-cycle present, the witness is the
+        2-cycle (smallest SCC, then shortest cycle inside it)."""
+        hb = HbGraph(model=ExecModel())
+        # 2-cycle between a-events, disjoint 3-cycle between b/c/d
+        hb.add_edge(ev_launch("a"), ev_start("a"), "op")
+        hb.add_edge(ev_start("a"), ev_launch("a"), "program")
+        hb.add_edge(ev_launch("b"), ev_launch("c"), "program")
+        hb.add_edge(ev_launch("c"), ev_launch("d"), "program")
+        hb.add_edge(ev_launch("d"), ev_launch("b"), "program")
+        cycle = find_deadlock(hb)
+        assert cycle is not None and len(cycle) == 2
+
+
+class TestRaces:
+    def test_clean_schedule_has_no_races(self, diamond, diamond_schedule):
+        hb, clocks, stage_of, _ = clocks_and_stages(diamond, diamond_schedule)
+        assert find_races(hb, clocks, stage_of) == []
+
+    def test_no_sync_backend_flags_cross_gpu_edges(self, chain, split_schedule):
+        hb, clocks, stage_of, _ = clocks_and_stages(
+            chain, split_schedule, ExecModel(data_wait=False)
+        )
+        (race,) = find_races(hb, clocks, stage_of)
+        assert race.requirement.cross
+        assert "unsynchronized" in race.describe()
+
+    def test_same_stage_dependency_is_stream_hazard(self):
+        # dependent ops dealt into different stream lanes of one stage:
+        # nothing serializes them
+        g = OpGraph.from_edges({"a": 1.0, "b": 1.0}, [("a", "b")])
+        s = Schedule(1, [Stage(0, ("a", "b"))])
+        hb, clocks, stage_of, _ = clocks_and_stages(
+            g, s, ExecModel(max_streams=2)
+        )
+        (race,) = find_races(hb, clocks, stage_of)
+        assert race.same_stage and not race.requirement.cross
+        assert "WAR/WAW" in race.describe()
+        assert "share a stage" in race.describe()
+
+    def test_same_lane_dependency_is_serialized(self):
+        # three ops, one lane pair: a and c share lane 0 of a 2-stream
+        # device, so the a->c dependency is ordered by the lane
+        g = OpGraph.from_edges(
+            {"a": 1.0, "b": 1.0, "c": 1.0}, [("a", "c")]
+        )
+        s = Schedule(1, [Stage(0, ("a", "b", "c"))])
+        hb, clocks, stage_of, _ = clocks_and_stages(
+            g, s, ExecModel(max_streams=2)
+        )
+        assert find_races(hb, clocks, stage_of) == []
+
+
+class TestTransferHazards:
+    def test_overlap_mode_flags_data_only_orderings(
+        self, chain, split_schedule
+    ):
+        hb, clocks, _, _ = clocks_and_stages(
+            chain, split_schedule, ExecModel(overlap_launch=True)
+        )
+        (hazard,) = find_transfer_hazards(hb, clocks)
+        assert hazard.requirement.u == "a" and hazard.requirement.v == "b"
+        assert "per-kernel" in hazard.describe()
+
+    def test_blocking_mode_is_hazard_free(self, chain, split_schedule):
+        # the host blocks in MPI_Recv before launching: the ordering
+        # survives without any data edge
+        hb, clocks, _, _ = clocks_and_stages(chain, split_schedule)
+        assert find_transfer_hazards(hb, clocks) == []
+
+    def test_single_gpu_schedule_short_circuits(self, chain):
+        s = Schedule(1, [Stage(0, ("a",)), Stage(0, ("b",))])
+        hb, clocks, _, _ = clocks_and_stages(chain, s)
+        assert find_transfer_hazards(hb, clocks) == []
+
+
+class TestNondeterminism:
+    def test_deterministic_schedule_returns_none(self, chain, split_schedule):
+        hb, clocks, _, stages = clocks_and_stages(chain, split_schedule)
+        assert find_nondeterminism(hb, clocks, stages) is None
+
+    def test_concurrent_same_stage_kernels_counted(self):
+        g = OpGraph.from_edges({"a": 1.0, "b": 1.0}, [])
+        s = Schedule(1, [Stage(0, ("a", "b"))])
+        hb, clocks, _, stages = clocks_and_stages(
+            g, s, ExecModel(max_streams=2)
+        )
+        report = find_nondeterminism(hb, clocks, stages)
+        assert report is not None
+        assert report.kernel_pairs == 1 and report.channel_pairs == 0
+        assert "overlap" in report.describe()
+
+    def test_unordered_same_channel_sends_counted(self):
+        # two producers on GPU 0 each feeding GPU 1 in overlap mode:
+        # sends are posted eagerly, so channel delivery order varies
+        g = OpGraph.from_edges(
+            {"p": 1.0, "q": 1.0, "x": 1.0, "y": 1.0},
+            [("p", "x", 0.5), ("q", "y", 0.5)],
+        )
+        s = Schedule(
+            2,
+            [
+                Stage(0, ("p", "q")),
+                Stage(1, ("x",)),
+                Stage(1, ("y",)),
+            ],
+        )
+        hb, clocks, _, stages = clocks_and_stages(
+            g, s, ExecModel(overlap_launch=True, max_streams=2)
+        )
+        report = find_nondeterminism(hb, clocks, stages)
+        assert report is not None
+        assert report.channel_pairs == 1
+        assert "channel GPU 0->1" in report.describe()
+
+    def test_exemplars_are_bounded(self):
+        g = OpGraph.from_edges({f"o{i}": 1.0 for i in range(8)}, [])
+        s = Schedule(1, [Stage(0, tuple(f"o{i}" for i in range(8)))])
+        hb, clocks, _, stages = clocks_and_stages(
+            g, s, ExecModel(max_streams=8)
+        )
+        report = find_nondeterminism(hb, clocks, stages)
+        assert report is not None
+        assert report.kernel_pairs == 8 * 7 // 2
+        assert len(report.exemplars) <= 3

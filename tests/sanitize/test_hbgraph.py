@@ -1,0 +1,187 @@
+"""HB graph construction: every edge kind the engine enforces."""
+
+import pytest
+
+from repro.core import OpGraph, Schedule, Stage
+from repro.sanitize import ExecModel, build_hb_graph
+from repro.sanitize.hbgraph import (
+    ev_finish,
+    ev_launch,
+    ev_recv,
+    ev_send,
+    ev_start,
+)
+from repro.substrate import EngineConfig
+
+
+def edge_set(hb):
+    return {(src, dst, kind) for src, dst, kind in hb.iter_edges()}
+
+
+class TestLifecycleAndProgramOrder:
+    def test_op_lifecycle_edges(self, chain, split_schedule):
+        hb = build_hb_graph(chain, split_schedule)
+        edges = edge_set(hb)
+        for op in ("a", "b"):
+            assert (ev_launch(op), ev_start(op), "op") in edges
+            assert (ev_start(op), ev_finish(op), "op") in edges
+
+    def test_program_order_follows_stage_order(self):
+        g = OpGraph.from_edges({"a": 1.0, "b": 1.0, "c": 1.0}, [])
+        s = Schedule(1, [Stage(0, ("a",)), Stage(0, ("b", "c"))])
+        hb = build_hb_graph(g, s)
+        edges = edge_set(hb)
+        assert (ev_launch("a"), ev_launch("b"), "program") in edges
+        assert (ev_launch("b"), ev_launch("c"), "program") in edges
+
+    def test_stage_barrier_edges(self):
+        g = OpGraph.from_edges({"a": 1.0, "b": 1.0, "c": 1.0}, [])
+        s = Schedule(1, [Stage(0, ("a", "b")), Stage(0, ("c",))])
+        hb = build_hb_graph(g, s)
+        edges = edge_set(hb)
+        # every op of stage 0 must finish before stage 1's head launches
+        assert (ev_finish("a"), ev_launch("c"), "stage") in edges
+        assert (ev_finish("b"), ev_launch("c"), "stage") in edges
+
+    def test_ops_missing_from_schedule_are_skipped(self, chain):
+        s = Schedule(1, [Stage(0, ("a",))])  # 'b' never placed
+        hb = build_hb_graph(chain, s)
+        assert "b" not in hb.gpu_of
+        assert hb.index.get(ev_start("b")) is None
+        assert not hb.requirements  # the a->b dep involves an unknown op
+
+
+class TestStreamLanes:
+    def test_round_robin_lane_serialization(self):
+        g = OpGraph.from_edges(
+            {"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0}, []
+        )
+        s = Schedule(1, [Stage(0, ("a", "b", "c", "d"))])
+        hb = build_hb_graph(g, s, ExecModel(max_streams=2))
+        edges = edge_set(hb)
+        # lanes: a,c on stream 0; b,d on stream 1 (i % 2)
+        assert (ev_finish("a"), ev_start("c"), "stream") in edges
+        assert (ev_finish("b"), ev_start("d"), "stream") in edges
+        assert (ev_finish("a"), ev_start("b"), "stream") not in edges
+
+    def test_serial_device_has_no_stream_edges(self):
+        g = OpGraph.from_edges({"a": 1.0, "b": 1.0}, [])
+        s = Schedule(1, [Stage(0, ("a", "b"))])
+        hb = build_hb_graph(g, s, ExecModel(max_streams=0))
+        assert all(kind != "stream" for _, _, kind in hb.iter_edges())
+
+
+class TestTransferEdges:
+    def test_blocking_mode_host_edges(self, chain, split_schedule):
+        hb = build_hb_graph(chain, split_schedule, ExecModel())
+        edges = edge_set(hb)
+        assert (ev_finish("a"), ev_send("a", "b"), "send") in edges
+        assert (ev_send("a", "b"), ev_recv("a", "b"), "xfer") in edges
+        assert (ev_recv("a", "b"), ev_launch("b"), "host") in edges
+        assert all(kind != "data" for _, _, kind in edges)
+
+    def test_overlap_mode_data_edges(self, chain, split_schedule):
+        hb = build_hb_graph(
+            chain, split_schedule, ExecModel(overlap_launch=True)
+        )
+        edges = edge_set(hb)
+        assert (ev_recv("a", "b"), ev_start("b"), "data") in edges
+        assert all(kind != "host" for _, _, kind in edges)
+
+    def test_no_data_wait_drops_both(self, chain, split_schedule):
+        hb = build_hb_graph(
+            chain, split_schedule, ExecModel(data_wait=False)
+        )
+        kinds = {kind for _, _, kind in hb.iter_edges()}
+        assert "host" not in kinds and "data" not in kinds
+        assert "send" in kinds and "xfer" in kinds  # physics still holds
+
+    def test_same_gpu_dependency_has_no_message_events(self, chain):
+        s = Schedule(1, [Stage(0, ("a",)), Stage(0, ("b",))])
+        hb = build_hb_graph(chain, s)
+        assert hb.index.get(ev_send("a", "b")) is None
+        (req,) = hb.requirements
+        assert not req.cross and req.transfer == 0.0
+
+    def test_blocking_send_chain_in_sorted_consumer_order(self):
+        g = OpGraph.from_edges(
+            {"p": 1.0, "x": 1.0, "y": 1.0, "z": 1.0},
+            [("p", "x", 0.5), ("p", "y", 0.5), ("p", "z", 0.5)],
+        )
+        s = Schedule(
+            2,
+            [
+                Stage(0, ("p",)),
+                Stage(1, ("x",)),
+                Stage(1, ("y",)),
+                Stage(1, ("z",)),
+            ],
+        )
+        hb = build_hb_graph(g, s, ExecModel())
+        edges = edge_set(hb)
+        assert (ev_recv("p", "x"), ev_send("p", "y"), "chain") in edges
+        assert (ev_recv("p", "y"), ev_send("p", "z"), "chain") in edges
+        # overlap mode posts sends eagerly: no chain
+        hb2 = build_hb_graph(g, s, ExecModel(overlap_launch=True))
+        assert all(kind != "chain" for _, _, kind in hb2.iter_edges())
+
+
+class TestGraphQueries:
+    def test_topological_order_none_on_cycle(self, deadlock_pair):
+        graph, schedule = deadlock_pair
+        hb = build_hb_graph(graph, schedule)
+        assert hb.topological_order() is None
+
+    def test_topological_order_complete_on_dag(self, chain, split_schedule):
+        hb = build_hb_graph(chain, split_schedule)
+        order = hb.topological_order()
+        assert order is not None
+        assert sorted(order) == list(range(hb.num_events))
+        pos = {i: k for k, i in enumerate(order)}
+        for a in range(hb.num_events):
+            for b, _kind in hb.out_edges(a):
+                assert pos[a] < pos[b]
+
+    def test_without_kinds_keeps_events_and_requirements(
+        self, chain, split_schedule
+    ):
+        hb = build_hb_graph(chain, split_schedule)
+        stripped = hb.without_kinds(frozenset({"host"}))
+        assert stripped.num_events == hb.num_events
+        assert stripped.requirements == hb.requirements
+        assert stripped.num_edges == hb.num_edges - 1
+        assert hb.num_edges == len(list(hb.iter_edges()))  # original intact
+
+    def test_labels_carry_gpu_and_channel(self, chain, split_schedule):
+        hb = build_hb_graph(chain, split_schedule)
+        assert hb.label(hb.index[ev_start("a")]) == "start('a') on GPU 0"
+        assert (
+            hb.label(hb.index[ev_send("a", "b")])
+            == "send('a'->'b') on channel GPU 0->1"
+        )
+
+    def test_unknown_edge_kind_rejected(self, chain, split_schedule):
+        hb = build_hb_graph(chain, split_schedule)
+        with pytest.raises(ValueError, match="unknown HB edge kind"):
+            hb.add_edge(ev_start("a"), ev_finish("a"), "telepathy")
+
+
+class TestExecModel:
+    def test_from_engine_config(self):
+        cfg = EngineConfig(
+            overlap_launch=True, send_blocking=False, max_streams=3
+        )
+        model = ExecModel.from_engine_config(cfg)
+        assert model.overlap_launch and not model.send_blocking
+        assert model.max_streams == 3
+        assert model.data_wait  # always on for the simulated engine
+
+    def test_describe_mentions_every_knob(self):
+        text = ExecModel().describe()
+        for knob in (
+            "overlap_launch",
+            "send_blocking",
+            "max_streams",
+            "data_wait",
+        ):
+            assert knob in text

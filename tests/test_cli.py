@@ -604,3 +604,115 @@ class TestTraceCommands:
         ]
         assert records
         assert {"lp-path", "window-merge"} <= {r["event"] for r in records}
+
+
+class TestSanitizeCommand:
+    @pytest.fixture
+    def artifacts(self, tmp_path):
+        import json
+
+        from repro.core import OpGraph, Schedule, save_graph
+        from repro.substrate import EngineConfig, MultiGpuEngine
+
+        g = OpGraph.from_edges({"a": 1.0, "b": 2.0}, [("a", "b", 0.5)])
+        gpath = tmp_path / "g.json"
+        save_graph(g, gpath)
+        s = Schedule(2)
+        s.append_op(0, "a")
+        s.append_op(1, "b")
+        spath = tmp_path / "s.json"
+        spath.write_text(s.to_json())
+        cfg = EngineConfig(
+            launch_overhead_ms=0.0,
+            launch_included_in_cost=False,
+            contention_penalty=0.0,
+            transfer_from_edges=True,
+        )
+        trace = MultiGpuEngine(cfg).run(g, s)
+        tpath = tmp_path / "t.json"
+        tpath.write_text(json.dumps(trace.to_dict()))
+        return str(gpath), str(spath), str(tpath), tmp_path
+
+    @pytest.fixture
+    def deadlock_artifacts(self, tmp_path):
+        from repro.core import OpGraph, Schedule, save_graph
+
+        g = OpGraph.from_edges(
+            {"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0},
+            [("a", "b"), ("c", "d")],
+        )
+        gpath = tmp_path / "dg.json"
+        save_graph(g, gpath)
+        s = Schedule(2)
+        for gpu, op in [(0, "d"), (0, "a"), (1, "b"), (1, "c")]:
+            s.append_op(gpu, op)
+        spath = tmp_path / "ds.json"
+        spath.write_text(s.to_json())
+        return str(gpath), str(spath)
+
+    def test_clean_triple_exits_0(self, artifacts, capsys):
+        gpath, spath, tpath, _ = artifacts
+        assert main(["sanitize", gpath, spath, tpath]) == 0
+        out = capsys.readouterr().out
+        assert "clean: no hazards found" in out
+
+    def test_deadlock_exits_1_with_witness(self, deadlock_artifacts, capsys):
+        gpath, spath = deadlock_artifacts
+        assert main(["sanitize", gpath, spath]) == 1
+        out = capsys.readouterr().out
+        assert "ERROR [deadlock]" in out
+        assert "--[" in out  # the witness cycle renders its edges
+
+    def test_deadlock_detected_without_running_the_engine(
+        self, deadlock_artifacts, monkeypatch
+    ):
+        """The acceptance criterion: the verdict is static — no engine,
+        no watchdog, no event loop is ever involved."""
+        from repro.substrate import MultiGpuEngine
+
+        def boom(self, *args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("sanitize must never invoke the engine")
+
+        monkeypatch.setattr(MultiGpuEngine, "run", boom)
+        gpath, spath = deadlock_artifacts
+        assert main(["sanitize", gpath, spath]) == 1
+
+    def test_json_report_lints_clean(self, artifacts, capsys, tmp_path):
+        import json
+
+        gpath, spath, tpath, _ = artifacts
+        assert main(["sanitize", gpath, spath, tpath, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "repro.hbreport/v1"
+        rpath = tmp_path / "hb.json"
+        rpath.write_text(json.dumps(doc))
+        # the emitted report is itself a lintable artifact (H0xx pack)
+        assert main(["lint", str(rpath)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_model_flags_change_the_analysis(self, artifacts, capsys):
+        gpath, spath, _, _ = artifacts
+        assert main(["sanitize", gpath, spath, "--no-data-wait"]) == 1
+        out = capsys.readouterr().out
+        assert "race" in out and "unsynchronized" in out
+
+    def test_scenario_timelines(self, capsys):
+        assert main(["sanitize", "--scenario", "steady-state"]) == 0
+        out = capsys.readouterr().out
+        assert "serve timeline(s) linearizable: steady-state" in out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["sanitize", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_schedule_without_graph_exits_2(self, artifacts, capsys):
+        _, spath, _, _ = artifacts
+        assert main(["sanitize", spath]) == 2
+        assert "graph and the schedule together" in capsys.readouterr().out
+
+    def test_trace_without_pair_exits_2(self, artifacts, capsys):
+        _, _, tpath, _ = artifacts
+        assert main(["sanitize", tpath]) == 2
+
+    def test_nothing_to_analyze_exits_2(self, capsys):
+        assert main(["sanitize"]) == 2
