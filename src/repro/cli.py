@@ -4,7 +4,7 @@ Commands
 --------
 ``list``
     Show available experiments, algorithms and models.
-``run FIG [--full] [--jobs N] [--no-cache] [--cache-dir DIR]``
+``run FIG [--full] [--jobs N] [--batch-units N] [--no-cache] [--cache-dir DIR]``
     Run one experiment driver (e.g. ``fig7``) through the parallel
     sweep engine and print its table.  ``--jobs`` defaults to one
     worker per CPU; results are cached content-addressed under
@@ -86,6 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--jobs", "-j", type=int, default=None, metavar="N",
         help="sweep worker processes (default: one per CPU; 1 = serial)",
+    )
+    run.add_argument(
+        "--batch-units", type=int, default=None, metavar="N",
+        help="units per worker batch on the parallel path "
+        "(default: auto-tune from unit kind and count)",
     )
     run.add_argument(
         "--no-cache", action="store_true",
@@ -406,6 +411,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.jobs is not None and args.jobs < 0:
         print("error: --jobs must be >= 0 (0 = one per CPU)")
         return 2
+    if args.batch_units is not None and args.batch_units < 1:
+        print("error: --batch-units must be >= 1")
+        return 2
     config = ExperimentConfig.full() if args.full else default_config()
     if args.instances is not None:
         config = config.with_(instances=args.instances)
@@ -413,6 +421,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # CLI default: one worker per CPU, cache on, progress on —
         # the library default stays serial/uncached for embedders
         jobs=args.jobs if args.jobs is not None else 0,
+        batch_units=args.batch_units if args.batch_units is not None else config.batch_units,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         progress=not args.no_progress,

@@ -12,7 +12,7 @@ from .bounds import (
 )
 from .brute_force import schedule_brute_force
 from .evaluator import EvaluationResult, StageTiming, evaluate_latency, evaluate_schedule
-from .fasteval import EvalCounters, PrefixReplayer, StageGraphEvaluator
+from .fasteval import EvalCounters, PrefixReplayer, StageGraphEvaluator, soa_latency
 from .graph import GraphError, Operator, OpGraph
 from .hios_lp import schedule_hios_lp, schedule_inter_gpu_lp
 from .hios_mr import schedule_hios_mr, schedule_inter_gpu_mr
@@ -49,6 +49,7 @@ __all__ = [
     "Operator",
     "PrefixReplayer",
     "StageGraphEvaluator",
+    "soa_latency",
     "analyze_schedule",
     "bottleneck_bound",
     "critical_path_bound",

@@ -32,7 +32,7 @@ from .refine import schedule_hios_lp_ls
 from .result import ScheduleResult
 from .sequential import schedule_sequential
 
-__all__ = ["ALGORITHMS", "schedule_graph", "make_profile"]
+__all__ = ["ALGORITHMS", "SPATIAL_CACHE_ALGORITHMS", "schedule_graph", "make_profile"]
 
 ALGORITHMS: dict[str, Callable[..., ScheduleResult]] = {
     "sequential": schedule_sequential,
@@ -44,6 +44,13 @@ ALGORITHMS: dict[str, Callable[..., ScheduleResult]] = {
     # extension beyond the paper: Alg. 1 + operator-level local search
     "hios-lp-ls": schedule_hios_lp_ls,
 }
+
+#: Algorithms that accept a ``spatial_cache`` kwarg: their inter-GPU
+#: mapping phase is window-independent and can be shared across calls
+#: on the same profile (``cached_spatial_lp`` / ``cached_spatial_mr``).
+SPATIAL_CACHE_ALGORITHMS = frozenset(
+    {"hios-lp", "hios-mr", "inter-lp", "inter-mr", "hios-lp-ls"}
+)
 
 
 def make_profile(

@@ -34,7 +34,23 @@ MLSys'21) applies to its DP states, applied to our three inner loops:
     stages) instead of reconstructing the stage graph per candidate as
     ``evaluate_schedule`` does.
 
-Both paths are differentially tested bit-identical — latencies *and*
+    Internally the evaluator stores the stage graph in a
+    **struct-of-arrays layout** (DESIGN.md §14): numpy arrays hold the
+    stage durations, the per-GPU sequential chains and the flattened
+    CSR edge lists (local targets, remote targets + transfer costs,
+    per-source deduplicated successor sets), and the forward DP is a
+    topological sweep over int-indexed arrays — no per-stage dicts,
+    sets or string keys in the inner loop.  A window candidate adjusts
+    the committed in-degree array incrementally around the merged
+    members instead of re-deriving it from every edge.
+
+:func:`soa_latency`
+    One-shot SoA evaluation of a committed schedule — the same floats
+    as :func:`repro.core.evaluator.evaluate_schedule`, produced by the
+    array sweep (used by the schedulers' final evaluations when
+    ``fast=True``).
+
+All paths are differentially tested bit-identical — latencies *and*
 schedules — against the retained reference implementations
 (``tests/core/test_fasteval.py``); the schedulers expose
 ``fast=False`` to fall back to the references at runtime.
@@ -47,11 +63,13 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..costmodel.profile import CostProfile
 from .graph import OpGraph
 from .schedule import Schedule, ScheduleError, Stage
 
-__all__ = ["EvalCounters", "PrefixReplayer", "StageGraphEvaluator"]
+__all__ = ["EvalCounters", "PrefixReplayer", "StageGraphEvaluator", "soa_latency"]
 
 
 @dataclass
@@ -69,6 +87,9 @@ class EvalCounters:
     window_delta_evals:
         Alg. 2 window candidates priced via a stage-graph merge delta
         instead of a full reconstruction.
+    soa_evals:
+        Stage-DP runs answered by the struct-of-arrays sweep (committed
+        evaluations plus window deltas plus :func:`soa_latency` calls).
     cache_hits:
         ``CostProfile.stage_time`` memo hits observed during the run
         (filled in by the schedulers from the profile's counter).
@@ -77,6 +98,7 @@ class EvalCounters:
     evals: int = 0
     suffix_replays: int = 0
     window_delta_evals: int = 0
+    soa_evals: int = 0
     cache_hits: int = 0
 
     def to_stats(self) -> dict[str, int]:
@@ -84,6 +106,7 @@ class EvalCounters:
             "evals": self.evals,
             "suffix_replays": self.suffix_replays,
             "window_delta_evals": self.window_delta_evals,
+            "soa_evals": self.soa_evals,
             "cache_hits": self.cache_hits,
         }
 
@@ -278,11 +301,15 @@ class StageGraphEvaluator:
 
     Builds the stage graph — operator-to-stage map, per-stage chain /
     local / remote edge lists with the deterministic ``(producer,
-    consumer)`` send order, and stage durations — once per schedule,
-    then prices each window candidate with :meth:`try_merge` by running
-    the forward DP under a merge delta.  Produces exactly the floats of
-    :func:`repro.core.evaluator.evaluate_schedule` (same max/accumulate
-    operations in the same per-stage order).
+    consumer)`` send order, and stage durations — once per schedule in
+    a struct-of-arrays layout, then prices each window candidate with
+    :meth:`try_merge` by running the int-indexed forward DP under a
+    merge delta.  Produces exactly the floats of
+    :func:`repro.core.evaluator.evaluate_schedule`: every start time is
+    a pure max-merge over its incoming constraints and every send
+    cursor accumulates in the same deterministic ``(producer,
+    consumer)`` order, so the sweep's processing order cannot change a
+    single bit.
     """
 
     def __init__(
@@ -355,6 +382,58 @@ class StageGraphEvaluator:
             profile.stage_time(st.ops, gpu=st.gpu) for st in stages
         ]
 
+        # ---- struct-of-arrays layout (DESIGN.md §14) -----------------
+        # Canonical numpy arrays: stage times, per-GPU chain successor
+        # (-1 = end of chain), flattened CSR edge lists, committed
+        # in-degrees.  The DP sweeps int-indexed Python lists derived
+        # from them once here — scalar indexing into lists is what the
+        # tight Kahn loop wants, while the arrays give bulk copies and
+        # a compact, introspectable layout.
+        self._dur_arr = np.asarray(self._duration, dtype=np.float64)
+        self._chain_arr = np.asarray(
+            [c if c is not None else -1 for c in chain_next], dtype=np.int64
+        )
+        rptr = [0]
+        rdst: list[int] = []
+        rw: list[float] = []
+        lptr = [0]
+        ldst: list[int] = []
+        sptr = [0]
+        sdst: list[int] = []
+        for s in range(n):
+            for w, sv, _u, _v in self._remote[s]:
+                rw.append(w)
+                rdst.append(sv)
+            rptr.append(len(rdst))
+            ldst.extend(self._local[s])
+            lptr.append(len(ldst))
+            sdst.extend(succ_unique[s])
+            sptr.append(len(sdst))
+        self._rw_arr = np.asarray(rw, dtype=np.float64)
+        self._rdst_arr = np.asarray(rdst, dtype=np.int64)
+        self._rptr_arr = np.asarray(rptr, dtype=np.int64)
+        self._ldst_arr = np.asarray(ldst, dtype=np.int64)
+        self._lptr_arr = np.asarray(lptr, dtype=np.int64)
+        self._sdst_arr = np.asarray(sdst, dtype=np.int64)
+        self._sptr_arr = np.asarray(sptr, dtype=np.int64)
+        indeg0 = np.zeros(n, dtype=np.int64)
+        if sdst:
+            np.add.at(indeg0, self._sdst_arr, 1)
+        self._indeg0_arr = indeg0
+
+        # list mirrors for the scalar sweep
+        self._dur_l: list[float] = self._dur_arr.tolist()
+        self._chain_l: list[int] = self._chain_arr.tolist()
+        self._rw_l: list[float] = self._rw_arr.tolist()
+        self._rdst_l: list[int] = self._rdst_arr.tolist()
+        self._rptr_l: list[int] = self._rptr_arr.tolist()
+        self._ldst_l: list[int] = self._ldst_arr.tolist()
+        self._lptr_l: list[int] = self._lptr_arr.tolist()
+        self._sdst_l: list[int] = self._sdst_arr.tolist()
+        self._sptr_l: list[int] = self._sptr_arr.tolist()
+        self._indeg0_l: list[int] = self._indeg0_arr.tolist()
+        self._identity: list[int] = list(range(n))
+
     # ------------------------------------------------------------------
     def evaluate(self) -> float:
         """Latency of the committed schedule (full DP, no delta).
@@ -384,125 +463,172 @@ class StageGraphEvaluator:
     def _run_dp(
         self, merge: tuple[list[int], tuple[str, ...], int] | None
     ) -> float | None:
-        """Forward stage DP, optionally under a window-merge delta.
+        """Forward stage DP over the struct-of-arrays layout, optionally
+        under a window-merge delta.
 
         The merged stages are contracted onto a representative node
-        (the first member); edges into any member are remapped onto the
-        representative at use, which is exactly the stage graph
-        ``evaluate_schedule`` would rebuild for the candidate.
+        (the first member); edge targets are remapped through an int
+        array at use, which is exactly the stage graph
+        ``evaluate_schedule`` would rebuild for the candidate.  Start
+        times are pure max-merges and per-source send cursors accumulate
+        in the committed sorted order, so the values are independent of
+        the sweep's processing order — bit-identical to the reference.
         """
         n = self._n
         blocking = self._blocking
-        chain_next = self._chain_next
-        durations = self._duration
-        locals_ = self._local
-        remotes = self._remote
-        succ_unique = self._succ_unique
+        dur = self._dur_l
+        chain = self._chain_l
+        rw = self._rw_l
+        rdst = self._rdst_l
+        rptr = self._rptr_l
+        ldst = self._ldst_l
+        lptr = self._lptr_l
+        sdst = self._sdst_l
+        sptr = self._sptr_l
+        self.counters.soa_evals += 1
 
         rep = -1
-        rep_map: dict[int, int] = {}
-        skip: set[int] = set()
-        affected: set[int] = set()
-        merged_duration = 0.0
+        rep_of = self._identity
+        merged_dur = 0.0
+        merged_rw: list[float] = []
+        merged_rt: list[int] = []
         merged_local: tuple[int, ...] = ()
-        merged_remote: tuple[tuple[float, int, str, str], ...] = ()
-        merged_chain: int | None = None
+        merged_chain = -1
+        override_targets: dict[int, tuple[int, ...]] = {}
         active = n
+        indeg = list(self._indeg0_l)
         if merge is not None:
             members, group, gpu = merge
             rep = members[0]
-            member_set = set(members)
-            skip = member_set - {rep}
-            active = n - len(skip)
-            rep_map = {m: rep for m in members}
-            merged_duration = self._profile.stage_time(group, gpu=gpu)
+            active = n - (len(members) - 1)
+            rep_of = list(self._identity)
+            for m in members:
+                rep_of[m] = rep
+            merged_dur = self._profile.stage_time(group, gpu=gpu)
             loc: set[int] = set()
             rem: list[tuple[float, int, str, str]] = []
             for m in members:
-                loc.update(locals_[m])
-                rem.extend(remotes[m])
+                loc.update(self._local[m])
+                rem.extend(self._remote[m])
             rem.sort(key=lambda e: (e[2], e[3]))
+            merged_rw = [e[0] for e in rem]
+            merged_rt = [e[1] for e in rem]
             merged_local = tuple(loc)
-            merged_remote = tuple(rem)
-            merged_chain = chain_next[members[-1]]
+            merged_chain = chain[members[-1]]
+            # The group passed the pairwise-independence check, so no
+            # edge runs between two members: every merged edge target
+            # lies outside the window and needs no remap.
+            affected: set[int] = set()
             for m in members:
                 affected.update(self._rev_sources[m])
-            affected -= member_set
-
-        indeg = [0] * n
-        for s in range(n):
-            if s in skip:
-                continue
-            if s == rep and merge is not None:
-                targets: Iterable[int] = (
-                    set(merged_local)
-                    | {sv for _w, sv, _u, _v in merged_remote}
-                    | ({merged_chain} if merged_chain is not None else set())
-                )
-            elif s in affected:
-                targets = {rep_map.get(t, t) for t in succ_unique[s]}
-            else:
-                targets = succ_unique[s]
-            for t in targets:
+            affected.difference_update(members)
+            mt = set(merged_local)
+            mt.update(merged_rt)
+            if merged_chain >= 0:
+                mt.add(merged_chain)
+            merged_targets = tuple(mt)
+            override_targets[rep] = merged_targets
+            # Incremental in-degrees: drop the members' committed
+            # contributions, add the merged node's dedup'd target set,
+            # and pin the representative's in-degree to the number of
+            # outside sources with an edge into the window (remap can
+            # collapse several member targets of one source into the
+            # representative, which must then count once).  Skipped
+            # members keep garbage in-degrees — they are never readied.
+            for m in members:
+                for i in range(sptr[m], sptr[m + 1]):
+                    indeg[sdst[i]] -= 1
+            for t in merged_targets:
                 indeg[t] += 1
+            indeg[rep] = len(affected)
+            for s in affected:
+                seen = {rep_of[sdst[i]] for i in range(sptr[s], sptr[s + 1])}
+                override_targets[s] = tuple(seen)
 
         start = [0.0] * n
-        ready = [s for s in range(n) if s not in skip and indeg[s] == 0]
+        # rep_of[s] == s keeps non-members and the representative,
+        # excluding the contracted members (identity when not merging)
+        ready = [s for s in range(n) if indeg[s] == 0 and rep_of[s] == s]
         done = 0
         latency = 0.0
-        remap = rep_map.get
         merging = merge is not None
         while ready:
             s = ready.pop()
             done += 1
-            if merging and s == rep:
-                dur = merged_duration
-                remote = merged_remote
-                local = merged_local
-                chain = merged_chain
+            if s == rep:
+                fin = start[s] + merged_dur
+                if blocking:
+                    cursor = fin
+                    for i, w in enumerate(merged_rw):
+                        cursor += w
+                        t = merged_rt[i]
+                        if cursor > start[t]:
+                            start[t] = cursor
+                    comm_done = cursor
+                else:
+                    for i, w in enumerate(merged_rw):
+                        t = merged_rt[i]
+                        cand = fin + w
+                        if cand > start[t]:
+                            start[t] = cand
+                    comm_done = fin
+                for t in merged_local:
+                    if fin > start[t]:
+                        start[t] = fin
+                if merged_chain >= 0:
+                    if comm_done > start[merged_chain]:
+                        start[merged_chain] = comm_done
             else:
-                dur = durations[s]
-                remote = remotes[s]
-                local = locals_[s]
-                chain = chain_next[s]
-            fin = start[s] + dur
-            relax: dict[int, float] = {}
-            if blocking:
-                cursor = fin
-                for w, sv, _u, _v in remote:
-                    cursor += w
-                    t = remap(sv, sv) if merging else sv
-                    prev = relax.get(t, 0.0)
-                    if cursor > prev:
-                        relax[t] = cursor
-                    else:
-                        relax[t] = prev
-                comm_done = cursor
-            else:
-                for w, sv, _u, _v in remote:
-                    t = remap(sv, sv) if merging else sv
-                    cand = fin + w
-                    prev = relax.get(t, 0.0)
-                    relax[t] = cand if cand > prev else prev
-                comm_done = fin
-            for sv in local:
-                t = remap(sv, sv) if merging else sv
-                prev = relax.get(t, 0.0)
-                relax[t] = fin if fin > prev else prev
-            if chain is not None:
-                t = remap(chain, chain) if merging else chain
-                prev = relax.get(t, 0.0)
-                relax[t] = comm_done if comm_done > prev else prev
+                fin = start[s] + dur[s]
+                if blocking:
+                    cursor = fin
+                    for i in range(rptr[s], rptr[s + 1]):
+                        cursor += rw[i]
+                        t = rep_of[rdst[i]]
+                        if cursor > start[t]:
+                            start[t] = cursor
+                    comm_done = cursor
+                else:
+                    for i in range(rptr[s], rptr[s + 1]):
+                        t = rep_of[rdst[i]]
+                        cand = fin + rw[i]
+                        if cand > start[t]:
+                            start[t] = cand
+                    comm_done = fin
+                for i in range(lptr[s], lptr[s + 1]):
+                    t = rep_of[ldst[i]]
+                    if fin > start[t]:
+                        start[t] = fin
+                c = chain[s]
+                if c >= 0:
+                    t = rep_of[c]
+                    if comm_done > start[t]:
+                        start[t] = comm_done
             if fin > latency:
                 latency = fin
             if comm_done > latency:
                 latency = comm_done
-            for t, gap in relax.items():
-                if gap > start[t]:
-                    start[t] = gap
-                indeg[t] -= 1
-                if indeg[t] == 0:
-                    ready.append(t)
+            # in-degree decrement over the per-source unique target set
+            # (max-merges above already applied the start relaxations)
+            if merging:
+                tt = override_targets.get(s)
+                if tt is not None:
+                    for t in tt:
+                        indeg[t] -= 1
+                        if indeg[t] == 0:
+                            ready.append(t)
+                else:
+                    for i in range(sptr[s], sptr[s + 1]):
+                        t = sdst[i]
+                        indeg[t] -= 1
+                        if indeg[t] == 0:
+                            ready.append(t)
+            else:
+                for i in range(sptr[s], sptr[s + 1]):
+                    t = sdst[i]
+                    indeg[t] -= 1
+                    if indeg[t] == 0:
+                        ready.append(t)
         if done != active:
             return None  # cyclic stage graph
         return latency
@@ -511,3 +637,23 @@ class StageGraphEvaluator:
     def stages_on(self, gpu: int) -> list[Stage]:
         """Committed stage list of one GPU (parallelize's sweep view)."""
         return [self._stages[i] for i in self._by_gpu.get(gpu, [])]
+
+
+def soa_latency(
+    profile: CostProfile,
+    schedule: Schedule,
+    validate: bool = False,
+    counters: EvalCounters | None = None,
+) -> float:
+    """One-shot latency of ``schedule`` via the struct-of-arrays sweep.
+
+    Bit-identical to
+    ``evaluate_schedule(profile, schedule, validate).latency`` — the
+    schedulers' final evaluations route here when ``fast=True`` and
+    fall back to the reference under ``fast=False``.  Raises
+    :class:`ScheduleError` on an infeasible schedule exactly like the
+    reference.
+    """
+    if validate:
+        schedule.validate(profile.graph)
+    return StageGraphEvaluator(profile, schedule, counters=counters).evaluate()

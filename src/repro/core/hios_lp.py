@@ -22,12 +22,13 @@ tested bit-identical.
 from __future__ import annotations
 
 import time
+from typing import Any, MutableMapping, cast
 
 from ..costmodel.profile import CostProfile
 from ..obs import declog
 from .debuglint import debug_lint_schedule
 from .evaluator import evaluate_latency
-from .fasteval import EvalCounters, PrefixReplayer
+from .fasteval import EvalCounters, PrefixReplayer, soa_latency
 from .intra_gpu import parallelize
 from .list_schedule import build_singleton_schedule, list_schedule_latency
 from .longest_path import longest_valid_path
@@ -35,7 +36,7 @@ from .priority import priority_order
 from .result import ScheduleResult
 from .schedule import Schedule
 
-__all__ = ["schedule_hios_lp", "schedule_inter_gpu_lp"]
+__all__ = ["cached_spatial_lp", "schedule_hios_lp", "schedule_inter_gpu_lp"]
 
 
 def _lp_spatial_mapping(
@@ -128,11 +129,42 @@ def _lp_spatial_mapping(
     return assignment, order, paths
 
 
+def cached_spatial_lp(
+    profile: CostProfile,
+    fast: bool = True,
+    counters: EvalCounters | None = None,
+    spatial_cache: MutableMapping[str, Any] | None = None,
+) -> tuple[dict[str, int], list[str], int]:
+    """LP spatial mapping, optionally served from a per-workload cache.
+
+    The Alg. 1 mapping depends only on the profile — not on the Alg. 2
+    window — so one computation serves ``hios-lp`` at every window,
+    ``inter-lp`` and ``hios-lp-ls`` alike (the sweep engine's batch
+    workers exploit exactly this).  The cache stores and hands out
+    copies, so no caller can corrupt another's view; a hit returns the
+    bit-identical mapping the fresh run would produce.  Note a hit
+    skips the phase entirely: its decision-log events are not
+    re-emitted and its evaluation counters do not re-accumulate.
+    """
+    if spatial_cache is not None:
+        hit = spatial_cache.get("lp")
+        if hit is not None:
+            assignment, order, paths = cast(
+                "tuple[dict[str, int], list[str], int]", hit
+            )
+            return dict(assignment), list(order), paths
+    assignment, order, paths = _lp_spatial_mapping(profile, fast=fast, counters=counters)
+    if spatial_cache is not None:
+        spatial_cache["lp"] = (dict(assignment), list(order), paths)
+    return assignment, order, paths
+
+
 def schedule_hios_lp(
     profile: CostProfile,
     window: int = 3,
     intra_gpu: bool = True,
     fast: bool = True,
+    spatial_cache: MutableMapping[str, Any] | None = None,
 ) -> ScheduleResult:
     """Full HIOS-LP: LP-based inter-GPU mapping + Alg. 2 regrouping.
 
@@ -140,14 +172,22 @@ def schedule_hios_lp(
     (spatial mapping with sequential per-GPU execution).  ``fast=False``
     runs the retained reference inner loops instead of the incremental
     engine (same schedules and latencies, bit for bit).
+    ``spatial_cache`` shares the window-independent Alg. 1 phase across
+    calls on the same profile (see :func:`cached_spatial_lp`).
     """
     t0 = time.perf_counter()
     cache_hits0 = profile.stage_time_cache_hits
     counters = EvalCounters()
-    assignment, order, paths = _lp_spatial_mapping(profile, fast=fast, counters=counters)
+    assignment, order, paths = cached_spatial_lp(
+        profile, fast=fast, counters=counters, spatial_cache=spatial_cache
+    )
     t_spatial = time.perf_counter() - t0
     schedule: Schedule = build_singleton_schedule(assignment, order, profile.num_gpus)
-    latency = evaluate_latency(profile, schedule, validate=True)
+    latency = (
+        soa_latency(profile, schedule, validate=True, counters=counters)
+        if fast
+        else evaluate_latency(profile, schedule, validate=True)
+    )
     stats: dict[str, object] = {"paths": paths, "inter_gpu_latency": latency}
     phase_times: dict[str, float] = {"spatial_mapping": t_spatial}
 
@@ -184,6 +224,12 @@ def schedule_hios_lp(
     )
 
 
-def schedule_inter_gpu_lp(profile: CostProfile, fast: bool = True) -> ScheduleResult:
+def schedule_inter_gpu_lp(
+    profile: CostProfile,
+    fast: bool = True,
+    spatial_cache: MutableMapping[str, Any] | None = None,
+) -> ScheduleResult:
     """The "inter-GPU w/ LP" comparison point (no Alg. 2 pass)."""
-    return schedule_hios_lp(profile, intra_gpu=False, fast=fast)
+    return schedule_hios_lp(
+        profile, intra_gpu=False, fast=fast, spatial_cache=spatial_cache
+    )

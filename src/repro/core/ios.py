@@ -35,6 +35,7 @@ from itertools import combinations
 from ..costmodel.profile import CostProfile
 from .debuglint import debug_lint_schedule
 from .evaluator import evaluate_latency
+from .fasteval import soa_latency
 from .priority import priority_indicators
 from .result import ScheduleResult
 from .schedule import Schedule, Stage
@@ -164,7 +165,11 @@ def schedule_ios(
     schedule = Schedule(profile.num_gpus)
     for stage_ops in reversed(stages_rev):
         schedule.append_stage(Stage(gpu, stage_ops))
-    latency = evaluate_latency(profile, schedule, validate=True)
+    latency = (
+        soa_latency(profile, schedule, validate=True)
+        if fast
+        else evaluate_latency(profile, schedule, validate=True)
+    )
     debug_lint_schedule(profile.graph, schedule, algorithm="ios", window=width_cap)
     return ScheduleResult(
         algorithm="ios",

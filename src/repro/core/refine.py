@@ -16,13 +16,13 @@ leaves (typically a few percent on the Section V workloads).
 from __future__ import annotations
 
 import time
-from typing import Mapping
+from typing import Any, Mapping, MutableMapping
 
 from ..costmodel.profile import CostProfile
 from .debuglint import debug_lint_schedule
 from .evaluator import evaluate_latency
-from .fasteval import EvalCounters, PrefixReplayer
-from .hios_lp import _lp_spatial_mapping
+from .fasteval import EvalCounters, PrefixReplayer, soa_latency
+from .hios_lp import cached_spatial_lp
 from .intra_gpu import parallelize
 from .list_schedule import build_singleton_schedule, list_schedule_latency
 from .result import ScheduleResult
@@ -109,19 +109,26 @@ def schedule_hios_lp_ls(
     intra_gpu: bool = True,
     max_rounds: int = 3,
     fast: bool = True,
+    spatial_cache: MutableMapping[str, Any] | None = None,
 ) -> ScheduleResult:
     """HIOS-LP with operator-level local search between Alg. 1 and Alg. 2."""
     t0 = time.perf_counter()
     cache_hits0 = profile.stage_time_cache_hits
     counters = EvalCounters()
-    assignment, order, paths = _lp_spatial_mapping(profile, fast=fast, counters=counters)
+    assignment, order, paths = cached_spatial_lp(
+        profile, fast=fast, counters=counters, spatial_cache=spatial_cache
+    )
     t_spatial = time.perf_counter() - t0
     assignment, _, moves = local_search_assignment(
         profile, assignment, order, max_rounds=max_rounds, fast=fast, counters=counters
     )
     t_search = time.perf_counter() - t0 - t_spatial
     schedule = build_singleton_schedule(assignment, order, profile.num_gpus)
-    latency = evaluate_latency(profile, schedule, validate=True)
+    latency = (
+        soa_latency(profile, schedule, validate=True, counters=counters)
+        if fast
+        else evaluate_latency(profile, schedule, validate=True)
+    )
     stats: dict[str, object] = {
         "paths": paths,
         "local_search_moves": moves,

@@ -70,7 +70,9 @@ def dispatch_units(
         cache = ResultCache(cfg.cache_dir)
     if progress is None:
         progress = SweepProgress(figure, len(units), enabled=cfg.progress)
-    return run_units(units, jobs=jobs, cache=cache, progress=progress)
+    return run_units(
+        units, jobs=jobs, cache=cache, progress=progress, batch_units=cfg.batch_units
+    )
 
 
 def sweep_random_dags(

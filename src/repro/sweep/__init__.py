@@ -21,7 +21,7 @@ Typical use::
 """
 
 from .cache import CACHE_FORMAT, ResultCache, default_cache_dir
-from .executor import SweepStats, resolve_jobs, run_units
+from .executor import SweepError, SweepStats, resolve_jobs, run_units
 from .keying import CACHE_SCHEMA_VERSION, canonical_json, content_key
 from .progress import SweepProgress
 from .units import (
@@ -30,6 +30,8 @@ from .units import (
     RandomDagSpec,
     RealModelSpec,
     WorkUnit,
+    clear_workload_memo,
+    execute_batch,
     execute_unit,
     replay_unit_trace,
 )
@@ -41,13 +43,16 @@ __all__ = [
     "RealModelSpec",
     "ResultCache",
     "SINGLE_GPU_ALGORITHMS",
+    "SweepError",
     "SweepProgress",
     "SweepStats",
     "UNIT_KINDS",
     "WorkUnit",
     "canonical_json",
+    "clear_workload_memo",
     "content_key",
     "default_cache_dir",
+    "execute_batch",
     "execute_unit",
     "replay_unit_trace",
     "resolve_jobs",

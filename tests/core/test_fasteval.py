@@ -330,4 +330,36 @@ def test_counters_shared_across_phases():
     assert counters.evals > 0
     assert counters.suffix_replays > 0
     d = counters.to_stats()
-    assert set(d) == {"evals", "suffix_replays", "window_delta_evals", "cache_hits"}
+    assert set(d) == {
+        "evals",
+        "suffix_replays",
+        "window_delta_evals",
+        "soa_evals",
+        "cache_hits",
+    }
+
+
+# ---------------------------------------------------------------------------
+# soa_latency (the vectorized final-evaluation core) vs. evaluate_schedule
+
+
+@pytest.mark.parametrize("blocking", [False, True])
+@pytest.mark.parametrize("hetero", [False, True])
+@pytest.mark.parametrize("alg", DIFF_ALGOS)
+def test_soa_latency_matches_reference_evaluator(alg, blocking, hetero):
+    """The SoA sweep must reproduce evaluate_schedule to the exact
+    float on real scheduler output, across blocking and heterogeneous
+    configurations — this is the seam the fast=True final evaluations
+    of ios/hios-lp/hios-mr/hios-lp-ls go through."""
+    from repro.core import evaluate_schedule, soa_latency
+
+    prof = random_dag_profile(seed=9, num_gpus=3, num_ops=40, num_layers=6)
+    prof = replace(prof, send_blocking=blocking)
+    if hetero:
+        prof = replace(prof, gpu_speeds=(1.0, 1.5, 0.75))
+    schedule = schedule_graph(prof, alg).schedule
+    counters = EvalCounters()
+    got = soa_latency(prof, schedule, validate=True, counters=counters)
+    want = evaluate_schedule(prof, schedule, validate=True).latency
+    assert got == want  # bit-identical, no tolerance
+    assert counters.soa_evals == 1

@@ -8,6 +8,7 @@ import pytest
 from repro.sweep import (
     RandomDagSpec,
     ResultCache,
+    SweepError,
     SweepProgress,
     WorkUnit,
     resolve_jobs,
@@ -142,6 +143,87 @@ class TestParallel:
         units = [unit(1), unit(2, algorithm="bogus"), unit(3)]
         with pytest.raises(Exception, match="bogus"):
             run_units(units, jobs=2)
+
+
+def shared_spec_units():
+    """Six units over two specs — three algorithms per spec, so the
+    worker-side workload memo has two reuse opportunities per spec."""
+    units = []
+    for seed in (1, 2):
+        spec = RandomDagSpec(seed=seed, num_gpus=4, **TINY)
+        for alg in ("sequential", "inter-lp", "hios-lp"):
+            kwargs = (("window", 3),) if alg == "hios-lp" else ()
+            units.append(WorkUnit("test", seed, 0, alg, spec, kwargs))
+    return units
+
+
+class TestBatched:
+    """The persistent-worker batched path: parity, counters, planning."""
+
+    def test_inline_batched_path_parity_and_counters(self, monkeypatch):
+        # cpu_count=1 caps workers at one, forcing the pool-free inline
+        # batched path regardless of the machine running the tests
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 1)
+        units = shared_spec_units()
+        serial, _ = run_units(units, jobs=1)
+        batched, stats = run_units(units, jobs=4, batch_units=3)
+        assert batched == serial
+        assert stats.batches == 2  # one spec group per batch, kept whole
+        assert stats.worker_workload_reuses == 4  # 2 reuses per 3-unit group
+
+    def test_pool_path_parity_and_counters(self, monkeypatch):
+        # pretend there are CPUs to spare so a real worker pool spins up
+        # even on a single-core machine
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 4)
+        units = shared_spec_units()
+        serial, _ = run_units(units, jobs=1)
+        pooled, stats = run_units(units, jobs=2, batch_units=3)
+        assert pooled == serial
+        assert stats.batches == 2
+        assert stats.worker_workload_reuses == 4
+
+    def test_batch_units_one_matches_serial(self):
+        units = shared_spec_units()
+        serial, _ = run_units(units, jobs=1)
+        forced, stats = run_units(units, jobs=2, batch_units=1)
+        assert forced == serial
+        assert stats.batches == len(units)  # every unit its own batch
+        # reuse count is path-dependent here (workers persist across
+        # singleton batches), so only parity and batching are pinned
+
+    def test_batch_units_validated(self):
+        with pytest.raises(ValueError, match="batch_units"):
+            run_units([unit(1), unit(2)], jobs=2, batch_units=0)
+
+    def test_missing_payload_raises_sweep_error(self, monkeypatch):
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 1)
+        real = executor_mod.execute_batch
+
+        def dropping(specs, items):
+            results, reuses = real(specs, items)
+            return results[:-1], reuses  # lose the last unit of the batch
+
+        monkeypatch.setattr(executor_mod, "execute_batch", dropping)
+        with pytest.raises(SweepError, match=r"1 of 2 units \(input indices 1\)"):
+            run_units([unit(1), unit(2)], jobs=2, batch_units=2)
+
+    def test_plan_batches_keeps_spec_groups_whole(self):
+        units = shared_spec_units()
+        to_run = list(range(len(units)))
+        batches = executor_mod._plan_batches(units, to_run, batch_size=2)
+        # groups of 3 exceed batch_size but not 2x, so they stay whole
+        assert batches == [[0, 1, 2], [3, 4, 5]]
+
+    def test_plan_batches_splits_oversized_groups(self):
+        spec = RandomDagSpec(seed=1, num_gpus=4, **TINY)
+        units = [
+            WorkUnit("test", 1, i, "hios-lp", spec, (("window", w),))
+            for i, w in enumerate(range(1, 8))
+        ]
+        batches = executor_mod._plan_batches(units, list(range(7)), batch_size=2)
+        # 7 > 2x2: cut into near-equal chunks, nothing dropped
+        assert sorted(i for b in batches for i in b) == list(range(7))
+        assert all(len(b) <= 3 for b in batches)
 
 
 class TestProgress:

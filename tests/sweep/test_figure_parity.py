@@ -46,6 +46,12 @@ class TestFig8:
         identical(serial, parallel)
         assert parallel.extras["sweep"]["jobs"] == 4
 
+    def test_batch_units_one_matches_serial(self, tiny_figures):
+        # degenerate batching (one unit per batch) must change nothing
+        serial = fig08_num_operators.run(config(jobs=1))
+        forced = fig08_num_operators.run(config(jobs=4, batch_units=1))
+        identical(serial, forced)
+
     def test_cache_warm_rerun_matches(self, tiny_figures, tmp_path):
         cfg = config(use_cache=True, cache_dir=str(tmp_path))
         cold = fig08_num_operators.run(cfg)
@@ -71,6 +77,11 @@ class TestFig10:
         serial = fig10_parallelism_degree.run(config(jobs=1))
         parallel = fig10_parallelism_degree.run(config(jobs=4))
         identical(serial, parallel)
+
+    def test_batch_units_one_matches_serial(self, tiny_figures):
+        serial = fig10_parallelism_degree.run(config(jobs=1))
+        forced = fig10_parallelism_degree.run(config(jobs=4, batch_units=1))
+        identical(serial, forced)
 
     def test_cache_warm_rerun_matches(self, tiny_figures, tmp_path):
         cfg = config(use_cache=True, cache_dir=str(tmp_path))
