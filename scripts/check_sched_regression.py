@@ -9,8 +9,12 @@ committed baseline ``benchmarks/results/BENCH_scheduling_cost.json``:
   calibration ratio, regresses more than ``--threshold`` (default 25 %)
   over the baseline;
 * FAIL if the fast/reference speedup on any workload drops below
-  ``--min-speedup`` (default 2x) — this check needs no normalization,
-  both modes run on the measuring machine.
+  ``--min-speedup`` (default 3x) — this check needs no normalization,
+  both modes run on the measuring machine;
+* FAIL if replaying a schedule from the persistent schedule cache
+  (``repro.schedcache/v1``) is not at least ``--min-cache-speedup``
+  cheaper than computing it, or does not reproduce the schedule and
+  latency bit-identically.
 
 Refresh the baseline after intentional performance changes with::
 
@@ -21,10 +25,44 @@ import argparse
 import json
 import pathlib
 import sys
+import tempfile
+import time
 
+from repro.experiments.realmodels import MODEL_BUILDERS, default_profiler
 from repro.experiments.sched_cost_bench import measure
+from repro.sweep import ScheduleCache, cached_schedule
 
 BASELINE = pathlib.Path("benchmarks/results/BENCH_scheduling_cost.json")
+
+
+def check_schedule_cache(min_speedup: float) -> list[str]:
+    """Cold-vs-warm ``cached_schedule`` on the larger headline workload."""
+    profile = default_profiler().profile(MODEL_BUILDERS["inception_v3"](1024))
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ScheduleCache(tmp)
+        t0 = time.perf_counter()
+        cold, hit0 = cached_schedule(profile, "hios-lp", cache=cache, window=3)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm, hit1 = cached_schedule(profile, "hios-lp", cache=cache, window=3)
+        warm_s = time.perf_counter() - t0
+    print(f"  schedule-cache: cold {cold_s * 1000:.1f} ms -> "
+          f"warm {warm_s * 1000:.1f} ms")
+    if hit0 or not hit1:
+        failures.append(
+            f"schedule cache: expected miss-then-hit, got {hit0} then {hit1}"
+        )
+    if warm.schedule != cold.schedule or warm.latency != cold.latency:
+        failures.append(
+            "schedule cache: warm replay is not bit-identical to the cold run"
+        )
+    if warm_s * min_speedup > cold_s:
+        failures.append(
+            f"schedule cache: warm replay {warm_s * 1000:.1f} ms is not "
+            f">= {min_speedup:g}x cheaper than cold {cold_s * 1000:.1f} ms"
+        )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -34,8 +72,11 @@ def main(argv: list[str] | None = None) -> int:
                     help="measure and (over)write the baseline file instead of gating")
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="allowed fractional regression of the normalized fast median")
-    ap.add_argument("--min-speedup", type=float, default=2.0,
+    ap.add_argument("--min-speedup", type=float, default=3.0,
                     help="required fast-vs-reference median speedup per workload")
+    ap.add_argument("--min-cache-speedup", type=float, default=5.0,
+                    help="required cold/warm speedup of a schedule-cache "
+                    "replay (0 disables the check)")
     ap.add_argument("--repeats", type=int, default=5)
     args = ap.parse_args(argv)
 
@@ -86,6 +127,8 @@ def _report(baseline: dict, current: dict, args: argparse.Namespace) -> int:
         print(f"  {name}: fast={cur['fast_median_s']:.3f}s "
               f"reference={cur['reference_median_s']:.3f}s "
               f"speedup={speedup:.2f}x allowed<={allowed:.3f}s [{status}]")
+    if args.min_cache_speedup > 0:
+        failures.extend(check_schedule_cache(args.min_cache_speedup))
     if failures:
         print("\nscheduling-time regression gate FAILED:", file=sys.stderr)
         for f in failures:

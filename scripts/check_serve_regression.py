@@ -13,10 +13,14 @@ committed baseline ``benchmarks/results/BENCH_serving.json``:
   libm differences across platforms);
 * FAIL if a scenario violates its robustness invariant regardless of
   the baseline: no admitted query may end ``failed``, and the gpu-loss
-  scenario must actually exercise repair, displacement and re-admission
-  (``repairs >= 1``, ``displaced >= 1``, ``retries >= 1``);
+  scenario must actually exercise repair, displacement, re-admission
+  and warm-started rescheduling (``repairs >= 1``, ``displaced >= 1``,
+  ``retries >= 1``, ``warm_starts >= 1``);
 * FAIL if any scenario's deadline-miss rate exceeds ``--max-miss-rate``
-  (default 0 — the committed scenarios are tuned to meet every SLO).
+  (default 0 — the committed scenarios are tuned to meet every SLO);
+* FAIL if a restarted steady-state run backed by a persistent schedule
+  cache does not cut total scheduling wall time by at least
+  ``--min-cache-speedup`` (warm restarts must be effectively free).
 
 Refresh the baseline after intentional behaviour changes with::
 
@@ -28,8 +32,12 @@ import json
 import math
 import pathlib
 import sys
+import tempfile
 
 from repro.serve import SCENARIOS, run_scenario
+from repro.serve.scenarios import scenario_config
+from repro.serve.simulator import ServeSimulator
+from repro.sweep import ScheduleCache
 
 BASELINE = pathlib.Path("benchmarks/results/BENCH_serving.json")
 
@@ -45,18 +53,50 @@ COUNTERS = (
     "displaced",
     "repairs",
     "degraded_dispatches",
+    "sched_cache_hits",
+    "sched_cache_misses",
+    "warm_starts",
 )
+# sched_ms is host wall-clock and must NEVER appear here — it is not
+# deterministic and is stripped from the committed baseline entirely
 FLOATS = ("p50_ms", "p99_ms", "goodput_qps", "deadline_miss_rate", "makespan_ms")
 
 # invariants checked against the *current* run, independent of baseline
 INVARIANTS = {
-    "gpu-loss": {"repairs": 1, "displaced": 1, "retries": 1},
+    "gpu-loss": {"repairs": 1, "displaced": 1, "retries": 1, "warm_starts": 1},
     "burst-overload": {"degraded_dispatches": None},  # None: just > 0
 }
 
 
 def measure() -> dict:
-    return {name: run_scenario(name).report.to_dict() for name in sorted(SCENARIOS)}
+    docs = {name: run_scenario(name).report.to_dict() for name in sorted(SCENARIOS)}
+    for doc in docs.values():
+        doc.pop("sched_ms", None)  # host wall-clock: keep it out of the artifact
+    return docs
+
+
+def check_cache_speedup(min_speedup: float) -> list[str]:
+    """Cold-vs-warm restart of steady-state through one persistent cache."""
+    cfg = scenario_config("steady-state")
+    with tempfile.TemporaryDirectory() as tmp:
+        cold = ServeSimulator(cfg, sched_cache=ScheduleCache(tmp)).run().report
+        warm = ServeSimulator(cfg, sched_cache=ScheduleCache(tmp)).run().report
+    print(
+        f"  schedule-cache restart: cold {cold.sched_ms:.1f} ms -> "
+        f"warm {warm.sched_ms:.1f} ms ({warm.sched_cache_hits} hit(s))"
+    )
+    failures: list[str] = []
+    if warm.sched_cache_hits == 0 or warm.sched_cache_misses != 0:
+        failures.append(
+            "schedule cache: warm restart should hit for every plan "
+            f"(hits={warm.sched_cache_hits}, misses={warm.sched_cache_misses})"
+        )
+    if warm.sched_ms * min_speedup > cold.sched_ms:
+        failures.append(
+            f"schedule cache: warm restart sched_ms {warm.sched_ms:.2f} is not "
+            f">= {min_speedup:g}x cheaper than cold {cold.sched_ms:.2f}"
+        )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -68,6 +108,11 @@ def main(argv: list[str] | None = None) -> int:
                     help="relative tolerance on latency/goodput floats")
     ap.add_argument("--max-miss-rate", type=float, default=0.0,
                     help="maximum allowed deadline-miss rate per scenario")
+    ap.add_argument("--min-cache-speedup", type=float, default=5.0,
+                    help="required cold/warm total sched_ms ratio for a "
+                    "schedule-cache-backed restart (0 disables the check; "
+                    "the warm floor is content-key hashing, so the gate "
+                    "stays below the ~10-35x typically measured)")
     args = ap.parse_args(argv)
 
     current = measure()
@@ -123,6 +168,8 @@ def _report(baseline: dict, current: dict, args: argparse.Namespace) -> int:
             f"displaced {cur['displaced']}  p99 {cur['p99_ms']:.2f} ms  "
             f"goodput {cur['goodput_qps']:.2f} qps"
         )
+    if args.min_cache_speedup > 0:
+        failures.extend(check_cache_speedup(args.min_cache_speedup))
     if failures:
         print("\nserving regression gate FAILED:", file=sys.stderr)
         for f in failures:

@@ -10,8 +10,11 @@ Commands
     worker per CPU; results are cached content-addressed under
     ``~/.cache/repro-hios`` (or ``$REPRO_CACHE_DIR``) so re-runs are
     warm no-ops unless ``--no-cache`` is given.
-``cache stats|clear [--cache-dir DIR]``
-    Inspect or empty the sweep result cache.
+``cache stats|clear [--cache-dir DIR] [--kind KIND]``
+    Inspect or empty the content-addressed caches (sweep results and
+    schedules share one tree); ``stats`` breaks the footprint down by
+    entry kind and document format, ``clear --kind`` purges one kind
+    (e.g. ``schedule`` or ``corrupt``) and leaves the rest warm.
 ``schedule --model NAME --size N [--algorithm A] [--gpus M] [...]``
     Profile a model, schedule it, execute it on the engine, and print
     predicted vs measured latency (optionally dumping schedule JSON).
@@ -110,11 +113,18 @@ def build_parser() -> argparse.ArgumentParser:
         "trace per unit into DIR (works on a warm cache too)",
     )
 
-    cache = sub.add_parser("cache", help="inspect or clear the sweep result cache")
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed caches"
+    )
     cache.add_argument("action", choices=("stats", "clear"))
     cache.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro-hios)",
+    )
+    cache.add_argument(
+        "--kind", default=None, metavar="KIND",
+        help="restrict 'clear' to one entry kind (e.g. latency, schedule, "
+        "corrupt); default clears everything",
     )
 
     sched = sub.add_parser("schedule", help="schedule + execute one model")
@@ -146,6 +156,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--decisions-out", default=None, metavar="PATH",
         help="capture the scheduler's decision log (HIOS-LP path "
         "winners, Alg. 2 window accept/reject) as JSONL",
+    )
+    sched.add_argument(
+        "--sched-cache", action="store_true",
+        help="serve the schedule from the persistent schedule cache "
+        "(repro.schedcache/v1), computing and storing it on a miss",
+    )
+    sched.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro-hios)",
     )
 
     report = sub.add_parser(
@@ -244,6 +263,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--decisions-out", default=None, metavar="PATH",
         help="capture the admission/dispatch/outcome decision log as JSONL",
     )
+    serve.add_argument(
+        "--sched-cache", action="store_true",
+        help="back the planner memo with the persistent schedule cache "
+        "(repro.schedcache/v1) so restarts reuse warm schedules",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro-hios)",
+    )
 
     validate = sub.add_parser(
         "validate", help="check a schedule JSON against a priced graph JSON"
@@ -267,8 +295,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="FILE",
         help="JSON documents: repro.opgraph/v1, schedule, repro.trace/v1, "
-        "repro.cache/v1, repro.serve/v1, repro.hbreport/v1, Chrome "
-        "trace_event exports",
+        "repro.cache/v1, repro.schedcache/v1, repro.serve/v1, "
+        "repro.hbreport/v1, Chrome trace_event exports",
     )
     lint.add_argument(
         "--fault",
@@ -447,17 +475,32 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     )
     if args.reference_eval and args.algorithm != "sequential":
         kwargs["fast"] = False  # sequential has no evaluation loop to swap
+
+    def run_scheduler():  # -> ScheduleResult
+        if args.sched_cache:
+            from .sweep import ScheduleCache, cached_schedule
+
+            result, hit = cached_schedule(
+                profile,
+                args.algorithm,
+                cache=ScheduleCache(args.cache_dir),
+                **kwargs,
+            )
+            print(f"schedule cache: {'hit' if hit else 'miss'}")
+            return result
+        return schedule_graph(profile, args.algorithm, **kwargs)
+
     if args.decisions_out:
         from .obs import capture_decisions
 
         with capture_decisions() as decisions:
-            result = schedule_graph(profile, args.algorithm, **kwargs)
+            result = run_scheduler()
         decisions.write_jsonl(args.decisions_out)
         print(
             f"wrote {len(decisions)} decision record(s) to {args.decisions_out}"
         )
     else:
-        result = schedule_graph(profile, args.algorithm, **kwargs)
+        result = run_scheduler()
     trace = profiler.engine().run(profile.graph, result.schedule)
     if args.trace_out:
         from .obs import save_chrome_trace
@@ -512,8 +555,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "stats":
         print(json.dumps(cache.stats(), indent=2))
         return 0
-    removed = cache.clear()
-    print(f"removed {removed} cache entrie(s) from {cache.root}")
+    removed = cache.clear(kind=args.kind)
+    scope = f" of kind {args.kind!r}" if args.kind else ""
+    print(f"removed {removed} cache entrie(s){scope} from {cache.root}")
     return 0
 
 
@@ -673,16 +717,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"error: {exc}")
             return 2
 
+    sched_cache = None
+    if args.sched_cache:
+        from .sweep import ScheduleCache
+
+        sched_cache = ScheduleCache(args.cache_dir)
     try:
         if args.decisions_out:
             from .obs import capture_decisions
 
             with capture_decisions() as decisions:
-                result = serve(config)
+                result = serve(config, sched_cache=sched_cache)
             decisions.write_jsonl(args.decisions_out)
             print(f"wrote {len(decisions)} decision record(s) to {args.decisions_out}")
         else:
-            result = serve(config)
+            result = serve(config, sched_cache=sched_cache)
     except ServeError as exc:
         print(f"error: {exc}")
         return 2
@@ -747,7 +796,9 @@ def _detect_document(data: object) -> str | None:
         return "graph"
     if fmt == "repro.trace/v1":
         return "trace"
-    if fmt == "repro.cache/v1" or ("key" in data and "payload" in data):
+    if fmt in ("repro.cache/v1", "repro.schedcache/v1") or (
+        "key" in data and "payload" in data
+    ):
         return "cache"
     if fmt == "repro.serve/v1":
         return "serve"
@@ -824,9 +875,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         else:
             print(
                 f"error: cannot classify {path}: expected a repro.opgraph/v1, "
-                "repro.trace/v1, repro.cache/v1, repro.serve/v1, "
-                "repro.hbreport/v1, Chrome trace_event (traceEvents) or "
-                "schedule (num_gpus/gpus) document"
+                "repro.trace/v1, repro.cache/v1, repro.schedcache/v1, "
+                "repro.serve/v1, repro.hbreport/v1, Chrome trace_event "
+                "(traceEvents) or schedule (num_gpus/gpus) document"
             )
             return 2
 

@@ -135,6 +135,22 @@ class PrefixReplayer:
     position whose processing reads a varying operator (the varying
     operator's own position, or under sender blocking the position of
     any of its predecessors, whichever comes first).
+
+    **Int lowering, no-restore replay.**  The simulation state lives in
+    int-indexed flat lists — operator ids instead of names, a per-edge
+    arrival slot instead of an ``(u, v)``-keyed dict — and a replay
+    writes into the shared ``finish`` / ``arrival`` buffers without
+    restoring them afterwards.  That is sound because every value a
+    replay reads was written either by the same replay or by the
+    prefix: the order is topological, so ``finish[u]`` is rewritten
+    before any read; and an ``arrival`` slot ``(u, v)`` is read only
+    when the current assignment splits ``u`` and ``v``, which is
+    exactly the condition under which processing ``u`` (this replay if
+    ``u`` is in the suffix) rewrote it.  A prefix operator cannot have
+    a varying successor — the boundary sits at or before every
+    predecessor of a varying operator under blocking — so prefix-written
+    slots stay valid across candidates.  Stale values from earlier
+    replays are therefore never observed.
     """
 
     def __init__(
@@ -152,77 +168,109 @@ class PrefixReplayer:
         )
         self.counters = counters if counters is not None else EvalCounters()
         names = graph.names
-        self._preds: dict[str, tuple[str, ...]] = {
-            v: tuple(graph.predecessors(v)) for v in names
-        }
-        self._succs: dict[str, tuple[str, ...]] = {
-            v: tuple(sorted(graph.successors(v))) for v in names
-        }
-        self._cost: dict[str, float] = {v: graph.cost(v) for v in names}
-        self._transfer: dict[tuple[str, str], float] = {
-            (u, v): w for u, v, w in graph.edges()
-        }
-        self._order: list[str] = []
+        self._names: list[str] = names
+        index = {v: i for i, v in enumerate(names)}
+        self._index: dict[str, int] = index
+        n = len(names)
+        self._n = n
+        # successor CSR in the reference's deterministic send order
+        # (sorted consumer names); the CSR position is the edge id that
+        # addresses the flat per-edge arrival buffer
+        sptr = [0]
+        sdst: list[int] = []
+        sw: list[float] = []
+        edge_id: dict[tuple[str, str], int] = {}
+        for v in names:
+            for s in sorted(graph.successors(v)):
+                edge_id[(v, s)] = len(sdst)
+                sdst.append(index[s])
+                sw.append(graph.transfer(v, s))
+            sptr.append(len(sdst))
+        self._sptr = sptr
+        self._sdst = sdst
+        self._sw = sw
+        # predecessor CSR carrying each edge's transfer weight and its
+        # arrival-slot id
+        pptr = [0]
+        psrc: list[int] = []
+        pw: list[float] = []
+        pedge: list[int] = []
+        for v in names:
+            for u in graph.predecessors(v):
+                psrc.append(index[u])
+                pw.append(graph.transfer(u, v))
+                pedge.append(edge_id[(u, v)])
+            pptr.append(len(psrc))
+        self._pptr = pptr
+        self._psrc = psrc
+        self._pw = pw
+        self._pedge = pedge
+        self._cost: list[float] = [graph.cost(v) for v in names]
+        self._num_edges = len(sdst)
+        # checkpoint state (int-indexed)
+        self._order_ids: list[int] = []
         self._k = 0
-        self._finish: dict[str, float] = {}
-        self._arrival: dict[tuple[str, str], float] = {}
+        self._assign: list[int] = [-1] * n
+        self._varying: list[tuple[int, str]] = []
+        self._finish: list[float] = [0.0] * n
+        self._arrival: list[float] = [0.0] * self._num_edges
         self._gpu_free: list[float] = [0.0] * num_gpus
         self._latency = 0.0
 
     # ------------------------------------------------------------------
     def _simulate(
         self,
-        assignment: Mapping[str, int],
-        order: Sequence[str],
+        assign: list[int],
+        order: list[int],
         start: int,
         stop: int,
-        finish: dict[str, float],
-        arrival: dict[tuple[str, str], float],
+        finish: list[float],
+        arrival: list[float],
         gpu_free: list[float],
         latency: float,
-        added_finish: list[str] | None = None,
-        added_arrival: list[tuple[str, str]] | None = None,
     ) -> float:
         """Exact mirror of ``list_schedule_latency``'s inner loop over
-        ``order[start:stop]``, mutating the carried state in place."""
+        ``order[start:stop]``, mutating the carried state in place.
+        Performs the reference's float operations in the reference's
+        order — only the indexing is lowered to ints."""
         blocking = self._blocking
         speeds = self._speeds
-        preds = self._preds
-        succs = self._succs
+        pptr = self._pptr
+        psrc = self._psrc
+        pw = self._pw
+        pedge = self._pedge
+        sptr = self._sptr
+        sdst = self._sdst
+        sw = self._sw
         cost = self._cost
-        transfer = self._transfer
-        get = assignment.get
         for i in range(start, stop):
             v = order[i]
-            g = assignment[v]
+            g = assign[v]
             t = gpu_free[g]
-            for u in preds[v]:
-                gu = get(u)
-                if gu is None:
+            for pi in range(pptr[v], pptr[v + 1]):
+                u = psrc[pi]
+                gu = assign[u]
+                if gu < 0:
                     continue  # still unscheduled in this iteration
                 if gu == g:
                     ready = finish[u]
                 elif blocking:
-                    ready = arrival[(u, v)]
+                    ready = arrival[pedge[pi]]
                 else:
-                    ready = finish[u] + transfer[(u, v)]
+                    ready = finish[u] + pw[pi]
                 if ready > t:
                     t = ready
             speed = 1.0 if speeds is None else speeds[g]
             end = t + cost[v] / speed
             finish[v] = end
-            if added_finish is not None:
-                added_finish.append(v)
             if blocking:
                 cursor = end
-                for s in succs[v]:
-                    gs = get(s)
-                    if gs is None or gs == g:
+                for si in range(sptr[v], sptr[v + 1]):
+                    gs = assign[sdst[si]]
+                    if gs < 0 or gs == g:
                         continue
-                    cursor += transfer[(v, s)]
-                    arrival[(v, s)] = cursor
-                    if added_arrival is not None:
-                        added_arrival.append((v, s))
+                    cursor += sw[si]
+                    arrival[si] = cursor
                 gpu_free[g] = cursor
                 if cursor > latency:
                     latency = cursor
@@ -236,6 +284,9 @@ class PrefixReplayer:
         """First position of ``order`` whose processing reads the
         assignment of any operator in ``varying``."""
         positions = {v: i for i, v in enumerate(order)}
+        names = self._names
+        pptr = self._pptr
+        psrc = self._psrc
         k = len(order)
         for v in varying:
             pos = positions.get(v)
@@ -246,8 +297,9 @@ class PrefixReplayer:
             if self._blocking:
                 # a predecessor issues (or skips) a blocking send to v
                 # depending on v's assignment
-                for u in self._preds[v]:
-                    pu = positions.get(u)
+                vi = self._index[v]
+                for pi in range(pptr[vi], pptr[vi + 1]):
+                    pu = positions.get(names[psrc[pi]])
                     if pu is not None and pu < k:
                         k = pu
         return k
@@ -260,15 +312,22 @@ class PrefixReplayer:
     ) -> int:
         """Simulate the candidate-invariant prefix once and checkpoint
         the state; returns the boundary index."""
+        varying = list(varying)
         k = self.prefix_boundary(order, varying)
-        self._order = list(order)
+        index = self._index
+        self._order_ids = [index[v] for v in order]
         self._k = k
-        self._finish = {}
-        self._arrival = {}
+        assign = [-1] * self._n
+        for v, g in assignment.items():
+            assign[index[v]] = g
+        self._assign = assign
+        self._varying = [(index[v], v) for v in varying]
+        self._finish = [0.0] * self._n
+        self._arrival = [0.0] * self._num_edges
         self._gpu_free = [0.0] * self._num_gpus
         self.counters.evals += 1
         self._latency = self._simulate(
-            assignment, self._order, 0, k, self._finish, self._arrival,
+            assign, self._order_ids, 0, k, self._finish, self._arrival,
             self._gpu_free, 0.0,
         )
         return k
@@ -276,24 +335,23 @@ class PrefixReplayer:
     def replay(self, assignment: Mapping[str, int]) -> float:
         """Latency of list-scheduling the full order under
         ``assignment``, re-simulating only the suffix after the last
-        :meth:`snapshot`; the checkpoint is restored afterwards."""
+        :meth:`snapshot`.
+
+        Per the snapshot-reuse invariant, ``assignment`` may differ
+        from the snapshot-time mapping only on the ``varying``
+        operators — only their entries are re-read here.
+        """
         self.counters.suffix_replays += 1
+        assign = self._assign
+        get = assignment.get
+        for vi, name in self._varying:
+            g = get(name)
+            assign[vi] = -1 if g is None else g
         gpu_free = list(self._gpu_free)
-        finish = self._finish
-        arrival = self._arrival
-        added_finish: list[str] = []
-        added_arrival: list[tuple[str, str]] = []
-        try:
-            return self._simulate(
-                assignment, self._order, self._k, len(self._order),
-                finish, arrival, gpu_free, self._latency,
-                added_finish, added_arrival,
-            )
-        finally:
-            for v in added_finish:
-                del finish[v]
-            for key in added_arrival:
-                del arrival[key]
+        return self._simulate(
+            assign, self._order_ids, self._k, len(self._order_ids),
+            self._finish, self._arrival, gpu_free, self._latency,
+        )
 
 
 class StageGraphEvaluator:

@@ -29,6 +29,7 @@ from ..obs import declog
 from .debuglint import debug_lint_schedule
 from .evaluator import evaluate_latency
 from .fasteval import EvalCounters, PrefixReplayer, soa_latency
+from .fastpath import LongestPathEngine
 from .intra_gpu import parallelize
 from .list_schedule import build_singleton_schedule, list_schedule_latency
 from .longest_path import longest_valid_path
@@ -63,10 +64,15 @@ def _lp_spatial_mapping(
         if fast
         else None
     )
+    path_engine = LongestPathEngine(graph) if fast else None
 
     log = declog.active()
     while unscheduled:
-        path = longest_valid_path(graph, unscheduled)
+        path = (
+            path_engine.longest_valid_path(unscheduled)
+            if path_engine is not None
+            else longest_valid_path(graph, unscheduled)
+        )
         unscheduled.difference_update(path.vertices)
         paths += 1
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 import time
 from typing import Any, MutableMapping, cast
 
+import numpy as np
+
 from ..costmodel.profile import CostProfile
 from .debuglint import debug_lint_schedule
 from .evaluator import evaluate_latency
@@ -95,80 +97,74 @@ def _mr_fill_fast(
     t_tab: list[list[float]],
     g_tab: list[list[int]],
 ) -> None:
-    """Incremental Alg. 3 fill, bit-identical to the reference.
+    """Vectorized Alg. 3 fill, bit-identical to the reference.
 
-    Two reconstructions per cell become deltas: (a) the per-GPU free
-    array of state ``(i-1, k)`` is the parent state's array with one
-    position maxed against ``t_{i-1,k}``, so it is carried forward row
-    by row instead of re-derived by an O(i) walk; (b) predecessor
-    finish times / GPUs are table lookups once the predecessor's GPU in
-    the recorded chain is known, so the pointer walk stops at the
-    deepest predecessor instead of position 0.  All floats flow through
-    the same max/add operations as the reference.
+    Each row is computed as one ``(k, j)`` numpy block instead of the
+    reference's per-cell chain reconstruction: the per-GPU free arrays
+    of all ``M`` recorded states ride along as an ``(M, M)`` matrix,
+    the ``g``-pointer chain walk down to the deepest predecessor is a
+    gather shared by every ``k`` at once, and the strict ``<`` update
+    over ascending ``k`` collapses to a masked column ``min`` /
+    first-occurrence ``argmin`` (a sequence of strict improvements
+    lands on exactly the smallest ``k`` attaining the column minimum).
+    Bit-identity holds because minima and maxima are selections and the
+    per-cell arithmetic (``t + tr``, ``ready + cost/speed``) performs
+    the reference's float operations; ``np.where`` keeps the
+    ``mu == j`` branch free of any ``+ 0.0`` rewriting.  Rows of the
+    free matrix belonging to unreachable states carry garbage — they
+    are masked out by the validity mask exactly like the reference's
+    ``None`` entries.
     """
     graph = profile.graph
     M = profile.num_gpus
     n = len(order)
-    prev_free: list[list[float] | None] = [None] * M
-    for j in range(M):
-        t0 = t_tab[0][j]
-        if t0 == _INF:
-            continue
-        f = [0.0] * M
-        if t0 > f[j]:
-            f[j] = t0
-        prev_free[j] = f
+    if n <= 1:
+        return
+    hetero = profile.heterogeneous
+    T = np.full((n, M), _INF, dtype=np.float64)
+    T[0] = t_tab[0]
+    G = np.zeros((n, M), dtype=np.int64)
+    speeds_arr = np.asarray(speeds, dtype=np.float64)
+    js = np.arange(M)
+    free = np.zeros((M, M), dtype=np.float64)  # free[k] = state (i-1, k)
+    free[js, js] = np.maximum(free[js, js], T[0])
     for i in range(1, n):
         v = order[i]
-        cost_v = graph.cost(v)
+        cost_div = graph.cost(v) / speeds_arr
         preds = [
             (index[u], graph.transfer(u, v))
             for u in graph.predecessors(v)
             if index[u] < i
         ]
-        pred_pos = {l for l, _tr in preds}
-        min_pred = min(pred_pos) if pred_pos else i
-        num_j = M if profile.heterogeneous else min(M, i + 1)
-        num_k = M if profile.heterogeneous else min(M, i)
-        row_t = t_tab[i]
-        row_g = g_tab[i]
-        for k in range(num_k):
-            if t_tab[i - 1][k] == _INF:
-                continue
-            free = prev_free[k]
-            assert free is not None  # filled whenever t_tab[i-1][k] < inf
-            chain_gpu: dict[int, int] = {}
-            if preds:
-                m = k
-                for l in range(i - 1, min_pred - 1, -1):
-                    if l in pred_pos:
-                        chain_gpu[l] = m
-                    m = g_tab[l][m]
-            for j in range(num_j):
-                ready = free[j]
-                for l, tr in preds:
-                    mu = chain_gpu[l]
-                    dep = t_tab[l][mu]
-                    if mu != j:
-                        dep += tr
-                    if dep > ready:
-                        ready = dep
-                cand = ready + cost_v / speeds[j]
-                if cand < row_t[j]:
-                    row_t[j] = cand
-                    row_g[j] = k
-        cur_free: list[list[float] | None] = [None] * M
-        for j in range(M):
-            tij = row_t[j]
-            if tij == _INF:
-                continue
-            parent = prev_free[row_g[j]]
-            assert parent is not None
-            f = list(parent)
-            if tij > f[j]:
-                f[j] = tij
-            cur_free[j] = f
-        prev_free = cur_free
+        num_j = M if hetero else min(M, i + 1)
+        num_k = M if hetero else min(M, i)
+        valid_k = T[i - 1, :num_k] < _INF
+        # chain GPUs of the predecessors, for every k in one walk
+        chain: dict[int, np.ndarray] = {}
+        if preds:
+            pred_pos = {l for l, _tr in preds}
+            m_vec = np.arange(M)
+            for l in range(i - 1, min(pred_pos) - 1, -1):
+                if l in pred_pos:
+                    chain[l] = m_vec
+                m_vec = G[l][m_vec]
+        ready = free.copy()
+        for l, tr in preds:
+            mu = chain[l]
+            base = T[l, mu][:, None]
+            dep = np.where(mu[:, None] != js[None, :], base + tr, base)
+            ready = np.maximum(ready, dep)
+        cand = ready[:num_k] + cost_div[None, :]
+        cand = np.where(valid_k[:, None], cand, _INF)
+        vals = cand.min(axis=0)
+        ks = cand.argmin(axis=0)  # first occurrence == smallest winning k
+        T[i, :num_j] = vals[:num_j]
+        G[i, :num_j] = ks[:num_j]
+        free = free[G[i]]
+        free[js, js] = np.maximum(free[js, js], T[i])
+    for i in range(1, n):
+        t_tab[i][:] = T[i].tolist()
+        g_tab[i][:] = G[i].tolist()
 
 
 def _mr_spatial_mapping(

@@ -43,8 +43,16 @@ from .schedule import Schedule, Stage
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from ..substrate.engine import EngineConfig, ExecutionTrace
     from ..substrate.faults import FailureEvent
+    from ..sweep.schedcache import ScheduleCache
 
 __all__ = ["RepairError", "RepairResult", "repair_schedule", "run_with_repair", "splice_traces"]
+
+#: A warm-started repair whose latency exceeds this multiple of the
+#: analytic lower bound is double-checked against a cold run (the
+#: cheaper of the two wins).  Within the margin the warm schedule is
+#: provably close enough to optimal that the cold run cannot beat it
+#: by much — skipping it is the whole point of warm-starting.
+WARM_START_MARGIN = 1.5
 
 
 class RepairError(RuntimeError):
@@ -58,6 +66,8 @@ class RepairResult:
     ``schedule`` uses the *original* GPU indices (the failed GPU hosts
     nothing); ``result`` is the raw scheduler output on the compacted
     survivor indices, kept for its latency prediction and stats.
+    ``warm_started`` records whether the spatial mapping was seeded
+    from the pre-failure schedule instead of recomputed from scratch.
     """
 
     failure: "FailureEvent"
@@ -65,6 +75,7 @@ class RepairResult:
     subgraph: OpGraph
     schedule: Schedule
     result: ScheduleResult
+    warm_started: bool = False
 
     @property
     def algorithm(self) -> str:
@@ -90,11 +101,50 @@ def _surviving_gpus(
     return survivors
 
 
+def _warm_spatial_seed(
+    subgraph: OpGraph, previous: Schedule, survivors: tuple[int, ...]
+) -> dict[str, int] | None:
+    """Project ``previous`` (original GPU ids) onto the repair subgraph.
+
+    Every remaining operator that lived on a survivor keeps its GPU
+    (compacted to the survivor index space); operators stranded on dead
+    GPUs are re-homed greedily onto the least-loaded survivor.  Returns
+    ``None`` when the previous schedule does not cover the subgraph
+    (nothing sound to project).
+    """
+    slot = {g: i for i, g in enumerate(survivors)}
+    prev_gpu: dict[str, int] = {}
+    for g in range(previous.num_gpus):
+        for st in previous.stages_on(g):
+            for op in st.ops:
+                prev_gpu[op] = g
+    assignment: dict[str, int] = {}
+    stranded: list[str] = []
+    for v in subgraph.names:
+        g = prev_gpu.get(v)
+        if g is None:
+            return None
+        if g in slot:
+            assignment[v] = slot[g]
+        else:
+            stranded.append(v)
+    load = [0.0] * len(survivors)
+    for v, i in assignment.items():
+        load[i] += subgraph.cost(v)
+    for v in sorted(stranded):
+        i = min(range(len(survivors)), key=lambda j: (load[j], j))
+        assignment[v] = i
+        load[i] += subgraph.cost(v)
+    return assignment
+
+
 def repair_schedule(
     profile: CostProfile,
     failure: "FailureEvent",
     algorithm: str = "hios-lp",
     dead: tuple[int, ...] = (),
+    warm_start_from: Schedule | None = None,
+    sched_cache: "ScheduleCache | None" = None,
     **kwargs: Any,
 ) -> RepairResult:
     """Re-schedule the unfinished subgraph onto the surviving GPUs.
@@ -107,8 +157,21 @@ def repair_schedule(
     producers are dropped (their tensors are host-checkpointed and
     re-staged during failover), making their consumers sources of the
     repair subgraph.
+
+    ``warm_start_from`` seeds the scheduler's spatial mapping from the
+    surviving-GPU projection of the pre-failure schedule (through the
+    ``spatial_cache`` seam), skipping the expensive Alg. 1/3 phase —
+    the usual case where the survivors keep their operators and only
+    the dead GPU's share moves.  The warm schedule is kept when its
+    latency is within :data:`WARM_START_MARGIN` of the analytic lower
+    bound; otherwise a cold run is computed too and the better of the
+    two wins.  ``sched_cache`` serves *cold* repairs from the
+    persistent schedule cache (warm-started results are seeded by a
+    run-specific schedule and are never persisted).
     """
-    from .api import schedule_graph  # local import avoids a cycle
+    from .api import SPATIAL_CACHE_ALGORITHMS, schedule_graph  # local: avoids a cycle
+    from .bounds import latency_lower_bound
+    from .priority import priority_order
 
     remaining = failure.unfinished(profile.graph.names)
     if not remaining:
@@ -127,7 +190,42 @@ def repair_schedule(
         send_blocking=profile.send_blocking,
         gpu_speeds=speeds,
     )
-    result = schedule_graph(subprofile, algorithm, **kwargs)
+
+    def cold_schedule() -> ScheduleResult:
+        if sched_cache is not None:
+            from ..sweep.schedcache import cached_schedule  # local: sweep is optional here
+
+            cold, _hit = cached_schedule(
+                subprofile, algorithm, cache=sched_cache, **kwargs
+            )
+            return cold
+        return schedule_graph(subprofile, algorithm, **kwargs)
+
+    result: ScheduleResult | None = None
+    warm_started = False
+    if warm_start_from is not None and algorithm in SPATIAL_CACHE_ALGORITHMS:
+        seed = _warm_spatial_seed(subgraph, warm_start_from, survivors)
+        if seed is not None:
+            order = priority_order(subgraph)
+            spatial_cache: dict[str, Any] = {
+                "lp": (dict(seed), list(order), 0),
+                "mr": (dict(seed), list(order)),
+            }
+            warm = schedule_graph(
+                subprofile, algorithm, spatial_cache=spatial_cache, **kwargs
+            )
+            if warm.latency <= WARM_START_MARGIN * latency_lower_bound(subprofile):
+                result = warm
+                warm_started = True
+            else:
+                cold = cold_schedule()
+                if warm.latency <= cold.latency:
+                    result = warm
+                    warm_started = True
+                else:
+                    result = cold
+    if result is None:
+        result = cold_schedule()
 
     # map the compacted survivor indices back to the original GPU ids
     repaired = Schedule(profile.num_gpus)
@@ -141,6 +239,7 @@ def repair_schedule(
         subgraph=subgraph,
         schedule=repaired,
         result=result,
+        warm_started=warm_started,
     )
 
 
@@ -218,6 +317,8 @@ def run_with_repair(
     algorithm: str = "hios-lp",
     max_repairs: int | None = None,
     strict: bool = True,
+    warm_start: bool = False,
+    sched_cache: "ScheduleCache | None" = None,
     **kwargs: Any,
 ) -> "tuple[ExecutionTrace, tuple[RepairResult, ...]]":
     """Execute ``schedule`` under ``config``; on GPU failures, keep
@@ -241,6 +342,12 @@ def run_with_repair(
     spliced trace — its ``failure`` marker set and
     ``trace.unfinished_ops(...)`` non-empty — so online callers (the
     serving simulator) can re-admit the displaced work elsewhere.
+
+    ``warm_start=True`` seeds each repair round's spatial mapping from
+    the schedule the failed segment was running (the original schedule
+    for the first round, the previous repair for later rounds of a
+    cascade); ``sched_cache`` forwards a persistent schedule cache for
+    cold repairs.  See :func:`repair_schedule`.
     """
     from ..substrate.engine import MultiGpuEngine  # local import avoids a cycle
 
@@ -260,9 +367,16 @@ def run_with_repair(
                     f"and GPU {failure.gpu} failed again at t={failure.time:.3f}"
                 )
             break
+        previous = repairs[-1].schedule if repairs else schedule
         try:
             repair = repair_schedule(
-                profile, failure, algorithm=algorithm, dead=tuple(dead), **kwargs
+                profile,
+                failure,
+                algorithm=algorithm,
+                dead=tuple(dead),
+                warm_start_from=previous if warm_start else None,
+                sched_cache=sched_cache,
+                **kwargs,
             )
         except RepairError:
             if strict:

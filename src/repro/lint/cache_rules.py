@@ -1,13 +1,17 @@
-"""Cache-document rules (``C0xx``): sweep result-cache entry hygiene.
+"""Cache-document rules (``C0xx``): content-store entry hygiene.
 
-The :mod:`repro.sweep` engine persists every work-unit result as a
-content-addressed JSON document (``format: "repro.cache/v1"``).  The
-cache reader already *tolerates* malformed entries — it discards them
-and re-executes — but a tree full of silently discarded entries is a
-warm cache that never hits.  These rules make the discard reasons
-visible: a wrong format marker, a missing or stale schema version, a
-key that cannot be a SHA-256 digest or that disagrees with the entry's
-filename, and payloads that are not finite-number mappings.
+The :mod:`repro.sweep` stores persist two species of content-addressed
+JSON documents in one sharded tree: work-unit results
+(``format: "repro.cache/v1"``, numeric payloads) and whole schedules
+(``format: "repro.schedcache/v1"``, a schedule document plus its
+latency).  The readers already *tolerate* malformed entries — they
+discard them and recompute — but a tree full of silently discarded
+entries is a warm cache that never hits.  These rules make the discard
+reasons visible: a wrong format marker, a missing or stale schema
+version, a key that cannot be a SHA-256 digest or that disagrees with
+the entry's filename, and payloads that fail their format's shape
+(finite-number mappings for sweep results; a schedule mapping and a
+finite latency for schedule entries).
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from typing import Any, Iterator, Mapping
 
 from ..sweep.cache import CACHE_FORMAT
 from ..sweep.keying import CACHE_SCHEMA_VERSION
+from ..sweep.schedcache import SCHED_CACHE_FORMAT, SCHED_CACHE_KIND
 from ..sweep.units import UNIT_KINDS
 from .diagnostics import Severity
 from .framework import Finding, LintContext, rule
@@ -25,6 +30,8 @@ from .framework import Finding, LintContext, rule
 __all__: list[str] = []
 
 _HEX_DIGITS = frozenset(string.hexdigits.lower())
+
+_CACHE_FORMATS = (CACHE_FORMAT, SCHED_CACHE_FORMAT)
 
 
 def _is_sha256_hex(key: str) -> bool:
@@ -35,18 +42,19 @@ def _is_sha256_hex(key: str) -> bool:
     "C001",
     severity=Severity.ERROR,
     pack="cache",
-    title="cache entry must carry the cache format marker",
+    title="cache entry must carry a known cache format marker",
     requires=("cache_doc",),
-    hint=f"the sweep cache only reads documents with format "
-    f"{CACHE_FORMAT!r}; anything else is discarded as corrupt",
+    hint=f"the content stores only read documents with format "
+    f"{CACHE_FORMAT!r} or {SCHED_CACHE_FORMAT!r}; anything else is "
+    f"discarded as corrupt",
 )
 def check_format(ctx: LintContext) -> Iterator[Finding]:
     doc = ctx.cache_doc
     assert doc is not None
     fmt = doc.get("format")
-    if fmt != CACHE_FORMAT:
+    if fmt not in _CACHE_FORMATS:
         yield Finding(
-            f"format is {fmt!r}, expected {CACHE_FORMAT!r}",
+            f"format is {fmt!r}, expected one of {_CACHE_FORMATS}",
             location="format",
         )
 
@@ -119,26 +127,8 @@ def check_key(ctx: LintContext) -> Iterator[Finding]:
         )
 
 
-@rule(
-    "C005",
-    severity=Severity.ERROR,
-    pack="cache",
-    title="cache payload must be a non-empty finite-number mapping",
-    requires=("cache_doc",),
-    hint="payloads are the raw unit results (e.g. {'latency': ...}); "
-    "the reader rejects empty, non-numeric or non-finite payloads",
-)
-def check_payload(ctx: LintContext) -> Iterator[Finding]:
-    doc = ctx.cache_doc
-    assert doc is not None
-    payload = doc.get("payload")
-    if not isinstance(payload, Mapping) or not payload:
-        yield Finding(
-            f"payload is {type(payload).__name__ if payload is not None else None}"
-            ", expected a non-empty mapping",
-            location="payload",
-        )
-        return
+def _check_result_payload(payload: Mapping[str, Any]) -> Iterator[Finding]:
+    """Sweep-result payloads: non-empty finite-number mappings."""
     for name, value in payload.items():
         if not isinstance(name, str):
             yield Finding(
@@ -157,20 +147,85 @@ def check_payload(ctx: LintContext) -> Iterator[Finding]:
             )
 
 
+def _check_schedule_payload(payload: Mapping[str, Any]) -> Iterator[Finding]:
+    """Schedule payloads: a schedule document plus a finite latency."""
+    schedule = payload.get("schedule")
+    if not isinstance(schedule, Mapping):
+        yield Finding(
+            f"payload.schedule is "
+            f"{type(schedule).__name__ if schedule is not None else None}, "
+            "expected a schedule mapping",
+            location="payload.schedule",
+        )
+    elif not isinstance(schedule.get("gpus"), list):
+        yield Finding(
+            "payload.schedule has no 'gpus' list",
+            location="payload.schedule.gpus",
+        )
+    latency = payload.get("latency")
+    if isinstance(latency, bool) or not isinstance(latency, (int, float)):
+        yield Finding(
+            f"payload.latency is {latency!r}, expected a finite number",
+            location="payload.latency",
+        )
+    elif not math.isfinite(latency):
+        yield Finding(
+            f"payload.latency is {latency!r} (non-finite)",
+            location="payload.latency",
+        )
+
+
+@rule(
+    "C005",
+    severity=Severity.ERROR,
+    pack="cache",
+    title="cache payload must match its format's shape",
+    requires=("cache_doc",),
+    hint="sweep-result payloads are finite-number mappings "
+    "(e.g. {'latency': ...}); schedule payloads carry a schedule "
+    "document and a finite latency; the readers reject anything else",
+)
+def check_payload(ctx: LintContext) -> Iterator[Finding]:
+    doc = ctx.cache_doc
+    assert doc is not None
+    payload = doc.get("payload")
+    if not isinstance(payload, Mapping) or not payload:
+        yield Finding(
+            f"payload is {type(payload).__name__ if payload is not None else None}"
+            ", expected a non-empty mapping",
+            location="payload",
+        )
+        return
+    if doc.get("format") == SCHED_CACHE_FORMAT:
+        yield from _check_schedule_payload(payload)
+    else:
+        yield from _check_result_payload(payload)
+
+
 @rule(
     "C006",
     severity=Severity.WARNING,
     pack="cache",
-    title="cache entry kind should be a known unit kind",
+    title="cache entry kind should match its format",
     requires=("cache_doc",),
-    hint=f"known unit kinds are {', '.join(UNIT_KINDS)}; an unknown "
-    "kind suggests the entry was written by a newer or foreign tool",
+    hint=f"sweep entries use unit kinds ({', '.join(UNIT_KINDS)}); "
+    f"schedule entries use {SCHED_CACHE_KIND!r}; an unknown kind "
+    "suggests the entry was written by a newer or foreign tool",
 )
 def check_kind(ctx: LintContext) -> Iterator[Finding]:
     doc = ctx.cache_doc
     assert doc is not None
     kind = doc.get("kind")
-    if kind is not None and kind not in UNIT_KINDS:
+    if kind is None:
+        return
+    if doc.get("format") == SCHED_CACHE_FORMAT:
+        if kind != SCHED_CACHE_KIND:
+            yield Finding(
+                f"kind is {kind!r}, expected {SCHED_CACHE_KIND!r} for a "
+                "schedule entry",
+                location="kind",
+            )
+    elif kind not in UNIT_KINDS:
         yield Finding(
             f"kind is {kind!r}, not one of {UNIT_KINDS}",
             location="kind",

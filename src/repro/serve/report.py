@@ -1,10 +1,15 @@
 """SLO metrics and artifacts of a serving run (``repro.servereport/v1``).
 
-Every quantity here lives on the *simulated* clock — no wall time, no
-host-dependent state — so a report is bit-identical across machines and
-Python versions for a given :class:`~repro.serve.config.ServeConfig`.
+Every SLO quantity here lives on the *simulated* clock — no wall time,
+no host-dependent state — so a report is bit-identical across machines
+and Python versions for a given :class:`~repro.serve.config.ServeConfig`.
 That is what lets CI gate the scenario suite against committed JSON
-baselines with exact equality on the counters.
+baselines with exact equality on the counters.  The one exception is
+``sched_ms``, the host wall-clock seconds spent inside the schedulers
+(plus its companion cache counters ``sched_cache_hits`` /
+``sched_cache_misses`` / ``warm_starts``, which *are* deterministic):
+it measures this machine's scheduling cost and must never be compared
+bit-exactly.
 
 :func:`serve_timeline` re-casts the run as a pseudo
 :class:`~repro.substrate.engine.ExecutionTrace` — one span per
@@ -160,6 +165,12 @@ class ServeReport:
     makespan_ms: float
     gpu_busy_ms: dict[int, float] = field(default_factory=dict)
     tenants: tuple[TenantReport, ...] = ()
+    #: wall-clock seconds spent inside the scheduler (host time, NOT the
+    #: simulated clock — excluded from bit-exact baseline comparisons)
+    sched_ms: float = 0.0
+    sched_cache_hits: int = 0
+    sched_cache_misses: int = 0
+    warm_starts: int = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -171,6 +182,10 @@ class ServeReport:
         degraded_dispatches: int,
         gpu_busy_ms: dict[int, float],
         horizon_ms: float,
+        sched_ms: float = 0.0,
+        sched_cache_hits: int = 0,
+        sched_cache_misses: int = 0,
+        warm_starts: int = 0,
     ) -> "ServeReport":
         completed = [r for r in records if r.status == "completed"]
         latencies = [r.latency_ms for r in completed if r.latency_ms is not None]
@@ -218,6 +233,10 @@ class ServeReport:
             makespan_ms=makespan,
             gpu_busy_ms=gpu_busy_ms,
             tenants=tuple(tenants),
+            sched_ms=sched_ms,
+            sched_cache_hits=sched_cache_hits,
+            sched_cache_misses=sched_cache_misses,
+            warm_starts=warm_starts,
         )
 
     # ------------------------------------------------------------------
@@ -243,6 +262,10 @@ class ServeReport:
             "makespan_ms": self.makespan_ms,
             "gpu_busy_ms": {str(g): b for g, b in sorted(self.gpu_busy_ms.items())},
             "tenants": {t.tenant: t.to_dict() for t in self.tenants},
+            "sched_ms": self.sched_ms,
+            "sched_cache_hits": self.sched_cache_hits,
+            "sched_cache_misses": self.sched_cache_misses,
+            "warm_starts": self.warm_starts,
         }
 
     def to_text(self) -> str:
@@ -257,6 +280,10 @@ class ServeReport:
             f"goodput {self.goodput_qps:.2f} qps  "
             f"deadline-miss rate {self.deadline_miss_rate:.1%}  "
             f"makespan {self.makespan_ms:.1f} ms",
+            f"scheduling {self.sched_ms:.1f} ms wall  "
+            f"cache {self.sched_cache_hits} hit(s) / "
+            f"{self.sched_cache_misses} miss(es)  "
+            f"warm starts {self.warm_starts}",
         ]
         for t in self.tenants:
             lines.append(

@@ -36,10 +36,10 @@ from __future__ import annotations
 import hashlib
 import heapq
 import random
+import time
 from dataclasses import dataclass, replace
 from typing import Any
 
-from ..core.api import schedule_graph
 from ..core.repair import run_with_repair
 from ..core.schedule import Schedule
 from ..costmodel.profile import CostProfile
@@ -53,6 +53,7 @@ from ..substrate.faults import (
     GpuSlowdown,
     LinkDegradation,
 )
+from ..sweep.schedcache import ScheduleCache, cached_schedule
 from .arrivals import Request, build_arrivals
 from .config import ServeConfig
 from .pool import GpuPool
@@ -103,9 +104,19 @@ class ServeResult:
 
 
 class ServeSimulator:
-    """Runs one serving scenario; see the module docstring for the loop."""
+    """Runs one serving scenario; see the module docstring for the loop.
 
-    def __init__(self, config: ServeConfig) -> None:
+    ``sched_cache`` plugs in a persistent
+    :class:`~repro.sweep.schedcache.ScheduleCache`: the in-memory
+    ``_schedules`` memo becomes a read-through layer over it, so a
+    restarted server warms its plans from disk instead of re-running
+    the schedulers.  Repairs warm-start from the pre-failure schedule
+    either way (see :func:`repro.core.repair.repair_schedule`).
+    """
+
+    def __init__(
+        self, config: ServeConfig, sched_cache: ScheduleCache | None = None
+    ) -> None:
         for t in config.tenants:
             if t.model not in MODEL_ZOO:
                 raise ServeError(
@@ -113,6 +124,7 @@ class ServeSimulator:
                     f"the zoo has {sorted(MODEL_ZOO)}"
                 )
         self.config = config
+        self._sched_cache = sched_cache
         self._plan = FaultPlan.from_strings(config.faults, seed=config.seed)
         self._base_engine = EngineConfig(
             launch_overhead_ms=0.0,
@@ -122,9 +134,16 @@ class ServeSimulator:
         )
         # (model, lease size, algorithm) -> (profile, schedule, predicted)
         self._schedules: dict[tuple[str, int, str], tuple[CostProfile, Schedule, float]] = {}
+        # wall-clock scheduling cost + cache traffic (host time, not the
+        # simulated clock; reset per run())
+        self._sched_s = 0.0
+        self._sched_cache_hits = 0
+        self._sched_cache_misses = 0
+        self._warm_starts = 0
 
     # ------------------------------------------------------------------
-    # scheduling (memoized — the zoo is small and leases repeat)
+    # scheduling (memoized — the zoo is small and leases repeat; the
+    # persistent cache, when given, backs the memo across restarts)
     # ------------------------------------------------------------------
     def _alg_kwargs(self, algorithm: str) -> dict[str, Any]:
         if algorithm in _WINDOW_ALGS:
@@ -136,7 +155,18 @@ class ServeSimulator:
         cached = self._schedules.get(key)
         if cached is None:
             profile = zoo_profile(model, k)
-            result = schedule_graph(profile, algorithm, **self._alg_kwargs(algorithm))
+            t0 = time.perf_counter()
+            result, hit = cached_schedule(
+                profile,
+                algorithm,
+                cache=self._sched_cache,
+                **self._alg_kwargs(algorithm),
+            )
+            self._sched_s += time.perf_counter() - t0
+            if hit:
+                self._sched_cache_hits += 1
+            else:
+                self._sched_cache_misses += 1
             cached = (profile, result.schedule, result.latency)
             self._schedules[key] = cached
         return cached
@@ -144,6 +174,10 @@ class ServeSimulator:
     # ------------------------------------------------------------------
     def run(self) -> ServeResult:
         cfg = self.config
+        self._sched_s = 0.0
+        self._sched_cache_hits = 0
+        self._sched_cache_misses = 0
+        self._warm_starts = 0
         pool = GpuPool(cfg.num_gpus)
         requests = build_arrivals(cfg)
         records = {
@@ -368,6 +402,10 @@ class ServeSimulator:
             degraded_dispatches=degraded_dispatches,
             gpu_busy_ms=gpu_busy,
             horizon_ms=cfg.horizon_ms,
+            sched_ms=self._sched_s * 1000.0,
+            sched_cache_hits=self._sched_cache_hits,
+            sched_cache_misses=self._sched_cache_misses,
+            warm_starts=self._warm_starts,
         )
         return ServeResult(
             config=cfg,
@@ -421,6 +459,8 @@ class ServeSimulator:
                 config=engine_cfg,
                 algorithm=algorithm,
                 strict=False,
+                warm_start=True,
+                sched_cache=self._sched_cache,
                 **self._alg_kwargs(algorithm),
             )
         except FaultError as exc:
@@ -428,6 +468,10 @@ class ServeSimulator:
             # for about the predicted duration before the abort surfaced
             push(now + predicted, _PRIO_OUTCOME, "abort", (entry, str(exc)))
             return
+        for r in repairs:
+            self._sched_s += r.result.scheduling_time
+            if r.warm_started:
+                self._warm_starts += 1
         for g_local, busy in trace.gpu_busy.items():
             gpu = lease[g_local]
             gpu_busy[gpu] = gpu_busy.get(gpu, 0.0) + busy
@@ -444,6 +488,8 @@ class ServeSimulator:
         push(now + trace.latency, _PRIO_OUTCOME, "complete", (entry, len(repairs)))
 
 
-def serve(config: ServeConfig) -> ServeResult:
+def serve(
+    config: ServeConfig, sched_cache: ScheduleCache | None = None
+) -> ServeResult:
     """Run one serving scenario (the one-call entry point)."""
-    return ServeSimulator(config).run()
+    return ServeSimulator(config, sched_cache=sched_cache).run()

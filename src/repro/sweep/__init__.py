@@ -20,10 +20,18 @@ Typical use::
     payloads, stats = run_units(units, jobs=8, cache=ResultCache())
 """
 
-from .cache import CACHE_FORMAT, ResultCache, default_cache_dir
+from .cache import CACHE_FORMAT, ContentStore, ResultCache, default_cache_dir
 from .executor import SweepError, SweepStats, resolve_jobs, run_units
 from .keying import CACHE_SCHEMA_VERSION, canonical_json, content_key
 from .progress import SweepProgress
+from .schedcache import (
+    SCHED_CACHE_FORMAT,
+    SCHED_CACHE_KIND,
+    ScheduleCache,
+    cached_schedule,
+    profile_fingerprint,
+    schedule_key,
+)
 from .units import (
     SINGLE_GPU_ALGORITHMS,
     UNIT_KINDS,
@@ -39,21 +47,28 @@ from .units import (
 __all__ = [
     "CACHE_FORMAT",
     "CACHE_SCHEMA_VERSION",
+    "ContentStore",
     "RandomDagSpec",
     "RealModelSpec",
     "ResultCache",
+    "SCHED_CACHE_FORMAT",
+    "SCHED_CACHE_KIND",
+    "ScheduleCache",
     "SINGLE_GPU_ALGORITHMS",
     "SweepError",
     "SweepProgress",
     "SweepStats",
     "UNIT_KINDS",
     "WorkUnit",
+    "cached_schedule",
     "canonical_json",
     "clear_workload_memo",
     "content_key",
     "default_cache_dir",
     "execute_batch",
     "execute_unit",
+    "profile_fingerprint",
+    "schedule_key",
     "replay_unit_trace",
     "resolve_jobs",
     "run_units",

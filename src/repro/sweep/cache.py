@@ -1,4 +1,4 @@
-"""Content-addressed on-disk result cache for sweep units.
+"""Content-addressed on-disk stores: sweep results and schedules.
 
 Layout (one JSON document per entry, sharded by key prefix to keep
 directories small)::
@@ -7,19 +7,25 @@ directories small)::
 
 ``<root>`` resolves, in order, to an explicit ``cache_dir`` argument,
 the ``REPRO_CACHE_DIR`` environment variable, then
-``~/.cache/repro-hios``.  Every entry is a self-describing
-``repro.cache/v1`` document::
+``~/.cache/repro-hios``.  Every entry is a self-describing document
+whose ``format`` marker names its species; the two stores sharing the
+tree are
 
-    {"format": "repro.cache/v1", "schema_version": 1,
-     "key": "<sha256>", "kind": "latency", "algorithm": "hios-lp",
-     "payload": {"latency": 12.5}, "meta": {"scheduling_time_s": 0.4}}
+* :class:`ResultCache` (``repro.cache/v1``) — numeric sweep-unit
+  payloads, e.g. ``{"latency": 12.5}``;
+* :class:`~repro.sweep.schedcache.ScheduleCache`
+  (``repro.schedcache/v1``) — whole schedules keyed by the profile
+  content hash (see :mod:`repro.sweep.schedcache`).
 
-Reads are defensive: an entry that is unreadable, malformed JSON, the
-wrong format/schema, or whose recorded key disagrees with its filename
-is *discarded* (best-effort unlink) and treated as a miss — a corrupt
-cache can cost recomputation but never poisons results or crashes a
-sweep.  Writes are atomic (temp file + rename) so interrupted sweeps
-leave no half-written entries and simply resume from what completed.
+Both are thin subclasses of :class:`ContentStore`, which owns the
+defensive read/atomic write discipline: an entry that is unreadable,
+malformed JSON, the wrong format/schema, or whose recorded key
+disagrees with its filename is *discarded* (best-effort unlink) and
+treated as a miss — a corrupt cache can cost recomputation but never
+poisons results or crashes a run.  Writes are atomic (temp file +
+rename) so interrupted runs leave no half-written entries and simply
+resume from what completed.  Content keys never collide across the two
+formats because each store's key material embeds its format marker.
 """
 
 from __future__ import annotations
@@ -32,7 +38,7 @@ from typing import Any, Iterator, Mapping
 
 from .keying import CACHE_SCHEMA_VERSION
 
-__all__ = ["CACHE_FORMAT", "ResultCache", "default_cache_dir"]
+__all__ = ["CACHE_FORMAT", "ContentStore", "ResultCache", "default_cache_dir"]
 
 CACHE_FORMAT = "repro.cache/v1"
 _ENV_VAR = "REPRO_CACHE_DIR"
@@ -46,8 +52,18 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-hios"
 
 
-class ResultCache:
-    """Get/put of unit payloads under content-addressed keys."""
+class ContentStore:
+    """Get/put of JSON payloads under content-addressed keys.
+
+    Subclasses pin the document ``format`` marker and override
+    :meth:`_check_payload` with their species' integrity check; the
+    base class owns sharding, discard-on-corrupt reads, atomic writes
+    and the tree-wide maintenance operations (:meth:`stats`,
+    :meth:`clear`), which report across *all* formats sharing the tree.
+    """
+
+    #: document format marker; subclasses override
+    format: str = CACHE_FORMAT
 
     def __init__(self, cache_dir: str | os.PathLike[str] | None = None) -> None:
         self.root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
@@ -60,7 +76,7 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self._shard() / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> dict[str, float] | None:
+    def get(self, key: str) -> dict[str, Any] | None:
         """Payload for ``key``, or ``None`` (miss or discarded entry)."""
         path = self.path_for(key)
         try:
@@ -84,7 +100,7 @@ class ResultCache:
     def put(
         self,
         key: str,
-        payload: Mapping[str, float],
+        payload: Mapping[str, Any],
         *,
         kind: str,
         algorithm: str,
@@ -92,7 +108,7 @@ class ResultCache:
     ) -> None:
         """Atomically persist one entry (overwrites any existing one)."""
         doc = {
-            "format": CACHE_FORMAT,
+            "format": self.format,
             "schema_version": CACHE_SCHEMA_VERSION,
             "key": key,
             "kind": kind,
@@ -111,27 +127,25 @@ class ResultCache:
             self._discard(Path(tmp))
             raise
 
-    @staticmethod
-    def _valid_payload(doc: Any, key: str) -> dict[str, float] | None:
+    def _valid_payload(self, doc: Any, key: str) -> dict[str, Any] | None:
         """Minimal integrity check; deep checks live in the C0xx lint
         rules (``repro lint`` on a cache document)."""
         if not isinstance(doc, dict):
             return None
-        if doc.get("format") != CACHE_FORMAT:
+        if doc.get("format") != self.format:
             return None
         if doc.get("schema_version") != CACHE_SCHEMA_VERSION:
             return None
         if doc.get("key") != key:
             return None
         payload = doc.get("payload")
-        if not isinstance(payload, dict) or not payload:
+        if not isinstance(payload, dict) or not self._check_payload(payload):
             return None
-        for name, value in payload.items():
-            if not isinstance(name, str) or not isinstance(value, (int, float)):
-                return None
-            if isinstance(value, bool) or value != value:  # bool / NaN
-                return None
         return payload
+
+    def _check_payload(self, payload: dict[str, Any]) -> bool:
+        """Species-specific payload validation; subclasses override."""
+        return bool(payload)
 
     @staticmethod
     def _discard(path: Path) -> None:
@@ -147,34 +161,71 @@ class ResultCache:
         yield from sorted(shard.glob("*/*.json"))
 
     def stats(self) -> dict[str, Any]:
-        """On-disk footprint of the current schema's shard."""
+        """On-disk footprint of the current schema's shard, broken down
+        by entry kind and document format (all species in the tree)."""
         entries = 0
         total_bytes = 0
         by_kind: dict[str, int] = {}
+        by_format: dict[str, int] = {}
         for path in self._entries():
             entries += 1
             try:
                 total_bytes += path.stat().st_size
                 with open(path, encoding="utf-8") as fh:
-                    kind = json.load(fh).get("kind", "?")
+                    doc = json.load(fh)
+                kind = doc.get("kind", "?")
+                fmt = doc.get("format", "?")
             except (OSError, json.JSONDecodeError, UnicodeDecodeError):
                 kind = "corrupt"
+                fmt = "corrupt"
             by_kind[str(kind)] = by_kind.get(str(kind), 0) + 1
+            by_format[str(fmt)] = by_format.get(str(fmt), 0) + 1
         return {
             "cache_dir": str(self.root),
             "schema_version": CACHE_SCHEMA_VERSION,
             "entries": entries,
             "bytes": total_bytes,
             "by_kind": dict(sorted(by_kind.items())),
+            "by_format": dict(sorted(by_format.items())),
         }
 
-    def clear(self) -> int:
-        """Delete every entry of the current schema; returns the count."""
+    def clear(self, kind: str | None = None) -> int:
+        """Delete entries of the current schema; returns the count.
+
+        ``kind`` restricts the purge to entries of one kind (e.g.
+        ``"schedule"`` or ``"latency"``); unreadable entries match the
+        pseudo-kind ``"corrupt"``.  ``None`` clears everything.
+        """
         removed = 0
         for path in self._entries():
+            if kind is not None:
+                try:
+                    with open(path, encoding="utf-8") as fh:
+                        entry_kind = str(json.load(fh).get("kind", "?"))
+                except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                    entry_kind = "corrupt"
+                if entry_kind != kind:
+                    continue
             try:
                 path.unlink()
                 removed += 1
             except OSError:  # pragma: no cover
                 pass
         return removed
+
+
+class ResultCache(ContentStore):
+    """Sweep-unit result store (``repro.cache/v1``): payloads are
+    non-empty finite-number mappings like ``{"latency": 12.5}``."""
+
+    format = CACHE_FORMAT
+
+    def _check_payload(self, payload: dict[str, Any]) -> bool:
+        if not payload:
+            return False
+        for name, value in payload.items():
+            if not isinstance(name, str) or not isinstance(value, (int, float)):
+                return False
+            if isinstance(value, bool) or value != value:  # bool / NaN
+                return False
+        return True

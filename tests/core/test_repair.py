@@ -1,19 +1,24 @@
 """Degraded-mode schedule repair: the fail-stop acceptance scenario,
 cascading multi-failure repair, trace splicing (including its edge
-cases and associativity), and repair-input validation."""
+cases and associativity), warm-started rescheduling, and repair-input
+validation."""
 
 from dataclasses import replace
 
 import pytest
 
-from repro.core import schedule_graph
+from repro.core import OpGraph, Schedule, Stage, priority_order, schedule_graph
 from repro.core.repair import (
     RepairError,
+    _warm_spatial_seed,
     repair_schedule,
     run_with_repair,
     splice_traces,
 )
+from repro.costmodel.concurrency import SaturationConcurrencyModel
+from repro.costmodel.profile import CostProfile
 from repro.models import random_dag_profile
+from repro.sanitize import analyze
 from repro.substrate import (
     EngineConfig,
     FailureEvent,
@@ -21,6 +26,7 @@ from repro.substrate import (
     GpuFailure,
     MultiGpuEngine,
 )
+from repro.sweep import ScheduleCache
 
 
 def _config(**kwargs) -> EngineConfig:
@@ -237,6 +243,120 @@ class TestRepairSchedule:
         assert repair.survivors == (0, 2)
         # slow GPU 1 gone: the compacted profile keeps speeds (1.0, 2.0)
         assert repair.result.schedule.num_gpus == 2
+
+
+class TestWarmStart:
+    """Warm-started repair: the seed projection, the margin/cold
+    fallback, schedule validity (validate + happens-before clean), and
+    the persistent-cache seam for cold repairs."""
+
+    @staticmethod
+    def _wide_profile(
+        num_ops: int = 12, num_gpus: int = 4, occupancy: float = 0.4
+    ) -> CostProfile:
+        g = OpGraph()
+        for i in range(num_ops):
+            g.add_operator(f"v{i}", cost=1.0, occupancy=occupancy)
+        return CostProfile(
+            graph=g,
+            concurrency=SaturationConcurrencyModel(0.06),
+            num_gpus=num_gpus,
+        )
+
+    def test_wide_graph_keeps_surviving_assignment(self):
+        profile = self._wide_profile()
+        res = schedule_graph(profile, "hios-lp")
+        failure = FailureEvent(
+            gpu=3, time=0.0, finished=frozenset(), in_flight=frozenset()
+        )
+        repair = repair_schedule(profile, failure, warm_start_from=res.schedule)
+        assert repair.warm_started is True
+        assert 3 not in repair.schedule.used_gpus()
+        repair.schedule.validate(repair.subgraph)
+        assert analyze(repair.subgraph, repair.schedule).ok
+        # the warm repair is as good as the cold one here: the wide
+        # graph's balanced survivors are already an optimal mapping
+        cold = repair_schedule(profile, failure)
+        assert repair.result.latency <= cold.result.latency
+
+    def test_seed_projection_compacts_and_rehomes(self):
+        g = OpGraph()
+        for name, cost in [("a", 5.0), ("b", 1.0), ("c", 2.0), ("d", 2.0)]:
+            g.add_operator(name, cost=cost, occupancy=0.5)
+        prev = Schedule(3)
+        prev.append_stage(Stage(0, ("a",)))
+        prev.append_stage(Stage(1, ("b",)))
+        prev.append_stage(Stage(2, ("c", "d")))
+        seed = _warm_spatial_seed(g, prev, survivors=(0, 2))
+        # a keeps slot 0; c,d compact GPU 2 -> slot 1; stranded b
+        # re-homes onto the least-loaded survivor (slot 1: 4.0 < 5.0)
+        assert seed == {"a": 0, "c": 1, "d": 1, "b": 1}
+
+    def test_seed_projection_requires_full_coverage(self):
+        g = OpGraph()
+        g.add_operator("a", cost=1.0, occupancy=0.5)
+        g.add_operator("zz", cost=1.0, occupancy=0.5)
+        prev = Schedule(2)
+        prev.append_stage(Stage(0, ("a",)))
+        assert _warm_spatial_seed(g, prev, survivors=(0,)) is None
+
+    def test_bad_seed_falls_back_to_cold(self, scenario):
+        """A previous schedule that piled everything onto one survivor
+        is a terrible seed: the margin check rejects it, the cold run
+        wins, and the result is bit-identical to a plain cold repair."""
+        profile, schedule, clean = scenario
+        plan = FaultPlan([GpuFailure(gpu=1, at=clean.latency * 0.4)])
+        head = MultiGpuEngine(_config(faults=plan)).run(profile.graph, schedule)
+        allzero = Schedule(profile.num_gpus)
+        for op in priority_order(profile.graph):
+            allzero.append_stage(Stage(0, (op,)))
+        warm = repair_schedule(profile, head.failure, warm_start_from=allzero)
+        cold = repair_schedule(profile, head.failure)
+        assert warm.warm_started is False
+        assert warm.schedule == cold.schedule
+        assert warm.result.latency == cold.result.latency
+
+    def test_run_with_repair_warm_start_is_deterministic(self, scenario):
+        profile, schedule, clean = scenario
+        plan = FaultPlan([GpuFailure(gpu=1, at=clean.latency * 0.4)], seed=7)
+        cfg = _config(faults=plan)
+        t1, r1 = run_with_repair(profile, schedule, config=cfg, warm_start=True)
+        t2, r2 = run_with_repair(profile, schedule, config=cfg, warm_start=True)
+        assert t1 == t2
+        assert [r.warm_started for r in r1] == [r.warm_started for r in r2]
+        assert t1.unfinished_ops(profile.graph.names) == []
+        for r in r1:
+            r.schedule.validate(r.subgraph)
+            assert analyze(r.subgraph, r.schedule).ok
+
+    def test_sched_cache_serves_cold_repairs(self, scenario, tmp_path):
+        profile, schedule, clean = scenario
+        plan = FaultPlan([GpuFailure(gpu=1, at=clean.latency * 0.4)])
+        head = MultiGpuEngine(_config(faults=plan)).run(profile.graph, schedule)
+        cache = ScheduleCache(tmp_path)
+        first = repair_schedule(profile, head.failure, sched_cache=cache)
+        assert cache.stats()["entries"] == 1
+        second = repair_schedule(profile, head.failure, sched_cache=cache)
+        assert second.schedule == first.schedule
+        assert second.result.latency == first.result.latency
+        assert cache.hits >= 1
+
+    def test_warm_results_are_never_persisted(self, tmp_path):
+        # occupancy 1.0 puts the warm latency within the margin of the
+        # lower bound, so no cold fallback runs — and a margin-accepted
+        # warm schedule must never be written to the persistent cache
+        # (it is seeded by a run-specific previous schedule)
+        profile = self._wide_profile(occupancy=1.0)
+        res = schedule_graph(profile, "hios-lp")
+        failure = FailureEvent(
+            gpu=3, time=0.0, finished=frozenset(), in_flight=frozenset()
+        )
+        cache = ScheduleCache(tmp_path)
+        repair = repair_schedule(
+            profile, failure, warm_start_from=res.schedule, sched_cache=cache
+        )
+        assert repair.warm_started is True
+        assert cache.stats()["entries"] == 0
 
 
 class TestSplice:

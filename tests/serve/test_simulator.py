@@ -7,10 +7,14 @@ from repro.serve import (
     ServeConfig,
     ServeError,
     TenantSpec,
+    run_scenario,
     serve,
     zoo_graph,
     zoo_profile,
 )
+from repro.serve.scenarios import scenario_config
+from repro.serve.simulator import ServeSimulator
+from repro.sweep import ScheduleCache
 
 
 def _tenant(**kwargs):
@@ -175,4 +179,49 @@ class TestSimulator:
         )
         d1 = serve(cfg).report.to_dict()
         d2 = serve(cfg).report.to_dict()
+        # sched_ms is host wall-clock, the one deliberately
+        # non-reproducible field in the report
+        d1.pop("sched_ms")
+        d2.pop("sched_ms")
         assert d1 == d2
+
+
+class TestScheduleCacheAndCounters:
+    """The scheduling-cost observability added to the report: wall time,
+    cache hit/miss counters, and warm-start counts."""
+
+    def test_counters_without_cache_count_scheduler_runs(self):
+        report = run_scenario("steady-state").report
+        assert report.sched_cache_hits == 0  # no cache attached
+        assert report.sched_cache_misses > 0  # every plan was computed
+        assert report.sched_ms >= 0.0
+
+    def test_warm_restart_hits_for_every_plan(self, tmp_path):
+        cfg = scenario_config("steady-state")
+        cold = ServeSimulator(cfg, sched_cache=ScheduleCache(tmp_path)).run().report
+        warm = ServeSimulator(cfg, sched_cache=ScheduleCache(tmp_path)).run().report
+        assert cold.sched_cache_hits == 0
+        assert cold.sched_cache_misses > 0
+        assert warm.sched_cache_misses == 0
+        assert warm.sched_cache_hits == cold.sched_cache_misses
+        # apart from wall time and the cache counters, the restarted run
+        # is bit-identical: hits replay the exact schedules
+        d1, d2 = cold.to_dict(), warm.to_dict()
+        for volatile in ("sched_ms", "sched_cache_hits", "sched_cache_misses"):
+            d1.pop(volatile)
+            d2.pop(volatile)
+        assert d1 == d2
+
+    def test_gpu_loss_exercises_warm_start(self):
+        report = run_scenario("gpu-loss").report
+        assert report.warm_starts == 1
+        assert report.failed == 0
+
+    def test_report_surfaces_the_scheduling_line(self):
+        report = run_scenario("steady-state").report
+        text = report.to_text()
+        assert "warm starts" in text
+        assert "miss(es)" in text
+        doc = report.to_dict()
+        for key in ("sched_ms", "sched_cache_hits", "sched_cache_misses", "warm_starts"):
+            assert key in doc
