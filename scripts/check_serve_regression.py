@@ -12,10 +12,17 @@ committed baseline ``benchmarks/results/BENCH_serving.json``:
   tolerance (they are deterministic too; the tolerance only absorbs
   libm differences across platforms);
 * FAIL if a scenario violates its robustness invariant regardless of
-  the baseline: no admitted query may end ``failed``, and the gpu-loss
+  the baseline: no admitted query may end ``failed``, the gpu-loss
   scenario must actually exercise repair, displacement, re-admission
   and warm-started rescheduling (``repairs >= 1``, ``displaced >= 1``,
-  ``retries >= 1``, ``warm_starts >= 1``);
+  ``retries >= 1``, ``warm_starts >= 1``), and the gpu-loss-recovery
+  scenario must exercise the full heal path (every ``repair:G@T``
+  revives its GPU, batching merges requests, elastic leases grow and
+  shrink);
+* FAIL if a repaired GPU in gpu-loss-recovery never serves a request
+  after its repair time, or if the pool does not return to pre-failure
+  steady state once healed (full-width leases, best-case latency
+  matching the pre-failure best, no post-repair deadline misses);
 * FAIL if any scenario's deadline-miss rate exceeds ``--max-miss-rate``
   (default 0 — the committed scenarios are tuned to meet every SLO);
 * FAIL if a restarted steady-state run backed by a persistent schedule
@@ -53,6 +60,10 @@ COUNTERS = (
     "displaced",
     "repairs",
     "degraded_dispatches",
+    "revived",
+    "batched",
+    "elastic_grows",
+    "elastic_shrinks",
     "sched_cache_hits",
     "sched_cache_misses",
     "warm_starts",
@@ -65,6 +76,16 @@ FLOATS = ("p50_ms", "p99_ms", "goodput_qps", "deadline_miss_rate", "makespan_ms"
 INVARIANTS = {
     "gpu-loss": {"repairs": 1, "displaced": 1, "retries": 1, "warm_starts": 1},
     "burst-overload": {"degraded_dispatches": None},  # None: just > 0
+    "gpu-loss-recovery": {
+        "revived": 3,  # every repair:G@T spec must return its GPU to service
+        "failed": 0,
+        "deadline_misses": 0,
+        "repairs": None,  # None: just > 0
+        "displaced": None,
+        "batched": None,
+        "elastic_grows": None,
+        "elastic_shrinks": None,
+    },
 }
 
 
@@ -96,6 +117,79 @@ def check_cache_speedup(min_speedup: float) -> list[str]:
             f"schedule cache: warm restart sched_ms {warm.sched_ms:.2f} is not "
             f">= {min_speedup:g}x cheaper than cold {cold.sched_ms:.2f}"
         )
+    return failures
+
+
+def check_recovery() -> list[str]:
+    """The healed pool in gpu-loss-recovery must actually serve again.
+
+    Uses the per-request records, not just the counters: every GPU with
+    a ``repair:G@T`` spec must appear in a lease dispatched at or after
+    its repair time, and once the last repair lands the pool must be
+    back at pre-failure steady state — full-width leases again, the
+    best post-repair latency matching the best pre-failure latency, and
+    no post-repair deadline misses.
+    """
+    from repro.substrate.faults import FaultPlan
+
+    res = run_scenario("gpu-loss-recovery")
+    cfg = res.config
+    plan = FaultPlan.from_strings(cfg.faults, seed=cfg.seed)
+    failures: list[str] = []
+    for rp in plan.repairs():
+        served = any(
+            rec.dispatched_ms is not None
+            and rec.dispatched_ms >= rp.at
+            and rp.gpu in rec.gpus
+            for rec in res.records
+        )
+        if not served:
+            failures.append(
+                f"gpu-loss-recovery: repaired GPU {rp.gpu} never served a "
+                f"request after its repair at t={rp.at:g}"
+            )
+    first_fail = min(f.at for f in plan.failures())
+    last_repair = max(rp.at for rp in plan.repairs())
+    pre = [
+        r.latency_ms
+        for r in res.records
+        if r.status == "completed"
+        and r.completed_ms is not None
+        and r.completed_ms < first_fail
+        and r.latency_ms is not None
+    ]
+    post = [
+        r
+        for r in res.records
+        if r.status == "completed"
+        and r.completed_ms is not None
+        and r.completed_ms > last_repair
+    ]
+    if not post:
+        failures.append("gpu-loss-recovery: no completions after the pool healed")
+        return failures
+    if any(r.deadline_met is False for r in post):
+        failures.append("gpu-loss-recovery: post-repair completions missed deadlines")
+    if not any(
+        r.dispatched_ms is not None
+        and r.dispatched_ms > last_repair
+        and len(r.gpus) == cfg.gpus_per_query
+        for r in res.records
+    ):
+        failures.append(
+            "gpu-loss-recovery: no full-width lease dispatched after the pool healed"
+        )
+    post_lat = [r.latency_ms for r in post if r.latency_ms is not None]
+    if pre and post_lat and not math.isclose(min(pre), min(post_lat), rel_tol=1e-9):
+        failures.append(
+            f"gpu-loss-recovery: best post-repair latency {min(post_lat):.3f} ms "
+            f"did not return to the pre-failure best {min(pre):.3f} ms"
+        )
+    print(
+        f"  gpu-loss-recovery heal check: {len(post)} completion(s) after "
+        f"t={last_repair:g}, best latency {min(post_lat):.3f} ms"
+        + (f" (pre-failure best {min(pre):.3f} ms)" if pre else "")
+    )
     return failures
 
 
@@ -168,6 +262,7 @@ def _report(baseline: dict, current: dict, args: argparse.Namespace) -> int:
             f"displaced {cur['displaced']}  p99 {cur['p99_ms']:.2f} ms  "
             f"goodput {cur['goodput_qps']:.2f} qps"
         )
+    failures.extend(check_recovery())
     if args.min_cache_speedup > 0:
         failures.extend(check_cache_speedup(args.min_cache_speedup))
     if failures:

@@ -33,8 +33,9 @@ Commands
     under an injected fault plan (GPU slowdowns/failures, link
     degradation, transfer loss) and tabulate fault-free, faulted and
     repaired latency — repairs now *cascade* across repeated failures.
-    Fault specs: ``fail:G@T``, ``slow:G@TxF``, ``link:S->D@TxF``,
-    ``loss:P[:jitter]``.  Exit 1 when any run ends unrecovered.
+    Fault specs: ``fail:G@T``, ``repair:G@T``, ``slow:G@TxF``,
+    ``link:S->D@TxF``, ``loss:P[:jitter]``.  Exit 1 when any run ends
+    unrecovered.
 ``serve --scenario NAME | --config FILE [--json] [...]``
     Fault-tolerant online serving simulation (:mod:`repro.serve`):
     multi-tenant request streams over a shared GPU pool with admission
@@ -204,7 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=[],
         metavar="SPEC",
-        help="repeatable: fail:G@T | slow:G@TxF | link:S->D@TxF | loss:P",
+        help="repeatable: fail:G@T | repair:G@T | slow:G@TxF | link:S->D@TxF | loss:P",
     )
     faults.add_argument("--seed", type=int, default=0, help="fault plan seed")
     faults.add_argument(
@@ -296,14 +297,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="JSON documents: repro.opgraph/v1, schedule, repro.trace/v1, "
         "repro.cache/v1, repro.schedcache/v1, repro.serve/v1, "
-        "repro.hbreport/v1, Chrome trace_event exports",
+        "repro.servereport/v1, repro.hbreport/v1, Chrome trace_event "
+        "exports",
     )
     lint.add_argument(
         "--fault",
         action="append",
         default=[],
         metavar="SPEC",
-        help="repeatable: fail:G@T | slow:G@TxF | link:S->D@TxF | loss:P",
+        help="repeatable: fail:G@T | repair:G@T | slow:G@TxF | link:S->D@TxF | loss:P",
     )
     lint.add_argument("--seed", type=int, default=0, help="fault plan seed")
     lint.add_argument(
@@ -802,6 +804,8 @@ def _detect_document(data: object) -> str | None:
         return "cache"
     if fmt == "repro.serve/v1":
         return "serve"
+    if fmt == "repro.servereport/v1":
+        return "servereport"
     if fmt == "repro.hbreport/v1":
         return "hb"
     if "traceEvents" in data:
@@ -837,7 +841,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 2
 
     graph = schedule = schedule_doc = trace = None
-    cache_doc = chrome_doc = serve_doc = hb_doc = None
+    cache_doc = chrome_doc = serve_doc = serve_report_doc = hb_doc = None
     for path in args.files:
         try:
             with open(path) as fh:
@@ -870,14 +874,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             chrome_doc = data  # the chrome rules report the details
         elif kind == "serve":
             serve_doc = data  # the serve rules report the details
+        elif kind == "servereport":
+            serve_report_doc = data  # the report rules check the counters
         elif kind == "hb":
             hb_doc = data  # the hb rules report the details
         else:
             print(
                 f"error: cannot classify {path}: expected a repro.opgraph/v1, "
                 "repro.trace/v1, repro.cache/v1, repro.schedcache/v1, "
-                "repro.serve/v1, repro.hbreport/v1, Chrome trace_event "
-                "(traceEvents) or schedule (num_gpus/gpus) document"
+                "repro.serve/v1, repro.servereport/v1, repro.hbreport/v1, "
+                "Chrome trace_event (traceEvents) or schedule "
+                "(num_gpus/gpus) document"
             )
             return 2
 
@@ -898,6 +905,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         cache_doc=cache_doc,
         chrome_doc=chrome_doc,
         serve_doc=serve_doc,
+        serve_report_doc=serve_report_doc,
         hb_doc=hb_doc,
         window=args.window,
         num_gpus=args.gpus,

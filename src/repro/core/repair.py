@@ -45,7 +45,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from ..substrate.faults import FailureEvent
     from ..sweep.schedcache import ScheduleCache
 
-__all__ = ["RepairError", "RepairResult", "repair_schedule", "run_with_repair", "splice_traces"]
+__all__ = [
+    "RepairError",
+    "RepairResult",
+    "ResizeResult",
+    "repair_schedule",
+    "resize_schedule",
+    "run_with_repair",
+    "splice_traces",
+]
 
 #: A warm-started repair whose latency exceeds this multiple of the
 #: analytic lower bound is double-checked against a cold run (the
@@ -138,6 +146,55 @@ def _warm_spatial_seed(
     return assignment
 
 
+def _plan_subgraph(
+    subprofile: CostProfile,
+    subgraph: OpGraph,
+    seed_assignment: dict[str, int] | None,
+    algorithm: str,
+    sched_cache: "ScheduleCache | None",
+    **kwargs: Any,
+) -> tuple[ScheduleResult, bool]:
+    """Schedule ``subgraph`` on ``subprofile``, warm-started when possible.
+
+    ``seed_assignment`` (op -> compacted GPU index) primes the
+    scheduler's spatial mapping through the ``spatial_cache`` seam; the
+    warm schedule is kept when its latency is within
+    :data:`WARM_START_MARGIN` of the analytic lower bound, otherwise a
+    cold run is computed too and the cheaper of the two wins.  Cold
+    runs are served from ``sched_cache`` when one is given; warm
+    results are never persisted (they are seeded by run-specific
+    state).  Returns ``(result, warm_started)``.
+    """
+    from .api import schedule_graph  # local: avoids a cycle
+    from .bounds import latency_lower_bound
+    from .priority import priority_order
+
+    def cold_schedule() -> ScheduleResult:
+        if sched_cache is not None:
+            from ..sweep.schedcache import cached_schedule  # local: sweep is optional here
+
+            cold, _hit = cached_schedule(
+                subprofile, algorithm, cache=sched_cache, **kwargs
+            )
+            return cold
+        return schedule_graph(subprofile, algorithm, **kwargs)
+
+    if seed_assignment is None:
+        return cold_schedule(), False
+    order = priority_order(subgraph)
+    spatial_cache: dict[str, Any] = {
+        "lp": (dict(seed_assignment), list(order), 0),
+        "mr": (dict(seed_assignment), list(order)),
+    }
+    warm = schedule_graph(subprofile, algorithm, spatial_cache=spatial_cache, **kwargs)
+    if warm.latency <= WARM_START_MARGIN * latency_lower_bound(subprofile):
+        return warm, True
+    cold = cold_schedule()
+    if warm.latency <= cold.latency:
+        return warm, True
+    return cold, False
+
+
 def repair_schedule(
     profile: CostProfile,
     failure: "FailureEvent",
@@ -169,9 +226,7 @@ def repair_schedule(
     persistent schedule cache (warm-started results are seeded by a
     run-specific schedule and are never persisted).
     """
-    from .api import SPATIAL_CACHE_ALGORITHMS, schedule_graph  # local: avoids a cycle
-    from .bounds import latency_lower_bound
-    from .priority import priority_order
+    from .api import SPATIAL_CACHE_ALGORITHMS  # local: avoids a cycle
 
     remaining = failure.unfinished(profile.graph.names)
     if not remaining:
@@ -191,41 +246,12 @@ def repair_schedule(
         gpu_speeds=speeds,
     )
 
-    def cold_schedule() -> ScheduleResult:
-        if sched_cache is not None:
-            from ..sweep.schedcache import cached_schedule  # local: sweep is optional here
-
-            cold, _hit = cached_schedule(
-                subprofile, algorithm, cache=sched_cache, **kwargs
-            )
-            return cold
-        return schedule_graph(subprofile, algorithm, **kwargs)
-
-    result: ScheduleResult | None = None
-    warm_started = False
+    seed: dict[str, int] | None = None
     if warm_start_from is not None and algorithm in SPATIAL_CACHE_ALGORITHMS:
         seed = _warm_spatial_seed(subgraph, warm_start_from, survivors)
-        if seed is not None:
-            order = priority_order(subgraph)
-            spatial_cache: dict[str, Any] = {
-                "lp": (dict(seed), list(order), 0),
-                "mr": (dict(seed), list(order)),
-            }
-            warm = schedule_graph(
-                subprofile, algorithm, spatial_cache=spatial_cache, **kwargs
-            )
-            if warm.latency <= WARM_START_MARGIN * latency_lower_bound(subprofile):
-                result = warm
-                warm_started = True
-            else:
-                cold = cold_schedule()
-                if warm.latency <= cold.latency:
-                    result = warm
-                    warm_started = True
-                else:
-                    result = cold
-    if result is None:
-        result = cold_schedule()
+    result, warm_started = _plan_subgraph(
+        subprofile, subgraph, seed, algorithm, sched_cache, **kwargs
+    )
 
     # map the compacted survivor indices back to the original GPU ids
     repaired = Schedule(profile.num_gpus)
@@ -241,6 +267,118 @@ def repair_schedule(
         result=result,
         warm_started=warm_started,
     )
+
+
+@dataclass(frozen=True)
+class ResizeResult:
+    """Outcome of re-scheduling an in-flight query onto a new lease width.
+
+    Unlike :class:`RepairResult`, the schedule lives in the *new* lease's
+    local index space (``0 .. profile.num_gpus - 1``) — the caller owns
+    the lease-local → pool mapping.  ``warm_started`` records whether the
+    spatial mapping was projected from the pre-resize schedule.
+    """
+
+    subgraph: OpGraph
+    subprofile: CostProfile
+    schedule: Schedule
+    result: ScheduleResult
+    warm_started: bool = False
+
+    @property
+    def predicted_tail_latency(self) -> float:
+        return self.result.latency
+
+
+def resize_schedule(
+    profile: CostProfile,
+    finished: frozenset[str] | set[str],
+    prev_assignment: dict[str, int] | None = None,
+    slot_map: dict[int, int] | None = None,
+    algorithm: str = "hios-lp",
+    sched_cache: "ScheduleCache | None" = None,
+    **kwargs: Any,
+) -> ResizeResult:
+    """Re-schedule the unfinished operators onto an elastically resized lease.
+
+    ``profile`` is the model's cost profile *at the new lease width*
+    (``profile.num_gpus`` GPUs); ``finished`` names the operators whose
+    outputs already live on the host checkpoint and never re-execute.
+    ``prev_assignment`` maps operators to the old lease-local GPU they
+    were running on before the resize and ``slot_map`` maps old
+    lease-local indices to new ones for the GPUs kept across the
+    resize; together they seed the scheduler's spatial mapping through
+    the same warm-start seam as :func:`repair_schedule` — operators on
+    kept GPUs stay put, operators on dropped GPUs are re-homed onto the
+    least-loaded slot.  Cold runs are served from ``sched_cache``.
+    """
+    from .api import SPATIAL_CACHE_ALGORITHMS  # local: avoids a cycle
+
+    remaining = tuple(v for v in profile.graph.names if v not in finished)
+    if not remaining:
+        raise RepairError("nothing to resize: every operator already finished")
+    subgraph = profile.graph.subgraph(remaining)
+    subprofile = CostProfile(
+        graph=subgraph,
+        concurrency=profile.concurrency,
+        num_gpus=profile.num_gpus,
+        max_streams=profile.max_streams,
+        send_blocking=profile.send_blocking,
+        gpu_speeds=profile.gpu_speeds,
+    )
+
+    seed: dict[str, int] | None = None
+    if prev_assignment is not None and algorithm in SPATIAL_CACHE_ALGORITHMS:
+        seed = _resize_spatial_seed(
+            subgraph, prev_assignment, slot_map or {}, profile.num_gpus
+        )
+    result, warm_started = _plan_subgraph(
+        subprofile, subgraph, seed, algorithm, sched_cache, **kwargs
+    )
+    debug_lint_schedule(subgraph, result.schedule, algorithm=f"resize/{algorithm}")
+    return ResizeResult(
+        subgraph=subgraph,
+        subprofile=subprofile,
+        schedule=result.schedule,
+        result=result,
+        warm_started=warm_started,
+    )
+
+
+def _resize_spatial_seed(
+    subgraph: OpGraph,
+    prev_assignment: dict[str, int],
+    slot_map: dict[int, int],
+    new_width: int,
+) -> dict[str, int] | None:
+    """Project ``prev_assignment`` through ``slot_map`` onto the new width.
+
+    Remaining operators on a kept GPU follow it to its new slot;
+    operators on dropped slots are re-homed greedily onto the
+    least-loaded new slot.  Returns ``None`` when ``prev_assignment``
+    does not cover the subgraph or maps outside the new width.
+    """
+    assignment: dict[str, int] = {}
+    stranded: list[str] = []
+    for v in subgraph.names:
+        g = prev_assignment.get(v)
+        if g is None:
+            return None
+        slot = slot_map.get(g)
+        if slot is None:
+            stranded.append(v)
+        elif not (0 <= slot < new_width):
+            return None
+        else:
+            assignment[v] = slot
+    load = [0.0] * new_width
+    for v, i in assignment.items():
+        load[i] += subgraph.cost(v)
+    for v in sorted(stranded):
+        i = min(range(new_width), key=lambda j: (load[j], j))
+        assignment[v] = i
+        load[i] += subgraph.cost(v)
+    return assignment
 
 
 def splice_traces(head: "ExecutionTrace", tail: "ExecutionTrace") -> "ExecutionTrace":

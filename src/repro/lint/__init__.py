@@ -45,6 +45,7 @@ from .api import (
     lint_schedule,
     lint_schedule_document,
     lint_serve_config,
+    lint_serve_report,
     lint_trace,
 )
 from .diagnostics import Diagnostic, LintReport, Severity
@@ -87,6 +88,7 @@ __all__ = [
     "lint_schedule",
     "lint_schedule_document",
     "lint_serve_config",
+    "lint_serve_report",
     "lint_trace",
     "rule",
     "rule_catalog",

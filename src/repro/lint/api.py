@@ -29,6 +29,7 @@ __all__ = [
     "lint_cache_document",
     "lint_chrome_trace",
     "lint_serve_config",
+    "lint_serve_report",
     "lint_hb_report",
 ]
 
@@ -117,6 +118,22 @@ def lint_serve_config(
     documents are reported instead of raising.
     """
     ctx = LintContext(serve_doc=data)
+    return _linter(errors_only).run(ctx)
+
+
+def lint_serve_report(
+    data: Mapping[str, Any], *, errors_only: bool = False
+) -> LintReport:
+    """Run the report rules over one ``repro.servereport/v1`` document.
+
+    ``data`` is the JSON-object form ``repro serve --json`` emits
+    (:meth:`repro.serve.report.ServeReport.to_dict`, optionally with
+    the per-request records embedded under ``requests``).  The rules
+    check the lifecycle-counter conservation identities and, when
+    records are present, that the aggregates match what the records
+    add up to.
+    """
+    ctx = LintContext(serve_report_doc=data)
     return _linter(errors_only).run(ctx)
 
 

@@ -4,7 +4,7 @@ A :class:`Rule` is a pure function from a :class:`LintContext` to zero
 or more :class:`Finding` values, tagged with a stable ID, a severity and
 the *subjects* it needs (``graph``, ``schedule``, ``schedule_doc``,
 ``trace``, ``plan``, ``cache_doc``, ``chrome_doc``, ``serve_doc``,
-``hb_doc``).  The :class:`Linter` runs every
+``serve_report_doc``, ``hb_doc``).  The :class:`Linter` runs every
 registered rule whose subjects the context provides and returns a
 :class:`~repro.lint.diagnostics.LintReport` — it never raises on a
 finding, so one run surfaces *every* problem at once.
@@ -51,6 +51,7 @@ SUBJECTS = (
     "cache_doc",
     "chrome_doc",
     "serve_doc",
+    "serve_report_doc",
     "hb_doc",
 )
 
@@ -87,6 +88,7 @@ class LintContext:
     cache_doc: Mapping[str, Any] | None = None
     chrome_doc: Mapping[str, Any] | None = None
     serve_doc: Mapping[str, Any] | None = None
+    serve_report_doc: Mapping[str, Any] | None = None
     hb_doc: Mapping[str, Any] | None = None
     window: int | None = None
     num_gpus: int | None = None

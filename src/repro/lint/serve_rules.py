@@ -1,14 +1,22 @@
-"""Serving-config rules (``V0xx``): ``repro.serve/v1`` document hygiene.
+"""Serving rules (``V0xx``): config and report document hygiene.
 
 Serving scenarios are committed as JSON next to the benchmark baselines
 they produced, and CI replays them bit-for-bit — so a malformed config
 is not a runtime inconvenience, it silently changes what the regression
-gate is comparing.  These rules check the raw document *before*
-:class:`repro.serve.config.ServeConfig` ever constructs: the format
-marker, tenant shape and arrival processes, pool/lease arithmetic,
-registered algorithms, parseable fault specs within pool range, and
-policy-knob sanity (an unreachable overload threshold, a zero-retry
-config facing injected GPU failures).
+gate is comparing.  V001–V008 check the raw ``repro.serve/v1`` config
+*before* :class:`repro.serve.config.ServeConfig` ever constructs: the
+format marker, tenant shape and arrival processes, pool/lease
+arithmetic, registered algorithms, parseable fault specs within pool
+range, and policy-knob sanity (an unreachable overload threshold, a
+zero-retry config facing injected GPU failures).
+
+V009–V010 check emitted ``repro.servereport/v1`` documents (``repro
+serve --json``): the lifecycle counters must satisfy their conservation
+identities (every arrival is admitted or shed, every admitted request
+reaches exactly one terminal status), and when the per-request records
+are embedded (``--requests``) the aggregate counters — completions,
+batched followers, repair rounds, displacements, elastic resizes —
+must equal what the records add up to.
 
 The pack works on the plain mapping only — it never imports
 :mod:`repro.serve` — so ``repro lint`` can classify foreign documents
@@ -27,6 +35,7 @@ from .framework import Finding, LintContext, rule
 __all__: list[str] = []
 
 SERVE_CONFIG_FORMAT = "repro.serve/v1"
+SERVE_REPORT_FORMAT = "repro.servereport/v1"
 
 
 def _num(value: Any) -> float | None:
@@ -212,6 +221,13 @@ def check_pool(ctx: LintContext) -> Iterator[Finding]:
             "finite duration",
             location="horizon_ms",
         )
+    max_batch = _int(doc.get("max_batch", 1))
+    if max_batch is None or max_batch < 1:
+        yield Finding(
+            f"max_batch is {doc.get('max_batch')!r}, expected a positive "
+            "integer (1 disables batching)",
+            location="max_batch",
+        )
 
 
 @rule(
@@ -240,8 +256,9 @@ def check_algorithms(ctx: LintContext) -> Iterator[Finding]:
     pack="serve",
     title="fault specs must parse and target pool GPUs",
     requires=("serve_doc",),
-    hint="faults use the compact spec strings (fail:G@T, slow:G@TxF, "
-    "link:S->D@TxF, loss:P[:jitter]) with GPU indices inside the pool",
+    hint="faults use the compact spec strings (fail:G@T, repair:G@T, "
+    "slow:G@TxF, link:S->D@TxF, loss:P[:jitter]) with GPU indices "
+    "inside the pool",
 )
 def check_faults(ctx: LintContext) -> Iterator[Finding]:
     from ..substrate.faults import FaultError, FaultPlan
@@ -344,4 +361,157 @@ def check_retry_budget(ctx: LintContext) -> Iterator[Finding]:
             "max_retries is 0 while the fault plan injects GPU failures: "
             "displaced queries will fail instead of being re-admitted",
             location="max_retries",
+        )
+
+
+#: Counter fields every ``repro.servereport/v1`` document must carry as
+#: non-negative integers.
+_REPORT_COUNTERS = (
+    "arrivals",
+    "admitted",
+    "completed",
+    "shed_queue_full",
+    "shed_deadline",
+    "failed",
+    "deadline_misses",
+    "retries",
+    "displaced",
+    "repairs",
+    "degraded_dispatches",
+    "revived",
+    "batched",
+    "elastic_grows",
+    "elastic_shrinks",
+)
+
+
+@rule(
+    "V009",
+    severity=Severity.ERROR,
+    pack="serve",
+    title="report counters must satisfy their conservation identities",
+    requires=("serve_report_doc",),
+    hint="arrivals == admitted + shed_queue_full and admitted == "
+    "completed + shed_deadline + failed: every request reaches exactly "
+    "one terminal status; a report violating this was not produced by "
+    "the simulator",
+)
+def check_report_counters(ctx: LintContext) -> Iterator[Finding]:
+    doc = ctx.serve_report_doc
+    assert doc is not None
+    fmt = doc.get("format")
+    if fmt != SERVE_REPORT_FORMAT:
+        yield Finding(
+            f"format is {fmt!r}, expected {SERVE_REPORT_FORMAT!r}",
+            location="format",
+        )
+        return
+    counts: dict[str, int] = {}
+    bad = False
+    for key in _REPORT_COUNTERS:
+        v = _int(doc.get(key))
+        if v is None or v < 0:
+            yield Finding(
+                f"{key} is {doc.get(key)!r}, expected a non-negative integer",
+                location=key,
+            )
+            bad = True
+        else:
+            counts[key] = v
+    if bad:
+        return
+    if counts["arrivals"] != counts["admitted"] + counts["shed_queue_full"]:
+        yield Finding(
+            f"arrivals {counts['arrivals']} != admitted {counts['admitted']} "
+            f"+ shed_queue_full {counts['shed_queue_full']}",
+            location="arrivals",
+        )
+    terminal = counts["completed"] + counts["shed_deadline"] + counts["failed"]
+    if counts["admitted"] != terminal:
+        yield Finding(
+            f"admitted {counts['admitted']} != completed {counts['completed']} "
+            f"+ shed_deadline {counts['shed_deadline']} "
+            f"+ failed {counts['failed']}",
+            location="admitted",
+        )
+    if counts["deadline_misses"] > counts["completed"]:
+        yield Finding(
+            f"deadline_misses {counts['deadline_misses']} exceeds "
+            f"completed {counts['completed']}",
+            location="deadline_misses",
+        )
+
+
+@rule(
+    "V010",
+    severity=Severity.ERROR,
+    pack="serve",
+    title="embedded request records must add up to the report counters",
+    requires=("serve_report_doc",),
+    hint="with --requests the per-request records are the ground truth: "
+    "completions, batched followers, repair rounds, displacements and "
+    "elastic resizes summed over records must equal the aggregate "
+    "counters",
+)
+def check_report_records(ctx: LintContext) -> Iterator[Finding]:
+    doc = ctx.serve_report_doc
+    assert doc is not None
+    if doc.get("format") != SERVE_REPORT_FORMAT:
+        return  # V009 already flags the format
+    requests = doc.get("requests")
+    if requests is None:
+        return  # records not embedded; nothing to cross-check
+    if not isinstance(requests, list):
+        yield Finding(
+            f"requests is {type(requests).__name__}, expected an array of "
+            "request records",
+            location="requests",
+        )
+        return
+    records = [r for r in requests if isinstance(r, Mapping)]
+    for i, r in enumerate(requests):
+        if not isinstance(r, Mapping):
+            yield Finding(
+                f"requests[{i}] is {type(r).__name__}, expected a mapping",
+                location=f"requests[{i}]",
+            )
+    derived = {
+        "arrivals": len(records),
+        "completed": sum(1 for r in records if r.get("status") == "completed"),
+        "shed_queue_full": sum(
+            1 for r in records if r.get("status") == "shed-queue"
+        ),
+        "shed_deadline": sum(
+            1 for r in records if r.get("status") == "shed-deadline"
+        ),
+        "failed": sum(1 for r in records if r.get("status") == "failed"),
+        "deadline_misses": sum(
+            1
+            for r in records
+            if r.get("status") == "completed" and r.get("deadline_met") is False
+        ),
+        "batched": sum(1 for r in records if r.get("batched_with")),
+        "repairs": sum(
+            v for r in records if (v := _int(r.get("repairs", 0))) is not None
+        ),
+        "displaced": sum(
+            v for r in records if (v := _int(r.get("displaced", 0))) is not None
+        ),
+    }
+    for key, want in derived.items():
+        have = _int(doc.get(key))
+        if have is not None and have != want:
+            yield Finding(
+                f"{key} is {have} but the embedded records add up to {want}",
+                location=key,
+            )
+    resizes = sum(
+        v for r in records if (v := _int(r.get("resizes", 0))) is not None
+    )
+    grows, shrinks = _int(doc.get("elastic_grows")), _int(doc.get("elastic_shrinks"))
+    if grows is not None and shrinks is not None and grows + shrinks != resizes:
+        yield Finding(
+            f"elastic_grows {grows} + elastic_shrinks {shrinks} != "
+            f"sum of per-record resizes {resizes}",
+            location="elastic_grows",
         )

@@ -106,13 +106,33 @@ class ServeConfig:
     Graceful degradation
         When more than ``overload_queue`` requests are waiting, dispatch
         switches to ``degraded_gpus`` GPUs per query and the (cheaper)
-        ``degraded_algorithm`` until the backlog drains.
+        ``degraded_algorithm`` until the backlog drains.  The overload
+        verdict is *latched per dispatch round*: a burst that starts
+        degraded drains degraded, instead of flipping back to full
+        leases halfway through the round.
 
-    Faults, retry, repair
+    Request batching
+        With ``max_batch > 1``, dispatch merges up to ``max_batch``
+        queued same-model queries into one batch: one lease, one
+        schedule (the existing ``(model, lease, algorithm)`` plan), one
+        execution — every member keeps its own deadline accounting.
+
+    Elastic leases
+        With ``elastic``, the simulator resizes *in-flight* leases
+        through the warm-started repair seam instead of relying only on
+        the binary degrade knob: when the queue drains (or a GPU
+        returns from repair) leaving free capacity, narrow leases grow
+        back toward ``gpus_per_query``; when an overloaded backlog
+        cannot dispatch, the widest lease shrinks to ``degraded_gpus``
+        to free GPUs for queued work.
+
+    Faults, retry, repair, recovery
         ``faults`` uses the compact spec strings of
         :func:`repro.substrate.faults.parse_fault` and applies to the
         *pool* clock: a ``fail:G@T`` kills pool GPU ``G`` at pool time
-        ``T`` for everyone.  A query in flight on a failed GPU first
+        ``T`` for everyone, and a ``repair:G@T`` returns it to service
+        at ``T`` (idempotent; ordered after same-instant failures and
+        before outcomes/arrivals).  A query in flight on a failed GPU first
         tries cascading repair on the rest of its lease
         (:func:`repro.core.repair.run_with_repair`); if the whole lease
         dies, the query is *displaced* and re-admitted after a backoff.
@@ -133,6 +153,8 @@ class ServeConfig:
     degraded_gpus: int = 1
     degraded_algorithm: str = "sequential"
     shed_late: bool = True
+    max_batch: int = 1
+    elastic: bool = False
     max_retries: int = 2
     retry_backoff_ms: float = 5.0
     retry_jitter: bool = True
@@ -165,6 +187,8 @@ class ServeConfig:
             raise ServeConfigError("window must be >= 1")
         if self.queue_capacity < 1:
             raise ServeConfigError("queue_capacity must be >= 1")
+        if self.max_batch < 1:
+            raise ServeConfigError("max_batch must be >= 1")
         if self.overload_queue < 0:
             raise ServeConfigError("overload_queue must be >= 0")
         if self.max_retries < 0:
@@ -195,6 +219,8 @@ class ServeConfig:
             "degraded_gpus": self.degraded_gpus,
             "degraded_algorithm": self.degraded_algorithm,
             "shed_late": self.shed_late,
+            "max_batch": self.max_batch,
+            "elastic": self.elastic,
             "max_retries": self.max_retries,
             "retry_backoff_ms": self.retry_backoff_ms,
             "retry_jitter": self.retry_jitter,
@@ -223,6 +249,8 @@ class ServeConfig:
             "degraded_gpus",
             "degraded_algorithm",
             "shed_late",
+            "max_batch",
+            "elastic",
             "max_retries",
             "retry_backoff_ms",
             "retry_jitter",

@@ -65,7 +65,12 @@ class RequestRecord:
 
     ``dispatched_ms`` / ``gpus`` / ``algorithm`` reflect the *last*
     dispatch (retries overwrite them); ``attempts`` counts dispatches,
-    ``repairs`` sums cascading-repair rounds across attempts.
+    ``repairs`` sums cascading-repair rounds across attempts (recorded
+    on the batch leader when the dispatch was a merged batch).
+    ``batch`` is the dispatch's batch size, ``batched_with`` the batch
+    leader's request id on follower records (empty on leaders and
+    unbatched dispatches), and ``resizes`` counts elastic lease
+    grow/shrink rounds (leader record only).
     """
 
     id: str
@@ -86,6 +91,9 @@ class RequestRecord:
     attempts: int = 0
     repairs: int = 0
     displaced: int = 0
+    batch: int = 1
+    batched_with: str = ""
+    resizes: int = 0
     deadline_met: bool | None = None
 
     def to_dict(self) -> dict[str, Any]:
@@ -108,6 +116,9 @@ class RequestRecord:
             "attempts": self.attempts,
             "repairs": self.repairs,
             "displaced": self.displaced,
+            "batch": self.batch,
+            "batched_with": self.batched_with,
+            "resizes": self.resizes,
             "deadline_met": self.deadline_met,
         }
 
@@ -145,6 +156,14 @@ class ServeReport:
     ``arrivals == admitted + shed_queue_full``); of the admitted,
     ``completed + shed_deadline + failed == admitted``.  ``goodput_qps``
     counts only completions that met their deadline, over the makespan.
+
+    The lifecycle counters added by the recovery/batching/elastic work:
+    ``revived`` counts ``repair:G@T`` events that returned a dead GPU
+    to service, ``batched`` the requests that rode along as followers
+    of a merged same-model batch (``sum(batch - 1)`` over dispatches),
+    and ``elastic_grows`` / ``elastic_shrinks`` the in-flight lease
+    resizes (together they equal ``sum(rec.resizes)`` — the V010 lint
+    rule holds reports to these identities).
     """
 
     arrivals: int
@@ -158,6 +177,10 @@ class ServeReport:
     displaced: int
     repairs: int
     degraded_dispatches: int
+    revived: int
+    batched: int
+    elastic_grows: int
+    elastic_shrinks: int
     p50_ms: float
     p99_ms: float
     goodput_qps: float
@@ -182,6 +205,9 @@ class ServeReport:
         degraded_dispatches: int,
         gpu_busy_ms: dict[int, float],
         horizon_ms: float,
+        revived: int = 0,
+        elastic_grows: int = 0,
+        elastic_shrinks: int = 0,
         sched_ms: float = 0.0,
         sched_cache_hits: int = 0,
         sched_cache_misses: int = 0,
@@ -226,6 +252,10 @@ class ServeReport:
             displaced=displaced,
             repairs=sum(r.repairs for r in records),
             degraded_dispatches=degraded_dispatches,
+            revived=revived,
+            batched=sum(1 for r in records if r.batched_with),
+            elastic_grows=elastic_grows,
+            elastic_shrinks=elastic_shrinks,
             p50_ms=percentile(latencies, 50),
             p99_ms=percentile(latencies, 99),
             goodput_qps=on_time / (makespan / 1000.0) if makespan > 0 else 0.0,
@@ -255,6 +285,10 @@ class ServeReport:
             "displaced": self.displaced,
             "repairs": self.repairs,
             "degraded_dispatches": self.degraded_dispatches,
+            "revived": self.revived,
+            "batched": self.batched,
+            "elastic_grows": self.elastic_grows,
+            "elastic_shrinks": self.elastic_shrinks,
             "p50_ms": self.p50_ms,
             "p99_ms": self.p99_ms,
             "goodput_qps": self.goodput_qps,
@@ -276,6 +310,8 @@ class ServeReport:
             f"deadline {self.shed_deadline}",
             f"retries {self.retries}  displaced {self.displaced}  "
             f"repairs {self.repairs}  degraded dispatches {self.degraded_dispatches}",
+            f"revived {self.revived}  batched {self.batched}  "
+            f"elastic grow/shrink {self.elastic_grows}/{self.elastic_shrinks}",
             f"latency p50 {self.p50_ms:.3f} ms  p99 {self.p99_ms:.3f} ms",
             f"goodput {self.goodput_qps:.2f} qps  "
             f"deadline-miss rate {self.deadline_miss_rate:.1%}  "
@@ -302,7 +338,11 @@ def serve_timeline(
 
     Each dispatched request becomes one span per leased GPU — named
     ``{id}`` on its first lease GPU and ``{id}@gN`` on the others —
-    running from dispatch to release.  Feed the pair straight into
+    running from dispatch to release.  Batched followers hold no lease
+    of their own (they ride the leader's), so only the leader's span
+    represents the shared occupancy — one span per *lease*, which is
+    what keeps the timeline linearizable under the exclusive-lease
+    happens-before check.  Feed the pair straight into
     :func:`repro.obs.chrome_trace_document`.
     """
     from ..substrate.engine import ExecutionTrace  # local import avoids a cycle
@@ -316,6 +356,8 @@ def serve_timeline(
     for rec in records:
         if rec.dispatched_ms is None or rec.released_ms is None:
             continue
+        if rec.batched_with:
+            continue  # the leader's span covers the shared lease
         for i, gpu in enumerate(rec.gpus):
             name = rec.id if i == 0 else f"{rec.id}@g{gpu}"
             op_launch[name] = rec.arrival_ms if i == 0 else rec.dispatched_ms

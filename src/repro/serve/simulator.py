@@ -5,17 +5,26 @@ One event heap drives the whole run, ordered by
 
 * **pool failures** (priority 0) — ``fail:G@T`` specs on the *pool*
   clock mark GPU ``G`` dead for everyone;
-* **query outcomes** (priority 1) — a dispatched query completes,
-  aborts (transfer retry budget exhausted) or is displaced (its whole
-  lease fail-stopped); the lease is released;
-* **arrivals / re-admissions** (priority 2) — new requests enter
+* **pool repairs** (priority 1) — ``repair:G@T`` specs return a dead
+  GPU to service, *after* same-instant failures (a fail+repair tie
+  leaves the GPU alive) and *before* same-instant outcomes and
+  arrivals see the pool;
+* **query outcomes** (priority 2) — a dispatched query (or batch)
+  completes, aborts (transfer retry budget exhausted) or is displaced
+  (its whole lease fail-stopped); the lease is released;
+* **arrivals / re-admissions** (priority 3) — new requests enter
   admission control, retried requests re-enter the queue.
 
 After every event the dispatcher drains the queue: highest priority
 first (FIFO within a priority), leasing the ``gpus_per_query`` lowest
 free GPUs — or, when the backlog exceeds ``overload_queue``, the
-degraded lease size and algorithm.  A request whose *predicted*
-completion would miss its deadline is shed instead of dispatched.
+degraded lease size and algorithm.  The queue is sorted once per
+dispatch round and the overload verdict is latched for the whole
+round.  With ``max_batch > 1`` the dispatcher merges queued same-model
+requests into the leader's dispatch: one lease, one schedule, one
+execution, per-member deadline accounting.  A request whose
+*predicted* completion would miss its deadline is shed instead of
+dispatched.
 
 Fault handling is **look-ahead at dispatch**: the pool's remaining
 faults are projected onto the lease (pool GPU indices → lease-local
@@ -25,6 +34,17 @@ under :func:`repro.core.repair.run_with_repair` with ``strict=False`` —
 mid-flight GPU loss triggers cascading repair on the rest of the lease,
 and only when the *whole* lease is gone does the query come back
 displaced, to be re-admitted after a seeded backoff.
+
+With ``elastic`` the loop additionally resizes *in-flight* leases
+(:func:`repro.core.repair.resize_schedule`): when the queue is empty
+and GPUs sit free — typically right after a ``repair:G@T`` — narrow
+leases grow back toward ``gpus_per_query``; when an overloaded backlog
+cannot dispatch, the widest lease shrinks to ``degraded_gpus``.  A
+resize cuts the running segment at the current pool time, checkpoints
+the operators finished by the cut, re-plans the remainder warm-started
+from the old placement, and re-executes it on the new lease;
+outcome events carry an epoch so a superseded segment's outcome is
+ignored when it fires.
 
 Everything — arrivals, placement, faults, backoff jitter — is a pure
 function of the :class:`~repro.serve.config.ServeConfig`, so a run
@@ -37,14 +57,14 @@ import hashlib
 import heapq
 import random
 import time
-from dataclasses import dataclass, replace
-from typing import Any
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
 
-from ..core.repair import run_with_repair
+from ..core.repair import RepairError, RepairResult, resize_schedule, run_with_repair
 from ..core.schedule import Schedule
 from ..costmodel.profile import CostProfile
 from ..obs.declog import emit
-from ..substrate.engine import EngineConfig
+from ..substrate.engine import EngineConfig, ExecutionTrace
 from ..substrate.faults import (
     FaultError,
     FaultPlan,
@@ -65,11 +85,13 @@ __all__ = ["ServeError", "ServeResult", "ServeSimulator", "serve"]
 #: Algorithms that accept the sliding-window kwarg.
 _WINDOW_ALGS = frozenset({"hios-lp", "hios-mr", "hios-lp-ls"})
 
-# event priorities: pool failures reshape the world before outcomes
-# release leases, and both happen before same-instant (re-)admissions
+# event priorities: pool failures reshape the world first, repairs heal
+# it next (a same-instant fail+repair leaves the GPU alive), then
+# outcomes release leases, and (re-)admissions see the settled pool
 _PRIO_FAIL = 0
-_PRIO_OUTCOME = 1
-_PRIO_ARRIVAL = 2
+_PRIO_REPAIR = 1
+_PRIO_OUTCOME = 2
+_PRIO_ARRIVAL = 3
 
 
 class ServeError(RuntimeError):
@@ -82,10 +104,56 @@ def _query_seed(seed: int, qid: str, attempt: int) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def _op_assignment(schedule: Schedule) -> dict[str, int]:
+    """Map every scheduled operator to its (schedule-local) GPU."""
+    out: dict[str, int] = {}
+    for g in range(schedule.num_gpus):
+        for st in schedule.stages_on(g):
+            for op in st.ops:
+                out[op] = g
+    return out
+
+
 @dataclass
 class _QueueEntry:
     request: Request
     attempt: int = 1
+
+
+@dataclass
+class _InFlight:
+    """State of one dispatched query (or merged batch) on its lease.
+
+    ``epoch`` versions the pending outcome event: an elastic resize
+    bumps it and pushes a fresh outcome, so the superseded event is
+    recognized as stale when it fires.  ``trace`` / ``op_gpu`` describe
+    the *current* segment on the query-local clock starting at
+    ``segment_start_ms``; ``finished`` holds the operators checkpointed
+    by earlier segments; ``repairs_done`` counts cascading-repair
+    rounds that actually happened before a resize cut.
+    """
+
+    members: list[_QueueEntry]  # batch members, leader first
+    lease: tuple[int, ...]
+    model: str
+    algorithm: str
+    names: tuple[str, ...]  # full model operator names
+    segment_start_ms: float
+    pending: str = "complete"  # what the pushed outcome event says
+    trace: ExecutionTrace | None = None
+    seg_repairs: tuple[RepairResult, ...] = ()
+    op_gpu: dict[str, int] = field(default_factory=dict)
+    finished: frozenset[str] = frozenset()
+    repairs_done: int = 0
+    epoch: int = 0
+
+    @property
+    def leader(self) -> _QueueEntry:
+        return self.members[0]
+
+    @property
+    def qid(self) -> str:
+        return self.members[0].request.id
 
 
 @dataclass(frozen=True)
@@ -110,8 +178,10 @@ class ServeSimulator:
     :class:`~repro.sweep.schedcache.ScheduleCache`: the in-memory
     ``_schedules`` memo becomes a read-through layer over it, so a
     restarted server warms its plans from disk instead of re-running
-    the schedulers.  Repairs warm-start from the pre-failure schedule
-    either way (see :func:`repro.core.repair.repair_schedule`).
+    the schedulers.  Repairs and elastic resizes warm-start from the
+    running placement either way (see
+    :func:`repro.core.repair.repair_schedule` and
+    :func:`repro.core.repair.resize_schedule`).
     """
 
     def __init__(
@@ -171,6 +241,42 @@ class ServeSimulator:
             self._schedules[key] = cached
         return cached
 
+    def _query_plan(
+        self, now: float, lease: tuple[int, ...], tag: str, attempt: int
+    ) -> FaultPlan | None:
+        """Project the pool's remaining faults onto ``lease``.
+
+        Pool GPU indices map to lease-local indices and the pool clock
+        re-anchors to the query clock starting at ``now``.  ``tag``
+        keys the per-query loss seed (the request id, suffixed with the
+        segment epoch after an elastic resize so re-planned segments
+        redraw their losses deterministically).
+        """
+        specs: list[FaultSpec] = []
+        local = {g: i for i, g in enumerate(lease)}
+        for f in self._plan.failures():
+            if f.gpu in local and f.at >= now:
+                specs.append(GpuFailure(gpu=local[f.gpu], at=f.at - now))
+        for s in self._plan.slowdowns():
+            if s.gpu in local:
+                specs.append(
+                    GpuSlowdown(gpu=local[s.gpu], at=max(0.0, s.at - now), factor=s.factor)
+                )
+        for d in self._plan.degradations():
+            if d.src in local and d.dst in local:
+                specs.append(
+                    LinkDegradation(
+                        src=local[d.src],
+                        dst=local[d.dst],
+                        at=max(0.0, d.at - now),
+                        bw_factor=d.bw_factor,
+                    )
+                )
+        specs.extend(self._plan.losses())
+        if not specs:
+            return None
+        return FaultPlan(specs, seed=_query_seed(self.config.seed, tag, attempt))
+
     # ------------------------------------------------------------------
     def run(self) -> ServeResult:
         cfg = self.config
@@ -204,12 +310,17 @@ class ServeSimulator:
             push(r.arrival_ms, _PRIO_ARRIVAL, "arrival", _QueueEntry(r))
         for f in self._plan.failures():
             push(f.at, _PRIO_FAIL, "gpu-fail", f.gpu)
+        for rp in self._plan.repairs():
+            push(rp.at, _PRIO_REPAIR, "gpu-repair", rp.gpu)
 
         retries = 0
         displaced = 0
         degraded_dispatches = 0
+        revived = 0
+        elastic_grows = 0
+        elastic_shrinks = 0
         gpu_busy: dict[int, float] = {}
-        in_flight: dict[str, tuple[_QueueEntry, tuple[int, ...]]] = {}
+        in_flight: dict[str, _InFlight] = {}
 
         # ------------------------------------------------------------------
         def fail_request(now: float, entry: _QueueEntry, reason: str) -> None:
@@ -246,22 +357,32 @@ class ServeSimulator:
                 _QueueEntry(entry.request, attempt=entry.attempt + 1),
             )
 
+        def fold_busy(lease: tuple[int, ...], seg_busy: dict[int, float]) -> None:
+            for g_local, busy in seg_busy.items():
+                gpu = lease[g_local]
+                gpu_busy[gpu] = gpu_busy.get(gpu, 0.0) + busy
+
         def dispatch(now: float) -> None:
             nonlocal degraded_dispatches
-            while queue:
-                if pool.num_alive == 0:
-                    for entry in queue:
-                        fail_request(now, entry, "no GPUs left in the pool")
-                    queue.clear()
-                    return
-                overloaded = len(queue) > cfg.overload_queue
-                queue.sort(
-                    key=lambda e: (
-                        -e.request.priority,
-                        e.request.arrival_ms,
-                        e.request.id,
-                    )
+            if not queue:
+                return
+            if pool.num_alive == 0:
+                for entry in queue:
+                    fail_request(now, entry, "no GPUs left in the pool")
+                queue.clear()
+                return
+            # sort once per round — pops below preserve the order — and
+            # latch the overload verdict so a burst that starts degraded
+            # drains degraded instead of flipping mid-round
+            queue.sort(
+                key=lambda e: (
+                    -e.request.priority,
+                    e.request.arrival_ms,
+                    e.request.id,
                 )
+            )
+            overloaded = len(queue) > cfg.overload_queue
+            while queue:
                 k = cfg.degraded_gpus if overloaded else cfg.gpus_per_query
                 k = min(k, pool.num_alive)
                 if pool.num_free < k:
@@ -285,14 +406,42 @@ class ServeSimulator:
                         predicted_ms=predicted,
                     )
                     continue
+                # merge queued same-model requests into the leader's
+                # dispatch; members predicted to miss their deadline are
+                # left queued (they shed at their own dispatch)
+                members = [entry]
+                if cfg.max_batch > 1:
+                    i = 0
+                    while i < len(queue) and len(members) < cfg.max_batch:
+                        cand = queue[i]
+                        if cand.request.model == req.model and not (
+                            cfg.shed_late
+                            and now + predicted > cand.request.deadline_ms
+                        ):
+                            members.append(queue.pop(i))
+                        else:
+                            i += 1
                 lease = pool.lease(req.id, k)
-                in_flight[req.id] = (entry, lease)
-                rec.dispatched_ms = now
-                rec.gpus = lease
-                rec.algorithm = algorithm
-                rec.attempts += 1
+                fl = _InFlight(
+                    members=members,
+                    lease=lease,
+                    model=req.model,
+                    algorithm=algorithm,
+                    names=profile.graph.names,
+                    segment_start_ms=now,
+                )
+                in_flight[req.id] = fl
+                for m in members:
+                    mrec = records[m.request.id]
+                    mrec.dispatched_ms = now
+                    mrec.gpus = lease
+                    mrec.algorithm = algorithm
+                    mrec.attempts += 1
+                    mrec.batch = len(members)
+                    mrec.batched_with = "" if m is entry else req.id
+                    if overloaded:
+                        mrec.degraded = True
                 if overloaded:
-                    rec.degraded = True
                     degraded_dispatches += 1
                 emit(
                     "serve-dispatch",
@@ -303,10 +452,140 @@ class ServeSimulator:
                     degraded=overloaded,
                     attempt=entry.attempt,
                     predicted_ms=predicted,
+                    batch=len(members),
                 )
-                self._execute(
-                    now, entry, lease, profile, schedule, predicted, algorithm, push, gpu_busy
+                self._execute(now, fl, profile, schedule, predicted, push, gpu_busy)
+
+        # ------------------------------------------------------------------
+        def try_resize(now: float, fl: _InFlight, target: int) -> bool:
+            """Cut ``fl``'s running segment and re-plan it at ``target`` GPUs.
+
+            Returns ``False`` (leaving the query untouched) when there
+            is nothing left to re-plan — the segment's remaining work
+            all finished by the cut, or its trace is already doomed.
+            """
+            if fl.pending != "complete" or fl.trace is None:
+                return False
+            live = tuple(g for g in fl.lease if g not in pool.dead)
+            if not live or target == len(live):
+                return False
+            cut = now - fl.segment_start_ms
+            seg_done = frozenset(
+                op for op, t in fl.trace.op_finish.items() if t <= cut
+            )
+            finished = fl.finished | seg_done
+            if len(finished) >= len(fl.names):
+                return False  # effectively done; let the outcome fire
+            grow = target > len(live)
+            if grow:
+                extra = sorted(pool.free)[: target - len(live)]
+                new_lease = tuple(sorted(live + tuple(extra)))
+            else:
+                new_lease = live[:target]
+            # fold the head's busy time now: only work finished by the
+            # cut happened (the superseded tail never runs)
+            for op in seg_done:
+                g_local = fl.op_gpu.get(op)
+                if g_local is None or g_local >= len(fl.lease):
+                    continue
+                gpu = fl.lease[g_local]
+                gpu_busy[gpu] = gpu_busy.get(gpu, 0.0) + (
+                    fl.trace.op_finish[op] - fl.trace.op_start[op]
                 )
+            fl.repairs_done += sum(
+                1 for r in fl.seg_repairs if r.failure.time <= cut
+            )
+            old_lease = fl.lease
+            slot_map = {
+                old_lease.index(g): new_lease.index(g)
+                for g in old_lease
+                if g in new_lease
+            }
+            profile = zoo_profile(fl.model, len(new_lease))
+            t0 = time.perf_counter()
+            try:
+                rr = resize_schedule(
+                    profile,
+                    finished,
+                    prev_assignment=dict(fl.op_gpu),
+                    slot_map=slot_map,
+                    algorithm=fl.algorithm,
+                    sched_cache=self._sched_cache,
+                    **self._alg_kwargs(fl.algorithm),
+                )
+            except RepairError:  # pragma: no cover - guarded above
+                return False
+            finally:
+                self._sched_s += time.perf_counter() - t0
+            if rr.warm_started:
+                self._warm_starts += 1
+            pool.resize(fl.qid, new_lease)
+            fl.lease = new_lease
+            fl.finished = finished
+            fl.segment_start_ms = now
+            fl.epoch += 1
+            for m in fl.members:
+                records[m.request.id].gpus = new_lease
+            records[fl.qid].resizes += 1
+            emit(
+                "serve-resize",
+                t=now,
+                request=fl.qid,
+                gpus=list(new_lease),
+                grow=grow,
+                remaining_ops=len(fl.names) - len(finished),
+                predicted_ms=rr.predicted_tail_latency,
+            )
+            self._run_segment(
+                now,
+                fl,
+                rr.subprofile,
+                rr.schedule,
+                rr.predicted_tail_latency,
+                push,
+                tag=f"{fl.qid}/e{fl.epoch}",
+            )
+            return True
+
+        def elastic_pass(now: float) -> str | None:
+            """One elastic action; the caller re-dispatches after each.
+
+            Grows fire when free GPUs cannot serve queued work anyway —
+            the queue is empty, or it is (non-overloaded) blocked on a
+            full-width lease the free set cannot cover; shrinks fire
+            only when an overloaded backlog cannot lease even a
+            degraded slot.  Each success strictly widens or narrows
+            one lease, so the caller's drain loop terminates.
+            """
+            grow_ok = pool.num_free > 0 and (
+                not queue
+                or (
+                    len(queue) <= cfg.overload_queue
+                    and pool.num_free < min(cfg.gpus_per_query, pool.num_alive)
+                )
+            )
+            if grow_ok:
+                for qid in sorted(in_flight):
+                    fl = in_flight[qid]
+                    live = [g for g in fl.lease if g not in pool.dead]
+                    target = min(cfg.gpus_per_query, len(live) + pool.num_free)
+                    if target > len(live) and try_resize(now, fl, target):
+                        return "grow"
+            if len(queue) > cfg.overload_queue:
+                k = min(cfg.degraded_gpus, pool.num_alive)
+                if 1 <= k and pool.num_free < k:
+                    order = sorted(
+                        in_flight,
+                        key=lambda q: (-len(in_flight[q].lease), q),
+                    )
+                    for qid in order:
+                        fl = in_flight[qid]
+                        live = [g for g in fl.lease if g not in pool.dead]
+                        if len(live) > cfg.degraded_gpus and try_resize(
+                            now, fl, cfg.degraded_gpus
+                        ):
+                            return "shrink"
+            return None
 
         # ------------------------------------------------------------------
         while heap:
@@ -314,6 +593,11 @@ class ServeSimulator:
             if kind == "gpu-fail":
                 holder = pool.fail(payload)
                 emit("serve-gpu-fail", t=now, gpu=payload, holder=holder)
+            elif kind == "gpu-repair":
+                was_dead = pool.revive(payload)
+                if was_dead:
+                    revived += 1
+                emit("serve-gpu-repair", t=now, gpu=payload, revived=was_dead)
             elif kind == "arrival":
                 entry = payload
                 rec = records[entry.request.id]
@@ -349,48 +633,74 @@ class ServeSimulator:
                     readmitted=True,
                 )
             elif kind in ("complete", "abort", "displace"):
-                entry, extra = payload
-                qid = entry.request.id
-                if qid not in in_flight:
-                    raise ServeError(f"outcome for {qid!r} without a lease")
-                _, lease = in_flight.pop(qid)
+                qid, epoch, extra = payload
+                fl = in_flight.get(qid)
+                if fl is None or fl.epoch != epoch:
+                    # superseded by an elastic resize; the fresh outcome
+                    # event (or the release itself) already happened
+                    if not cfg.elastic:
+                        raise ServeError(f"outcome for {qid!r} without a lease")
+                    continue
+                in_flight.pop(qid)
+                lease = fl.lease
                 pool.release(qid)
-                rec = records[qid]
-                rec.released_ms = now
+                for m in fl.members:
+                    records[m.request.id].released_ms = now
+                if cfg.elastic and fl.trace is not None:
+                    # deferred accounting: the final segment's busy time
+                    # lands when the outcome settles (earlier segments
+                    # folded theirs at their resize cuts)
+                    fold_busy(lease, fl.trace.gpu_busy)
                 if kind == "complete":
-                    num_repairs = extra
-                    rec.status = "completed"
-                    rec.completed_ms = now
-                    rec.latency_ms = now - rec.arrival_ms
-                    rec.repairs += num_repairs
-                    rec.deadline_met = now <= rec.deadline_ms
+                    num_repairs = fl.repairs_done + extra
+                    records[qid].repairs += num_repairs
+                    for m in fl.members:
+                        mrec = records[m.request.id]
+                        mrec.status = "completed"
+                        mrec.completed_ms = now
+                        mrec.latency_ms = now - mrec.arrival_ms
+                        mrec.deadline_met = now <= mrec.deadline_ms
                     emit(
                         "serve-complete",
                         t=now,
                         request=qid,
-                        latency_ms=rec.latency_ms,
+                        latency_ms=records[qid].latency_ms,
                         repairs=num_repairs,
-                        deadline_met=rec.deadline_met,
+                        deadline_met=records[qid].deadline_met,
+                        batch=len(fl.members),
                     )
                 elif kind == "abort":
                     emit("serve-abort", t=now, request=qid, reason=extra)
-                    retry_or_fail(now, entry, extra)
+                    for m in fl.members:
+                        retry_or_fail(now, m, extra)
                 else:  # displace: the whole lease fail-stopped
-                    num_repairs = extra
-                    rec.repairs += num_repairs
-                    rec.displaced += 1
-                    displaced += 1
+                    num_repairs = fl.repairs_done + extra
+                    records[qid].repairs += num_repairs
+                    for m in fl.members:
+                        records[m.request.id].displaced += 1
+                        displaced += 1
                     emit(
                         "serve-displaced",
                         t=now,
                         request=qid,
                         gpus=list(lease),
                         repairs=num_repairs,
+                        batch=len(fl.members),
                     )
-                    retry_or_fail(now, entry, "lease lost to GPU failure")
+                    for m in fl.members:
+                        retry_or_fail(now, m, "lease lost to GPU failure")
             else:  # pragma: no cover - defensive
                 raise ServeError(f"unknown event kind {kind!r}")
             dispatch(now)
+            if cfg.elastic:
+                action = elastic_pass(now)
+                while action is not None:
+                    if action == "grow":
+                        elastic_grows += 1
+                    else:
+                        elastic_shrinks += 1
+                    dispatch(now)
+                    action = elastic_pass(now)
 
         for entry in queue:  # pragma: no cover - defensive (heap drained first)
             fail_request(cfg.horizon_ms, entry, "starved at end of run")
@@ -402,6 +712,9 @@ class ServeSimulator:
             degraded_dispatches=degraded_dispatches,
             gpu_busy_ms=gpu_busy,
             horizon_ms=cfg.horizon_ms,
+            revived=revived,
+            elastic_grows=elastic_grows,
+            elastic_shrinks=elastic_shrinks,
             sched_ms=self._sched_s * 1000.0,
             sched_cache_hits=self._sched_cache_hits,
             sched_cache_misses=self._sched_cache_misses,
@@ -417,75 +730,90 @@ class ServeSimulator:
     def _execute(
         self,
         now: float,
-        entry: _QueueEntry,
-        lease: tuple[int, ...],
+        fl: _InFlight,
         profile: CostProfile,
         schedule: Schedule,
         predicted: float,
-        algorithm: str,
-        push: Any,
+        push: Callable[[float, int, str, Any], None],
         gpu_busy: dict[int, float],
     ) -> None:
-        """Run the query on its lease and push its outcome event."""
+        """Run the query's first segment on its lease and push its outcome."""
+        self._run_segment(now, fl, profile, schedule, predicted, push, tag=fl.qid)
+        # without elastic resizing the outcome can never be superseded,
+        # so the busy time folds eagerly (the original accounting order)
+        if not self.config.elastic and fl.trace is not None:
+            for g_local, busy in fl.trace.gpu_busy.items():
+                gpu = fl.lease[g_local]
+                gpu_busy[gpu] = gpu_busy.get(gpu, 0.0) + busy
+
+    def _run_segment(
+        self,
+        now: float,
+        fl: _InFlight,
+        profile: CostProfile,
+        schedule: Schedule,
+        predicted: float,
+        push: Callable[[float, int, str, Any], None],
+        tag: str,
+    ) -> None:
+        """Execute one segment of ``fl`` and push its (epoch-tagged) outcome.
+
+        The first segment runs the full model graph; post-resize
+        segments run the unfinished subgraph re-planned by
+        :func:`repro.core.repair.resize_schedule`.  Either way the
+        pool's remaining faults are projected onto the current lease
+        and the segment executes under cascading repair.
+        """
         cfg = self.config
-        specs: list[FaultSpec] = []
-        local = {g: i for i, g in enumerate(lease)}
-        for f in self._plan.failures():
-            if f.gpu in local and f.at >= now:
-                specs.append(GpuFailure(gpu=local[f.gpu], at=f.at - now))
-        for s in self._plan.slowdowns():
-            if s.gpu in local:
-                specs.append(
-                    GpuSlowdown(gpu=local[s.gpu], at=max(0.0, s.at - now), factor=s.factor)
-                )
-        for d in self._plan.degradations():
-            if d.src in local and d.dst in local:
-                specs.append(
-                    LinkDegradation(
-                        src=local[d.src],
-                        dst=local[d.dst],
-                        at=max(0.0, d.at - now),
-                        bw_factor=d.bw_factor,
-                    )
-                )
-        specs.extend(self._plan.losses())
-        qseed = _query_seed(cfg.seed, entry.request.id, entry.attempt)
-        qplan = FaultPlan(specs, seed=qseed)
-        engine_cfg = replace(self._base_engine, faults=qplan if specs else None)
+        qplan = self._query_plan(now, fl.lease, tag, fl.leader.attempt)
+        engine_cfg = replace(self._base_engine, faults=qplan)
         try:
             trace, repairs = run_with_repair(
                 profile,
                 schedule,
                 config=engine_cfg,
-                algorithm=algorithm,
+                algorithm=fl.algorithm,
                 strict=False,
                 warm_start=True,
                 sched_cache=self._sched_cache,
-                **self._alg_kwargs(algorithm),
+                **self._alg_kwargs(fl.algorithm),
             )
         except FaultError as exc:
             # transfer retry budget exhausted mid-run: the lease was held
             # for about the predicted duration before the abort surfaced
-            push(now + predicted, _PRIO_OUTCOME, "abort", (entry, str(exc)))
+            fl.pending = "abort"
+            fl.trace = None
+            fl.seg_repairs = ()
+            push(now + predicted, _PRIO_OUTCOME, "abort", (fl.qid, fl.epoch, str(exc)))
             return
         for r in repairs:
             self._sched_s += r.result.scheduling_time
             if r.warm_started:
                 self._warm_starts += 1
-        for g_local, busy in trace.gpu_busy.items():
-            gpu = lease[g_local]
-            gpu_busy[gpu] = gpu_busy.get(gpu, 0.0) + busy
+        op_gpu = _op_assignment(schedule)
+        for r in repairs:
+            op_gpu.update(_op_assignment(r.schedule))
+        fl.trace = trace
+        fl.seg_repairs = repairs
+        fl.op_gpu = op_gpu
         if trace.unfinished_ops(profile.graph.names):
             if trace.failure is None:  # pragma: no cover - defensive
-                raise ServeError(f"incomplete trace without failure for {entry.request.id!r}")
+                raise ServeError(f"incomplete trace without failure for {fl.qid!r}")
+            fl.pending = "displace"
             push(
                 now + trace.failure.time,
                 _PRIO_OUTCOME,
                 "displace",
-                (entry, len(repairs)),
+                (fl.qid, fl.epoch, len(repairs)),
             )
             return
-        push(now + trace.latency, _PRIO_OUTCOME, "complete", (entry, len(repairs)))
+        fl.pending = "complete"
+        push(
+            now + trace.latency,
+            _PRIO_OUTCOME,
+            "complete",
+            (fl.qid, fl.epoch, len(repairs)),
+        )
 
 
 def serve(

@@ -6,10 +6,12 @@ from .device import A40, DEVICE_PRESETS, RTX_A5500, V100S, GpuDeviceModel, Kerne
 from .engine import EngineConfig, EngineError, ExecutionTrace, MultiGpuEngine
 from .events import Event, EventQueue
 from .faults import (
+    BACKOFF_CAP_DOUBLINGS,
     FailureEvent,
     FaultError,
     FaultPlan,
     GpuFailure,
+    GpuRepair,
     GpuSlowdown,
     LinkDegradation,
     TransferLoss,
@@ -28,6 +30,7 @@ from .profiler import PlatformProfiler
 
 __all__ = [
     "A40",
+    "BACKOFF_CAP_DOUBLINGS",
     "DEVICE_PRESETS",
     "EngineConfig",
     "EngineError",
@@ -39,6 +42,7 @@ __all__ = [
     "FaultPlan",
     "GpuDeviceModel",
     "GpuFailure",
+    "GpuRepair",
     "GpuSlowdown",
     "KernelWork",
     "LinkDegradation",

@@ -12,6 +12,11 @@ fault model:
   engine halts the run and reports a :class:`FailureEvent`; the repair
   path (:mod:`repro.core.repair`) re-schedules the unfinished subgraph
   onto the survivors.
+* :class:`GpuRepair` — at time ``at``, GPU ``gpu`` returns from reset.
+  Recovery is a *pool-level* concept: the serving simulator
+  (:mod:`repro.serve.simulator`) revives the GPU into its free set,
+  while the single-run engine — whose GPU set is fixed for the length
+  of one inference — ignores repair specs entirely.
 * :class:`LinkDegradation` — from time ``at``, messages on the directed
   link ``src -> dst`` see ``bw_factor`` of the nominal bandwidth.
 * :class:`TransferLoss` — messages are lost and retried with timeout +
@@ -38,16 +43,25 @@ from dataclasses import dataclass, replace
 from typing import Iterable, Union
 
 __all__ = [
+    "BACKOFF_CAP_DOUBLINGS",
     "FaultError",
     "FaultSpec",
     "FaultPlan",
     "FailureEvent",
     "GpuSlowdown",
     "GpuFailure",
+    "GpuRepair",
     "LinkDegradation",
     "TransferLoss",
     "parse_fault",
 ]
+
+#: Exponential retry backoff stops doubling after this many doublings —
+#: ``backoff_ms * 2**52`` at the default 0.1 ms is already ~14 000
+#: years, so an unbounded exponent cannot ever schedule a retry inside
+#: a finite horizon; the cap keeps high attempt counts representable
+#: and the retry schedule monotone instead of astronomically divergent.
+BACKOFF_CAP_DOUBLINGS = 16
 
 
 class FaultError(RuntimeError):
@@ -75,6 +89,26 @@ class GpuSlowdown:
 @dataclass(frozen=True)
 class GpuFailure:
     """At ``at``, GPU ``gpu`` fail-stops (device lost)."""
+
+    gpu: int
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.gpu < 0:
+            raise FaultError(f"negative GPU index {self.gpu}")
+        if self.at < 0:
+            raise FaultError(f"negative fault time {self.at}")
+
+
+@dataclass(frozen=True)
+class GpuRepair:
+    """At ``at``, GPU ``gpu`` returns from reset (pool-level recovery).
+
+    Only pool-aware consumers (the serving simulator's
+    :class:`~repro.serve.pool.GpuPool`) act on repairs; the single-run
+    engine ignores them — a lease is fixed while one inference runs,
+    and elastic re-expansion happens *between* engine runs.
+    """
 
     gpu: int
     at: float
@@ -151,15 +185,18 @@ class TransferLoss:
 
         Pure exponential by default; with ``jitter`` the ceiling is
         scaled by a uniform draw seeded on ``(seed, tag, attempt)`` so
-        the delay replays identically run after run.
+        the delay replays identically run after run.  The exponent is
+        capped at :data:`BACKOFF_CAP_DOUBLINGS` so pathological attempt
+        counts plateau at ``backoff_ms * 2**16`` instead of scheduling
+        a retry past every finite horizon.
         """
-        ceiling = self.backoff_ms * (2 ** (attempt - 1))
+        ceiling = self.backoff_ms * (2 ** min(attempt - 1, BACKOFF_CAP_DOUBLINGS))
         if not self.jitter:
             return ceiling
         return ceiling * random.Random(f"{seed}:backoff:{tag}:{attempt}").random()
 
 
-FaultSpec = Union[GpuSlowdown, GpuFailure, LinkDegradation, TransferLoss]
+FaultSpec = Union[GpuSlowdown, GpuFailure, GpuRepair, LinkDegradation, TransferLoss]
 
 
 @dataclass(frozen=True)
@@ -194,7 +231,9 @@ class FaultPlan:
         self.specs: tuple[FaultSpec, ...] = tuple(specs)
         self.seed = seed
         for sp in self.specs:
-            if not isinstance(sp, (GpuSlowdown, GpuFailure, LinkDegradation, TransferLoss)):
+            if not isinstance(
+                sp, (GpuSlowdown, GpuFailure, GpuRepair, LinkDegradation, TransferLoss)
+            ):
                 raise FaultError(f"unknown fault spec {sp!r}")
 
     # ------------------------------------------------------------------
@@ -228,6 +267,12 @@ class FaultPlan:
         failures = self.failures()
         return failures[0] if failures else None
 
+    def repairs(self) -> list[GpuRepair]:
+        return sorted(
+            (sp for sp in self.specs if isinstance(sp, GpuRepair)),
+            key=lambda sp: sp.at,
+        )
+
     def degradations(self) -> list[LinkDegradation]:
         return [sp for sp in self.specs if isinstance(sp, LinkDegradation)]
 
@@ -237,7 +282,7 @@ class FaultPlan:
     def validate_for(self, num_gpus: int) -> None:
         """Check every spec references GPUs within ``[0, num_gpus)``."""
         for sp in self.specs:
-            if isinstance(sp, (GpuSlowdown, GpuFailure)) and sp.gpu >= num_gpus:
+            if isinstance(sp, (GpuSlowdown, GpuFailure, GpuRepair)) and sp.gpu >= num_gpus:
                 raise FaultError(
                     f"{type(sp).__name__} targets GPU {sp.gpu} but the run "
                     f"uses {num_gpus} GPU(s)"
@@ -295,12 +340,16 @@ class FaultPlan:
         (``at < cut`` — the engine halts at the first one) disappear.
         :class:`TransferLoss` is time-independent and kept verbatim,
         seed included, so tail replays stay deterministic.
+        :class:`GpuRepair` specs are dropped: recovery is pool-level
+        bookkeeping and a tail's GPU set is fixed for its duration.
         """
         if cut < 0:
             raise FaultError(f"negative resume cut {cut}")
         gone = frozenset(dead)
         specs: list[FaultSpec] = []
         for sp in self.specs:
+            if isinstance(sp, GpuRepair):
+                continue
             if isinstance(sp, GpuSlowdown):
                 if sp.gpu in gone:
                     continue
@@ -332,6 +381,7 @@ def parse_fault(text: str) -> FaultSpec:
     Formats (times in ms, factors as fractions of nominal):
 
     * ``fail:G@T`` — :class:`GpuFailure` of GPU ``G`` at ``T``
+    * ``repair:G@T`` — :class:`GpuRepair` of GPU ``G`` at ``T``
     * ``slow:G@TxF`` — :class:`GpuSlowdown` of GPU ``G`` at ``T`` to factor ``F``
     * ``link:S->D@TxF`` — :class:`LinkDegradation` of ``S -> D`` at ``T`` to ``F``
     * ``loss:P`` — :class:`TransferLoss` with probability ``P``; append
@@ -342,6 +392,9 @@ def parse_fault(text: str) -> FaultSpec:
         if kind == "fail":
             gpu, _, at = rest.partition("@")
             return GpuFailure(gpu=int(gpu), at=float(at))
+        if kind == "repair":
+            gpu, _, at = rest.partition("@")
+            return GpuRepair(gpu=int(gpu), at=float(at))
         if kind == "slow":
             gpu, _, when = rest.partition("@")
             at, _, factor = when.partition("x")
@@ -364,6 +417,6 @@ def parse_fault(text: str) -> FaultSpec:
     except (ValueError, TypeError) as exc:
         raise FaultError(f"malformed fault spec {text!r}: {exc}") from exc
     raise FaultError(
-        f"unknown fault kind {kind!r} in {text!r}; "
-        "expected fail:G@T, slow:G@TxF, link:S->D@TxF or loss:P[:jitter]"
+        f"unknown fault kind {kind!r} in {text!r}; expected fail:G@T, "
+        "repair:G@T, slow:G@TxF, link:S->D@TxF or loss:P[:jitter]"
     )

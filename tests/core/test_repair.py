@@ -12,6 +12,7 @@ from repro.core.repair import (
     RepairError,
     _warm_spatial_seed,
     repair_schedule,
+    resize_schedule,
     run_with_repair,
     splice_traces,
 )
@@ -510,3 +511,102 @@ class TestResumeAfter:
         plan = FaultPlan.from_strings(["fail:0@5"], seed=0)
         with pytest.raises(Exception, match="negative resume cut"):
             plan.resume_after(-1.0)
+
+
+class TestResizeSchedule:
+    """Elastic re-planning: the unfinished remainder of a query is
+    re-scheduled at a different GPU count, warm-started from the old
+    assignment projected through the lease slot map."""
+
+    @staticmethod
+    def _assignment(schedule: Schedule) -> dict[str, int]:
+        return {
+            op: g
+            for g in range(schedule.num_gpus)
+            for st in schedule.stages_on(g)
+            for op in st.ops
+        }
+
+    @pytest.fixture(scope="class")
+    def widths(self):
+        """The same random DAG profiled at widths 2 and 4."""
+        narrow = random_dag_profile(seed=7, num_ops=40, num_layers=6, num_gpus=2)
+        wide = random_dag_profile(seed=7, num_ops=40, num_layers=6, num_gpus=4)
+        assert narrow.graph.names == wide.graph.names
+        return narrow, wide
+
+    def test_grow_replans_only_the_remainder(self, widths):
+        narrow, wide = widths
+        old = schedule_graph(narrow, "hios-lp").schedule
+        finished = frozenset(priority_order(narrow.graph)[:15])
+        rr = resize_schedule(
+            wide,
+            finished,
+            prev_assignment=self._assignment(old),
+            slot_map={0: 0, 1: 1},  # surviving GPUs keep their slots
+            algorithm="hios-lp",
+        )
+        assert set(rr.subgraph.names) == set(narrow.graph.names) - finished
+        assert set(rr.schedule.operators()) == set(rr.subgraph.names)
+        assert rr.schedule.num_gpus == 4
+        assert rr.result.latency > 0
+
+    def test_shrink_seed_rehomes_stranded_ops(self, widths):
+        from repro.core.repair import _resize_spatial_seed
+
+        narrow, wide = widths
+        old = schedule_graph(wide, "hios-lp").schedule
+        finished = frozenset(priority_order(wide.graph)[:10])
+        assignment = self._assignment(old)
+        # shrink 4 -> 2: slots 1 and 3 survive as the new 0 and 1;
+        # operators stranded on the dropped slots are re-homed
+        rr = resize_schedule(
+            narrow,
+            finished,
+            prev_assignment=assignment,
+            slot_map={1: 0, 3: 1},
+            algorithm="hios-lp",
+        )
+        assert rr.schedule.num_gpus == 2
+        assert set(rr.schedule.operators()) == set(wide.graph.names) - finished
+        # the projected seed covers every remaining op within the new width
+        seed = _resize_spatial_seed(rr.subgraph, assignment, {1: 0, 3: 1}, 2)
+        assert seed is not None
+        assert set(seed) == set(rr.subgraph.names)
+        assert set(seed.values()) <= {0, 1}
+        # surviving slots map through; ops from dropped slots are re-homed
+        for op, g in assignment.items():
+            if op in seed and g in (1, 3):
+                assert seed[op] == {1: 0, 3: 1}[g]
+
+    def test_missing_seed_falls_back_to_cold(self, widths):
+        narrow, wide = widths
+        finished = frozenset(priority_order(wide.graph)[:10])
+        rr = resize_schedule(
+            narrow,
+            finished,
+            prev_assignment=None,  # no prior assignment at all
+            slot_map=None,
+            algorithm="hios-lp",
+        )
+        assert not rr.warm_started
+        assert set(rr.schedule.operators()) == set(wide.graph.names) - finished
+
+    def test_nothing_left_to_plan_raises(self, widths):
+        narrow, _ = widths
+        with pytest.raises(RepairError, match="nothing"):
+            resize_schedule(narrow, frozenset(narrow.graph.names))
+
+    def test_resize_is_deterministic(self, widths):
+        narrow, wide = widths
+        old = schedule_graph(narrow, "hios-lp").schedule
+        finished = frozenset(priority_order(narrow.graph)[:15])
+        kwargs = dict(
+            prev_assignment=self._assignment(old),
+            slot_map={0: 0, 1: 1},
+            algorithm="hios-lp",
+        )
+        r1 = resize_schedule(wide, finished, **kwargs)
+        r2 = resize_schedule(wide, finished, **kwargs)
+        assert r1.schedule.all_stages() == r2.schedule.all_stages()
+        assert r1.result.latency == r2.result.latency

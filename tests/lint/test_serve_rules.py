@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lint import lint_serve_config
+from repro.lint import lint_serve_config, lint_serve_report
 from repro.serve import scenario_config
 
 
@@ -33,7 +33,9 @@ def test_clean_document():
     assert fired(doc()) == set()
 
 
-@pytest.mark.parametrize("name", ["steady-state", "burst-overload", "gpu-loss"])
+@pytest.mark.parametrize(
+    "name", ["steady-state", "burst-overload", "gpu-loss", "gpu-loss-recovery"]
+)
 def test_real_scenarios_are_clean(name):
     assert fired(scenario_config(name).to_dict()) == set()
 
@@ -151,3 +153,123 @@ class TestV008RetryBudget:
 
     def test_bad_backoff(self):
         assert "V008" in fired(doc(retry_backoff_ms=-1.0))
+
+
+class TestV004MaxBatch:
+    def test_zero_and_non_integer_rejected(self):
+        assert "V004" in fired(doc(max_batch=0))
+        assert "V004" in fired(doc(max_batch=2.5))
+
+    def test_absent_defaults_to_one(self):
+        assert "V004" not in fired(doc())
+
+
+def report_doc(**overrides):
+    """A minimal clean servereport document, with overrides applied."""
+    base = {
+        "format": "repro.servereport/v1",
+        "arrivals": 10,
+        "admitted": 8,
+        "completed": 6,
+        "shed_queue_full": 2,
+        "shed_deadline": 1,
+        "failed": 1,
+        "deadline_misses": 1,
+        "retries": 0,
+        "displaced": 0,
+        "repairs": 0,
+        "degraded_dispatches": 0,
+        "revived": 0,
+        "batched": 0,
+        "elastic_grows": 0,
+        "elastic_shrinks": 0,
+    }
+    base.update(overrides)
+    return base
+
+
+def report_fired(document):
+    return set(lint_serve_report(document).rule_ids())
+
+
+class TestV009ReportCounters:
+    def test_clean_report(self):
+        assert report_fired(report_doc()) == set()
+
+    def test_real_report_is_clean(self):
+        from repro.serve import run_scenario
+
+        result = run_scenario("gpu-loss-recovery")
+        document = result.report.to_dict()
+        document["requests"] = [r.to_dict() for r in result.records]
+        assert report_fired(document) == set()
+
+    def test_wrong_format(self):
+        assert "V009" in report_fired(report_doc(format="repro.serve/v1"))
+
+    def test_non_integer_counter(self):
+        assert "V009" in report_fired(report_doc(completed="six"))
+        assert "V009" in report_fired(report_doc(revived=-1))
+        assert "V009" in report_fired(report_doc(batched=True))
+
+    def test_admission_identity(self):
+        # an arrival that is neither admitted nor shed at the door
+        assert "V009" in report_fired(report_doc(arrivals=11))
+
+    def test_terminal_identity(self):
+        # an admitted request with no terminal status
+        assert "V009" in report_fired(report_doc(admitted=9, arrivals=11))
+
+    def test_misses_bounded_by_completions(self):
+        assert "V009" in report_fired(report_doc(deadline_misses=7))
+
+
+class TestV010ReportRecords:
+    def _records(self):
+        return [
+            {"id": "a-q0000", "status": "completed", "deadline_met": True},
+            {
+                "id": "a-q0001",
+                "status": "completed",
+                "deadline_met": True,
+                "batched_with": "a-q0000",
+            },
+            {"id": "a-q0002", "status": "shed-queue"},
+        ]
+
+    def _doc(self, **overrides):
+        base = report_doc(
+            arrivals=3,
+            admitted=2,
+            completed=2,
+            shed_queue_full=1,
+            shed_deadline=0,
+            failed=0,
+            deadline_misses=0,
+            batched=1,
+            requests=self._records(),
+        )
+        base.update(overrides)
+        return base
+
+    def test_consistent_records_pass(self):
+        assert report_fired(self._doc()) == set()
+
+    def test_absent_records_skip_the_rule(self):
+        assert report_fired(report_doc()) == set()
+
+    def test_records_not_a_list(self):
+        assert "V010" in report_fired(self._doc(requests="all of them"))
+
+    def test_status_mismatch(self):
+        records = self._records()
+        records[0]["status"] = "failed"
+        assert "V010" in report_fired(self._doc(requests=records))
+
+    def test_batched_mismatch(self):
+        assert "V010" in report_fired(self._doc(batched=0))
+
+    def test_resize_sum_mismatch(self):
+        records = self._records()
+        records[0]["resizes"] = 2
+        assert "V010" in report_fired(self._doc(requests=records))

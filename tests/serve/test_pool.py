@@ -63,3 +63,81 @@ class TestFail:
         pool.lease("a", 2)
         assert pool.holder_of(0) == "a"
         assert pool.holder_of(2) is None
+
+
+class TestRevive:
+    def test_revive_idle_gpu_returns_to_free(self):
+        pool = GpuPool(3)
+        pool.fail(1)
+        assert pool.revive(1) is True
+        assert pool.free == {0, 1, 2}
+        assert pool.dead == set()
+
+    def test_revive_is_idempotent(self):
+        pool = GpuPool(2)
+        pool.fail(0)
+        assert pool.revive(0) is True
+        assert pool.revive(0) is False  # already alive: no-op
+        assert pool.revive(1) is False  # never died: no-op
+        assert pool.free == {0, 1}
+
+    def test_revive_while_leased_waits_for_release(self):
+        pool = GpuPool(3)
+        pool.lease("a", 2)  # (0, 1)
+        pool.fail(1)
+        assert pool.revive(1) is True
+        # still listed by the lease, so not free yet
+        assert 1 not in pool.free
+        assert pool.holder_of(1) == "a"
+        pool.release("a")
+        assert pool.free == {0, 1, 2}
+
+    def test_revive_out_of_range(self):
+        with pytest.raises(PoolError, match="out of range"):
+            GpuPool(2).revive(5)
+
+
+class TestResize:
+    def test_grow_takes_lowest_free(self):
+        pool = GpuPool(4)
+        pool.lease("a", 1)  # (0,)
+        assert pool.resize("a", (0, 1, 2)) == (0, 1, 2)
+        assert pool.free == {3}
+        assert pool.holder_of(2) == "a"
+
+    def test_shrink_frees_dropped_survivors(self):
+        pool = GpuPool(4)
+        pool.lease("a", 3)  # (0, 1, 2)
+        assert pool.resize("a", (0,)) == (0,)
+        assert pool.free == {1, 2, 3}
+        assert pool.holder_of(1) is None
+
+    def test_shrink_never_frees_dead_gpus(self):
+        pool = GpuPool(3)
+        pool.lease("a", 2)  # (0, 1)
+        pool.fail(1)
+        pool.resize("a", (0,))
+        assert 1 not in pool.free
+        assert pool.dead == {1}
+
+    def test_cannot_acquire_dead_or_leased_gpus(self):
+        pool = GpuPool(3)
+        pool.lease("a", 1)  # (0,)
+        pool.lease("b", 1)  # (1,)
+        pool.fail(2)
+        with pytest.raises(PoolError, match="not free"):
+            pool.resize("a", (0, 1))
+        with pytest.raises(PoolError, match="dead GPU"):
+            pool.resize("a", (0, 2))
+
+    def test_resize_validation(self):
+        pool = GpuPool(2)
+        pool.lease("a", 1)
+        with pytest.raises(PoolError, match="holds no lease"):
+            pool.resize("ghost", (1,))
+        with pytest.raises(PoolError, match="at least one"):
+            pool.resize("a", ())
+        with pytest.raises(PoolError, match="duplicate"):
+            pool.resize("a", (1, 1))
+        with pytest.raises(PoolError, match="out of range"):
+            pool.resize("a", (0, 9))

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the GPU pool's bookkeeping.
+
+A random sequence of lease / release / fail / revive / resize
+operations is replayed against a :class:`GpuPool`, skipping the
+operations the pool (correctly) rejects, and the structural invariants
+are checked after every step:
+
+* ``free``, ``dead`` and the union of the active leases partition
+  consistently: free GPUs are never dead and never leased, and leases
+  are pairwise disjoint;
+* a dead GPU is never handed out — not by ``lease``, not by ``resize``,
+  and ``release`` never returns one to the free set;
+* the ``gpu -> holder`` reverse map mirrors ``leases`` exactly;
+* ``fail`` and ``revive`` are idempotent.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve import GpuPool, PoolError
+
+NUM_GPUS = 4
+HOLDERS = ("a", "b", "c")
+
+
+def _ops():
+    gpu = st.integers(0, NUM_GPUS - 1)
+    holder = st.sampled_from(HOLDERS)
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("lease"), holder, st.integers(1, NUM_GPUS)),
+            st.tuples(st.just("release"), holder),
+            st.tuples(st.just("fail"), gpu),
+            st.tuples(st.just("revive"), gpu),
+            st.tuples(
+                st.just("resize"),
+                holder,
+                st.lists(gpu, min_size=1, max_size=NUM_GPUS, unique=True),
+            ),
+        ),
+        max_size=40,
+    )
+
+
+def _check_invariants(pool: GpuPool) -> None:
+    leased = [g for gpus in pool.leases.values() for g in gpus]
+    assert len(leased) == len(set(leased)), "leases overlap"
+    assert not pool.free & pool.dead, "free GPU marked dead"
+    assert not pool.free & set(leased), "free GPU is leased"
+    assert pool.free | pool.dead | set(leased) <= set(range(pool.num_gpus))
+    # the reverse map mirrors the leases exactly
+    expect = {g: h for h, gpus in pool.leases.items() for g in gpus}
+    assert {g: pool.holder_of(g) for g in expect} == expect
+    for g in pool.free:
+        assert pool.holder_of(g) is None
+    assert pool.num_free == len(pool.free)
+    assert pool.num_alive == pool.num_gpus - len(pool.dead)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_ops())
+def test_random_operation_sequences_preserve_invariants(ops):
+    pool = GpuPool(NUM_GPUS)
+    for op in ops:
+        kind = op[0]
+        try:
+            if kind == "lease":
+                gpus = pool.lease(op[1], op[2])
+                assert not set(gpus) & pool.dead, "leased a dead GPU"
+            elif kind == "release":
+                pool.release(op[1])
+            elif kind == "fail":
+                before = op[1] in pool.dead
+                pool.fail(op[1])
+                assert op[1] in pool.dead
+                assert pool.fail(op[1]) is None  # idempotent
+                del before
+            elif kind == "revive":
+                was_dead = op[1] in pool.dead
+                assert pool.revive(op[1]) is was_dead
+                assert pool.revive(op[1]) is False  # idempotent
+            elif kind == "resize":
+                # kept GPUs may be dead (the lease already listed them);
+                # only *newly acquired* GPUs must be alive and free
+                old = set(pool.leases.get(op[1], ()))
+                gpus = pool.resize(op[1], tuple(op[2]))
+                assert not (set(gpus) - old) & pool.dead, "acquired a dead GPU"
+        except PoolError:
+            pass  # the pool rejected an impossible op; state must be intact
+        _check_invariants(pool)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_ops())
+def test_dead_gpus_only_return_through_revive(ops):
+    """Once failed, a GPU never reappears in the free set until revived."""
+    pool = GpuPool(NUM_GPUS)
+    for op in ops:
+        dead_before = set(pool.dead)
+        try:
+            if op[0] == "lease":
+                pool.lease(op[1], op[2])
+            elif op[0] == "release":
+                pool.release(op[1])
+            elif op[0] == "fail":
+                pool.fail(op[1])
+            elif op[0] == "revive":
+                pool.revive(op[1])
+            elif op[0] == "resize":
+                pool.resize(op[1], tuple(op[2]))
+        except PoolError:
+            pass
+        still_dead = dead_before - ({op[1]} if op[0] == "revive" else set())
+        assert not pool.free & still_dead

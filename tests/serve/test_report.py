@@ -126,3 +126,19 @@ class TestServeTimeline:
         doc = chrome_trace_document(trace, op_gpu, process_name="repro-serve")
         assert doc["otherData"]["format"] == "repro.chrometrace/v1"
         assert any(e.get("name") == "t-q0000" for e in doc["traceEvents"])
+
+    def test_batched_followers_hold_no_span_of_their_own(self):
+        leader = _record(0)
+        leader.gpus = (0, 1)
+        leader.dispatched_ms = 5.0
+        leader.released_ms = 12.0
+        follower = _record(1)
+        follower.gpus = (0, 1)  # rides the leader's lease
+        follower.dispatched_ms = 5.0
+        follower.released_ms = 12.0
+        follower.batched_with = leader.id
+        trace, op_gpu = serve_timeline([leader, follower])
+        # one span per lease: the follower's occupancy IS the leader's,
+        # so the timeline stays linearizable under exclusive leases
+        assert set(op_gpu) == {"t-q0000", "t-q0000@g1"}
+        assert trace.gpu_busy == {0: 7.0, 1: 7.0}

@@ -9,7 +9,12 @@ from repro.serve import SCENARIOS, run_scenario, scenario_config
 
 class TestCatalog:
     def test_names(self):
-        assert sorted(SCENARIOS) == ["burst-overload", "gpu-loss", "steady-state"]
+        assert sorted(SCENARIOS) == [
+            "burst-overload",
+            "gpu-loss",
+            "gpu-loss-recovery",
+            "steady-state",
+        ]
 
     def test_unknown_scenario(self):
         with pytest.raises(KeyError):
@@ -93,6 +98,69 @@ class TestGpuLoss:
         d2 = run_scenario("gpu-loss").report.to_dict()
         # sched_ms is host wall-clock, the one deliberately
         # non-reproducible field in the report
+        d1.pop("sched_ms")
+        d2.pop("sched_ms")
+        assert d1 == d2
+
+
+class TestGpuLossRecovery:
+    """The healing acceptance scenario: a rolling three-GPU outage is
+    undone by staged ``repair:G@T`` events while the backlog drains —
+    batching merges the burst, elastic leases shrink under pressure and
+    grow onto the first revived GPU, and nothing admitted is lost."""
+
+    def test_exact_counters(self):
+        report = run_scenario("gpu-loss-recovery").report
+        assert report.arrivals == 26
+        assert report.admitted == 26
+        assert report.completed == 26  # every admitted query finished
+        assert report.shed_queue_full == 0
+        assert report.shed_deadline == 0
+        assert report.failed == 0
+        assert report.deadline_misses == 0
+        assert report.repairs == 1
+        assert report.displaced == 4
+        assert report.retries == 4
+        assert report.degraded_dispatches == 3
+        # the heal path proper: every repair spec revived its GPU,
+        # batching merged five followers, and the elastic pass both
+        # shrank under overload and grew onto a revived GPU
+        assert report.revived == 3
+        assert report.batched == 5
+        assert report.elastic_grows == 1
+        assert report.elastic_shrinks == 1
+        assert report.warm_starts == 3
+
+    def test_batches_merge_the_backlogged_burst(self):
+        result = run_scenario("gpu-loss-recovery")
+        followers = [r for r in result.records if r.batched_with]
+        assert len(followers) == 5
+        for rec in followers:
+            leader = result.record_of(rec.batched_with)
+            assert rec.dispatched_ms == leader.dispatched_ms
+            assert rec.gpus == leader.gpus
+            assert rec.batch == leader.batch == len(
+                [r for r in result.records if r.batched_with == leader.id]
+            ) + 1
+            assert rec.status == leader.status == "completed"
+
+    def test_elastic_resizes_land_on_records(self):
+        result = run_scenario("gpu-loss-recovery")
+        resized = sorted(
+            (r for r in result.records if r.resizes), key=lambda r: r.id
+        )
+        assert [r.id for r in resized] == ["batch-q0000", "search-q0002"]
+        for rec in resized:
+            assert rec.resizes == 1
+            assert rec.status == "completed"
+        # the grown lease ends wider than the degraded width, on a GPU
+        # that was dead when the query dispatched
+        grown = result.record_of("search-q0002")
+        assert len(grown.gpus) == 2
+
+    def test_bit_reproducible(self):
+        d1 = run_scenario("gpu-loss-recovery").report.to_dict()
+        d2 = run_scenario("gpu-loss-recovery").report.to_dict()
         d1.pop("sched_ms")
         d2.pop("sched_ms")
         assert d1 == d2

@@ -225,3 +225,166 @@ class TestScheduleCacheAndCounters:
         doc = report.to_dict()
         for key in ("sched_ms", "sched_cache_hits", "sched_cache_misses", "warm_starts"):
             assert key in doc
+
+
+class TestBatching:
+    """Same-model queued requests merge into one lease at dispatch."""
+
+    def _cfg(self, max_batch):
+        return ServeConfig(
+            tenants=(_tenant(arrivals_ms=(1.0, 2.0, 2.0), deadline_ms=5000.0),),
+            num_gpus=2,
+            gpus_per_query=2,
+            max_batch=max_batch,
+            horizon_ms=5000.0,
+        )
+
+    def test_followers_merge_into_leaders_lease(self):
+        result = serve(self._cfg(max_batch=3))
+        # q0 runs alone; q1 and q2 queue behind it and merge when it
+        # completes: q1 leads, q2 follows
+        leader = result.record_of("t-q0001")
+        follower = result.record_of("t-q0002")
+        assert result.report.batched == 1  # one follower rode along
+        assert leader.batch == 2 and leader.batched_with == ""
+        assert follower.batch == 2 and follower.batched_with == "t-q0001"
+        assert follower.dispatched_ms == leader.dispatched_ms
+        assert follower.gpus == leader.gpus
+        assert follower.completed_ms == leader.completed_ms
+        assert result.report.completed == 3
+
+    def test_max_batch_one_preserves_serial_dispatch(self):
+        result = serve(self._cfg(max_batch=1))
+        assert result.report.batched == 0
+        times = {r.dispatched_ms for r in result.records}
+        assert len(times) == 3  # every query got its own dispatch
+        assert all(r.batch == 1 and not r.batched_with for r in result.records)
+
+    def test_different_models_never_merge(self):
+        cfg = ServeConfig(
+            tenants=(
+                _tenant(name="a", arrivals_ms=(1.0, 2.0), deadline_ms=5000.0),
+                _tenant(
+                    name="b",
+                    model="chain12",
+                    arrivals_ms=(2.0,),
+                    deadline_ms=5000.0,
+                ),
+            ),
+            num_gpus=2,
+            gpus_per_query=2,
+            max_batch=4,
+            horizon_ms=5000.0,
+        )
+        result = serve(cfg)
+        assert result.record_of("b-q0000").batched_with == ""
+        assert result.record_of("b-q0000").batch == 1
+        assert result.report.completed == 3
+
+
+class TestRecovery:
+    """``repair:G@T`` returns failed GPUs to service mid-run."""
+
+    def test_repair_revives_the_pool(self):
+        # GPU 0 is the whole pool: the failure displaces the in-flight
+        # query, the repair lets its retry (and the later arrival) land
+        cfg = ServeConfig(
+            tenants=(_tenant(arrivals_ms=(1.0, 30.0), deadline_ms=500.0),),
+            num_gpus=1,
+            gpus_per_query=1,
+            degraded_gpus=1,
+            faults=("fail:0@20", "repair:0@22"),
+            max_retries=3,
+            retry_backoff_ms=4.0,
+            retry_jitter=False,  # requeue lands at t=24, after the repair
+            horizon_ms=500.0,
+        )
+        result = serve(cfg)
+        report = result.report
+        assert report.revived == 1
+        assert report.completed == 2
+        assert report.failed == 0
+        first = result.record_of("t-q0000")
+        assert first.displaced == 1
+        assert first.attempts == 2
+        assert first.dispatched_ms >= 22.0  # re-dispatch waited for the repair
+
+    def test_repairing_a_healthy_gpu_is_a_no_op(self):
+        cfg = ServeConfig(
+            tenants=(_tenant(arrivals_ms=(1.0,)),),
+            num_gpus=2,
+            gpus_per_query=1,
+            faults=("repair:1@10",),
+            horizon_ms=200.0,
+        )
+        report = serve(cfg).report
+        assert report.revived == 0  # GPU 1 never died
+        assert report.completed == 1
+
+
+class TestElastic:
+    """Elastic leases grow onto freed GPUs and shrink under overload."""
+
+    def test_grow_onto_revived_gpu(self):
+        # GPU 1 dies before the arrival, so the query dispatches at
+        # width 1; the mid-flight repair frees GPU 1 and the elastic
+        # pass grows the lease back to full width
+        cfg = ServeConfig(
+            tenants=(
+                _tenant(model="deep40", arrivals_ms=(1.0,), deadline_ms=5000.0),
+            ),
+            num_gpus=2,
+            gpus_per_query=2,
+            elastic=True,
+            faults=("fail:1@0.5", "repair:1@40"),
+            max_retries=3,
+            horizon_ms=5000.0,
+        )
+        result = serve(cfg)
+        rec = result.record_of("t-q0000")
+        assert result.report.revived == 1
+        assert result.report.elastic_grows == 1
+        assert result.report.elastic_shrinks == 0
+        assert rec.resizes == 1
+        assert rec.gpus == (0, 1)  # final lease, post-grow
+        assert rec.status == "completed"
+        assert result.report.failed == 0
+
+    def test_shrink_under_overload_frees_a_degraded_slot(self):
+        # q0 holds the full pool when the backlog crosses the overload
+        # threshold; the elastic pass shrinks it so a degraded lease
+        # can dispatch immediately instead of waiting for q0 to finish
+        cfg = ServeConfig(
+            tenants=(
+                _tenant(
+                    model="deep40",
+                    arrivals_ms=(1.0, 2.0, 2.0, 2.0),
+                    deadline_ms=10000.0,
+                ),
+            ),
+            num_gpus=2,
+            gpus_per_query=2,
+            queue_capacity=16,
+            overload_queue=1,
+            degraded_gpus=1,
+            degraded_algorithm="sequential",
+            elastic=True,
+            horizon_ms=10000.0,
+        )
+        result = serve(cfg)
+        first = result.record_of("t-q0000")
+        assert result.report.elastic_shrinks == 1
+        assert first.resizes == 1
+        assert len(first.gpus) == 1  # shrunk to the degraded width
+        assert result.report.completed == 4
+        assert result.report.failed == 0
+        # the shrink freed a GPU for a degraded dispatch at the same time
+        assert result.report.degraded_dispatches >= 1
+
+    def test_elastic_run_is_bit_reproducible(self):
+        report = run_scenario("gpu-loss-recovery").report
+        d1 = report.to_dict()
+        d2 = run_scenario("gpu-loss-recovery").report.to_dict()
+        d1.pop("sched_ms")
+        d2.pop("sched_ms")
+        assert d1 == d2

@@ -201,3 +201,52 @@ class TestFabricFaults:
                 t, 0, 1, duration=0.4, tag="m"
             )
         assert a.records == b.records
+
+
+class TestRepairs:
+    """``repair:G@T`` specs: parsing, accessors, and tail semantics."""
+
+    def test_parse_repair(self):
+        from repro.substrate import GpuRepair
+
+        assert parse_fault("repair:2@7.5") == GpuRepair(gpu=2, at=7.5)
+        with pytest.raises(FaultError):
+            parse_fault("repair:x@1")
+        with pytest.raises(FaultError):
+            GpuRepair(gpu=-1, at=0.0)
+        with pytest.raises(FaultError):
+            GpuRepair(gpu=0, at=-1.0)
+
+    def test_repairs_accessor_sorted_by_time(self):
+        plan = FaultPlan.from_strings(
+            ["repair:1@9", "fail:1@2", "repair:0@4"], seed=0
+        )
+        assert [(r.gpu, r.at) for r in plan.repairs()] == [(0, 4.0), (1, 9.0)]
+        assert len(plan.failures()) == 1
+
+    def test_validate_for_covers_repairs(self):
+        plan = FaultPlan.from_strings(["repair:5@1"])
+        with pytest.raises(FaultError, match="GPU 5"):
+            plan.validate_for(4)
+        plan.validate_for(6)  # ok
+
+    def test_resume_after_drops_repairs(self):
+        # recovery is pool-level bookkeeping: a tail run's GPU set is
+        # fixed, so repairs never survive re-anchoring
+        plan = FaultPlan.from_strings(
+            ["fail:1@10", "repair:0@1", "repair:1@20"], seed=5
+        )
+        tail = plan.resume_after(5.0)
+        assert tail.repairs() == []
+        assert [f.at for f in tail.failures()] == [5.0]
+
+
+class TestBackoffCap:
+    def test_backoff_doublings_are_capped(self):
+        from repro.substrate import BACKOFF_CAP_DOUBLINGS
+
+        loss = TransferLoss(prob=0.1, backoff_ms=1.0)
+        ceiling = 2.0**BACKOFF_CAP_DOUBLINGS
+        assert loss.backoff_delay(0, "a->b", BACKOFF_CAP_DOUBLINGS + 1) == ceiling
+        # pathological attempt counts no longer overflow the float
+        assert loss.backoff_delay(0, "a->b", 10_000) == ceiling
